@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and asserts
+its qualitative claims, so ``pytest benchmarks/ --benchmark-only`` doubles
+as the reproduction run.  Heavy experiments are benchmarked pedantically
+(one round) — the numbers of interest are the experiment outputs, not
+micro-timings.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

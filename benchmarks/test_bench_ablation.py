@@ -1,0 +1,12 @@
+"""Benchmark / regeneration of the design-choice ablations."""
+
+from conftest import run_once
+
+from repro.experiments.ablation import run_ablation
+
+
+def test_bench_ablation(benchmark):
+    result = run_once(benchmark, run_ablation, n_r=12, n_u=8)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold

@@ -1,0 +1,14 @@
+"""Benchmark / regeneration of the Section 2 bridge check."""
+
+from conftest import run_once
+
+from repro.experiments.bridges import run_bridges
+
+
+def test_bench_bridges(benchmark):
+    result = run_once(benchmark, run_bridges, n_r=12, n_u=8)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.open_partial_fraction >= 0.8
+    assert result.max_bridge_partial_fraction <= 0.35

@@ -1,0 +1,13 @@
+"""Benchmark / regeneration of the diagnosis extension experiment."""
+
+from conftest import run_once
+
+from repro.experiments.diagnosis import run_diagnosis
+
+
+def test_bench_diagnosis(benchmark):
+    result = run_once(benchmark, run_diagnosis)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.class_accuracy >= 0.8

@@ -1,0 +1,13 @@
+"""Benchmark / regeneration of the Monte-Carlo escape analysis."""
+
+from conftest import run_once
+
+from repro.experiments.escapes import run_escapes
+
+
+def test_bench_escapes(benchmark):
+    result = run_once(benchmark, run_escapes, n_defects=120)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.escape_rates["March PF+"] == 0.0

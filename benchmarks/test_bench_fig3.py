@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Figure 3 (bit-line open, RDF1)."""
+
+from conftest import run_once
+
+from repro.core.ffm import FFM
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, run_fig3, n_r=16, n_u=12)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.partial_map.is_partial_label(FFM.RDF1)
+    assert result.completed_map.is_u_independent(FFM.RDF1)

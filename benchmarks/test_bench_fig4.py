@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Figure 4 (memory-cell open, RDF0)."""
+
+from conftest import run_once
+
+from repro.core.ffm import FFM
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, run_fig4, n_r=20, n_u=12)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.r_at_high_u is not None
+    assert result.r_completed is not None

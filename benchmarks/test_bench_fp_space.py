@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of the Section 4 numbers (FP space, relations)."""
+
+from conftest import run_once
+
+from repro.core.fault_primitives import (
+    cumulative_single_cell_fp_count,
+    enumerate_single_cell_fps,
+)
+from repro.experiments.fp_space import run_fp_space
+
+
+def test_bench_fp_space_report(benchmark):
+    result = run_once(benchmark, run_fp_space, max_ops=4)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert cumulative_single_cell_fp_count(1) == 12
+
+
+def test_bench_fp_enumeration(benchmark):
+    """Raw enumeration speed of the #O=4 FP space (270 primitives)."""
+    count = benchmark(lambda: sum(1 for _ in enumerate_single_cell_fps(4)))
+    assert count == 270

@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of the Section 5 march-test comparison."""
+
+from conftest import run_once
+
+from repro.experiments.march_pf import run_march_pf
+from repro.march.library import MARCH_PF_PLUS
+
+
+def test_bench_march_comparison(benchmark):
+    result = run_once(
+        benchmark, run_march_pf, with_generator=True, with_electrical=True
+    )
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    assert result.matrix.covers_all(MARCH_PF_PLUS)
+    assert all(result.electrical["March PF+"].values())

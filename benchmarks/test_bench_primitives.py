@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the simulation primitives.
+
+These track the throughput of the hot paths: one electrical memory
+operation (five RC phases), one full march pass over the analog column,
+and the behavioural fault-machine march used in coverage qualification.
+"""
+
+from repro.circuit.column import DRAMColumn
+from repro.circuit.defects import OpenDefect, OpenLocation
+from repro.core.fault_primitives import parse_fp
+from repro.march.library import MARCH_PF_PLUS
+from repro.march.simulator import detects, run_march
+from repro.memory.array import Topology
+from repro.memory.fault_machine import BehavioralFault
+from repro.memory.simulator import ElectricalMemory, FaultyMemory
+
+
+def test_bench_electrical_operation(benchmark):
+    column = DRAMColumn(n_rows=3)
+    column.write(0, 1)
+    assert benchmark(column.read, 0) == 1
+
+
+def test_bench_electrical_operation_with_defect(benchmark):
+    column = DRAMColumn(
+        n_rows=3, defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e6)
+    )
+    column.write(0, 1)
+    benchmark(column.read, 0)
+
+
+def test_bench_march_on_electrical_column(benchmark):
+    def run():
+        memory = ElectricalMemory.with_defect(n_rows=3)
+        return run_march(MARCH_PF_PLUS, memory)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.detected
+
+
+def test_bench_behavioural_march(benchmark):
+    topo = Topology(8, 4)
+    fp = parse_fp("<1v [w0BL] r1v/0/0>")
+
+    def run():
+        fault = BehavioralFault.from_fp(fp, 0, topo, node_value=1)
+        memory = FaultyMemory(topo, fault)
+        return run_march(MARCH_PF_PLUS, memory)
+
+    result = benchmark(run)
+    assert result.detected
+
+
+def test_bench_detection_qualification(benchmark):
+    fp = parse_fp("<1v [w0BL] r1v/0/0>")
+    topo = Topology(4, 2)
+    assert benchmark.pedantic(
+        detects, args=(MARCH_PF_PLUS, fp, topo), rounds=3, iterations=1
+    )

@@ -1,0 +1,12 @@
+"""Benchmark / regeneration of the retention extension experiment."""
+
+from conftest import run_once
+
+from repro.experiments.retention import run_retention
+
+
+def test_bench_retention(benchmark):
+    result = run_once(benchmark, run_retention)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold

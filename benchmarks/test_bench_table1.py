@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Table 1 (the full defect survey).
+
+This is the heavy experiment: all nine open locations, all floating
+voltages, the full probe space, and a completion search per partial
+fault.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1, n_r=12, n_u=8, max_extra_ops=3)
+    print()
+    print(result.report.render())
+    assert result.report.all_hold
+    # The survey finds partial faults for most opens, the word-line entries
+    # are all Not possible, and the paper-row agreement is majority.
+    assert result.matches["exact"] >= 4
+    total = sum(result.matches.values())
+    agreeing = (result.matches["exact"] + result.matches["close"]
+                + result.matches["family"])
+    assert agreeing >= 0.6 * total

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Silicon-debug scenario: characterize a suspected open defect.
+
+A failing embedded-DRAM column is suspected to carry a resistive open of
+unknown location and size.  This script runs the paper's fault-analysis
+method for a set of candidate locations and prints, per location:
+
+* the FP region map in the (R_def, U) plane (the Fig. 3/4 style picture),
+* which faults are *partial* (escape conventional tests),
+* the completing operations a test must include, or ``Not possible``.
+
+The output is the information a test engineer needs to decide whether the
+production march test will screen this defect population.
+
+Run:  python examples/defect_characterization.py [open-number ...]
+"""
+
+import sys
+
+from repro import (
+    ColumnFaultAnalyzer,
+    FloatingNode,
+    OpenLocation,
+    complete_fault,
+    default_grid_for,
+)
+
+
+def characterize(location: OpenLocation) -> None:
+    print("=" * 72)
+    print(f"{location}  ({location.name})")
+    print("=" * 72)
+    analyzer = ColumnFaultAnalyzer(
+        location, grid=default_grid_for(location, n_r=12, n_u=10)
+    )
+    for plan in analyzer.sweep_plans():
+        label = " + ".join(str(n) for n in plan)
+        findings = analyzer.survey(plan)
+        if not findings:
+            print(f"[{label}] no faulty behaviour observed in the sweep window")
+            continue
+        shown_maps = set()
+        for finding in findings:
+            key = str(finding.probe_sos)
+            if key not in shown_maps:
+                shown_maps.add(key)
+                print(f"\n[{label}] region map for S = {finding.probe_sos}:")
+                print(finding.region.render_ascii())
+            verdict = "partial" if finding.is_partial else "plain"
+            line = f"  -> {finding.ffm} ({verdict})"
+            if finding.is_partial:
+                outcome = complete_fault(
+                    analyzer, finding, grid=analyzer.grid.coarser(2, 2)
+                )
+                line += f", completion: {outcome.describe()}"
+                if outcome.r_complete is not None:
+                    line += f" (guaranteed above {outcome.r_complete:.2g} Ohm)"
+            print(line)
+    print()
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        numbers = {int(arg) for arg in sys.argv[1:]}
+        locations = [loc for loc in OpenLocation if loc.number in numbers]
+    else:
+        locations = [
+            OpenLocation.BL_PRECHARGE_CELLS,   # the Fig. 3 defect
+            OpenLocation.CELL,                 # the Fig. 4 defect
+            OpenLocation.WORD_LINE,            # the 'Not possible' defect
+        ]
+    for location in locations:
+        characterize(location)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Field-return scenario: diagnose a failing part from its fail log.
+
+A customer returns a part that fails in the field.  Failure analysis is
+expensive, so the first step is electrical diagnosis: rerun the
+diagnostic march test on the bench (under both floating-voltage presets),
+collect the fail signature, and look it up in the fault dictionary built
+from the defect-injection simulations.
+
+This script plays both sides: it injects a "mystery" defect into the
+electrical model, then diagnoses it as if the defect were unknown, and
+checks the verdict.
+
+Run:  python examples/field_return_diagnosis.py
+"""
+
+from repro import OpenDefect, OpenLocation, SignatureDatabase, equivalence_class
+
+
+def main() -> None:
+    print("building the fault dictionary (defect-injection simulations)...")
+    database = SignatureDatabase(points_per_decade=2)
+    print(f"  {database.size} signatures over the nine open locations\n")
+
+    mysteries = [
+        OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 7e5),
+        OpenDefect(OpenLocation.CELL, 2.5e5),
+        OpenDefect(OpenLocation.BL_SENSEAMP_IO, 4e6),
+        OpenDefect(OpenLocation.WORD_LINE, 4e8),
+        None,  # a healthy return ("no fault found")
+    ]
+    for defect in mysteries:
+        label = "healthy part" if defect is None else f"hidden defect: {defect}"
+        result = database.diagnose_defect(defect)
+        print(f"--- {label}")
+        if result.healthy:
+            print("    diagnosis: no fault found (signature empty)\n")
+            continue
+        print(f"    signature: {len(result.signature)} failing reads")
+        for candidate in result.candidates:
+            print(f"    candidate: {candidate}")
+        if defect is not None:
+            truth = equivalence_class(defect.location)
+            verdict = "CORRECT" if truth in result.top_classes else "WRONG"
+            print(f"    true class: {truth} -> {verdict}\n")
+
+
+if __name__ == "__main__":
+    main()

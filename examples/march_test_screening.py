@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Production-test selection: coverage against test time.
+
+Given the completed partial-fault inventory of the fault analysis, which
+march test should production use?  This script builds the coverage matrix
+for the whole test library (plus an automatically generated and minimized
+test), prints coverage against complexity, and cross-checks the winning
+test on the electrical model with injected defects.
+
+Run:  python examples/march_test_screening.py
+"""
+
+from repro import (
+    ALL_TESTS,
+    Topology,
+    coverage_matrix,
+    generate_march,
+)
+from repro.experiments.march_pf import (
+    ELECTRICAL_POINTS,
+    completed_fault_set,
+    electrical_detection,
+)
+
+
+def main() -> None:
+    faults = completed_fault_set()
+    topology = Topology(n_rows=4, n_cols=2)
+
+    print(f"fault inventory: {len(faults)} completed partial FPs "
+          "(simulated + complementary)\n")
+
+    generated = generate_march(faults, "March gen (min)", topology,
+                               minimize=True)
+    tests = list(ALL_TESTS) + [generated.test]
+    matrix = coverage_matrix(tests, faults, topology)
+    print(matrix.render())
+
+    print("\ncoverage vs. test time (operations per address):")
+    ranked = sorted(
+        tests,
+        key=lambda t: (-matrix.detection_count(t), t.ops_per_address),
+    )
+    for test in ranked:
+        full = "  <-- full partial-fault coverage" if matrix.covers_all(test) else ""
+        print(f"  {test.name:<16s} {matrix.detection_count(test):>2d}"
+              f"/{len(faults)}  at {test.ops_per_address:>2d}N{full}")
+
+    winner = matrix.best_tests()[0]
+    print(f"\nselected test: {winner.name} = {winner}")
+
+    print("\nelectrical sanity check (defects injected into the analog "
+          "column, adversarial floating-voltage presets):")
+    for point, detected in electrical_detection(
+        winner, points=ELECTRICAL_POINTS
+    ).items():
+        print(f"  {point:<22s} {'DETECTED' if detected else 'MISSED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's motivating example in a few lines.
+
+A resistive open on a DRAM bit line (between the precharge devices and the
+cells — "Open 4") leaves the line floating.  Depending on the charge an
+*earlier* operation left behind, a read of a stored 1 either works or
+destroys the cell: a **partial fault**.  This script
+
+1. shows the fault electrically,
+2. shows why the obvious march test {m(w1, r1)} misses it,
+3. finds the *completing operation* automatically, and
+4. qualifies a march test that guarantees detection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ColumnFaultAnalyzer,
+    DRAMColumn,
+    FFM,
+    FloatingNode,
+    MARCH_PF_PLUS,
+    OpenDefect,
+    OpenLocation,
+    Topology,
+    complete_fault,
+    detects,
+    parse_march,
+)
+
+
+def main() -> None:
+    # -- 1. The fault, on the electrical model --------------------------------
+    defect = OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, resistance=1e6)
+    column = DRAMColumn(n_rows=3, defect=defect)
+    column.reset({0: 1})                                  # cell 0 stores a 1
+    column.set_floating_voltage(FloatingNode.BIT_LINE, 0.0)
+    value = column.read(0)
+    print(f"read of a stored 1 with the bit line floating low -> {value}")
+    print(f"cell state afterwards -> {column.logical_state(0)} "
+          "(the 1 was destroyed: RDF1)")
+
+    # -- 2. The obvious test misses it -----------------------------------------
+    column.reset({0: 1})
+    column.set_floating_voltage(FloatingNode.BIT_LINE, 0.0)
+    column.write(0, 1)                # the test's own w1 preconditions the BL
+    print(f"\nafter w1, r1 returns -> {column.read(0)}  (fault masked!)")
+
+    # -- 3. Fault analysis + completion search ----------------------------------
+    analyzer = ColumnFaultAnalyzer(OpenLocation.BL_PRECHARGE_CELLS)
+    findings = analyzer.survey(FloatingNode.BIT_LINE, probes=("1r1",))
+    partial = next(f for f in findings if f.ffm is FFM.RDF1)
+    print(f"\nfault analysis: {partial.ffm} is partial "
+          f"(floating voltage: {partial.floating_label})")
+    outcome = complete_fault(analyzer, partial)
+    print(f"completing-operation search -> {outcome.describe()}")
+
+    # -- 4. March-test qualification ----------------------------------------------
+    naive = parse_march("{⇕(w1); ⇕(r1)}", "w1-r1")
+    topology = Topology(n_rows=4, n_cols=2)
+    print(f"\n{naive.name} guarantees detection: "
+          f"{detects(naive, outcome.completed_fp, topology)}")
+    print(f"{MARCH_PF_PLUS.name} guarantees detection: "
+          f"{detects(MARCH_PF_PLUS, outcome.completed_fp, topology)}")
+    print(f"\n{MARCH_PF_PLUS.name} = {MARCH_PF_PLUS}")
+
+
+if __name__ == "__main__":
+    main()

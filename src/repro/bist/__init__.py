@@ -1,0 +1,1 @@
+"""Memory BIST substrate: march microcode, controller FSM, repair."""

@@ -1,0 +1,155 @@
+"""A cycle-stepped march BIST controller.
+
+The controller is a small FSM around the microcode store: a program
+counter, an address counter with direction, a fail latch and a fail log.
+``step()`` advances one micro-operation against the memory under test;
+``run()`` steps to completion.  It produces exactly the operation stream
+:func:`repro.march.simulator.run_march` produces for the same test — the
+property suite proves the equivalence — but in the form an RTL
+implementation would take, including the 4-bit instruction encoding and
+a cycle count.
+
+The fail log feeds :mod:`repro.bist.repair` for redundancy allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .microcode import MicroInstruction, MicroProgram
+
+__all__ = ["BistFail", "BistResult", "BistController"]
+
+
+@dataclass(frozen=True)
+class BistFail:
+    """One failing read observed by the controller."""
+
+    address: int
+    pc: int
+    expected: int
+    observed: int
+
+
+@dataclass(frozen=True)
+class BistResult:
+    """Outcome of one BIST run."""
+
+    program_name: str
+    passed: bool
+    fails: Tuple[BistFail, ...]
+    cycles: int
+
+    @property
+    def first_fail(self) -> Optional[BistFail]:
+        return self.fails[0] if self.fails else None
+
+
+class BistController:
+    """Steps a microprogram against a memory under test."""
+
+    def __init__(self, program: MicroProgram, memory,
+                 size: Optional[int] = None,
+                 stop_at_first: bool = False) -> None:
+        self.program = program
+        self.memory = memory
+        self.size = size if size is not None else memory.size
+        if self.size < 1:
+            raise ValueError("memory under test must have at least one cell")
+        self.stop_at_first = stop_at_first
+        self.pc = 0
+        self._element_start = 0
+        self.address = self._entry_address(self._current_element_up())
+        self.cycles = 0
+        self.done = False
+        self.fails: List[BistFail] = []
+
+    # -- address sequencing ------------------------------------------------------
+
+    def _current_element_up(self) -> bool:
+        for instruction in self.program.instructions[self._element_start:]:
+            if instruction.op != "p":
+                return instruction.up
+        return True
+
+    def _entry_address(self, up: bool) -> int:
+        return 0 if up else self.size - 1
+
+    def _advance_address(self, up: bool) -> bool:
+        """Step the address counter; True when the sweep is complete."""
+        if up:
+            if self.address == self.size - 1:
+                return True
+            self.address += 1
+        else:
+            if self.address == 0:
+                return True
+            self.address -= 1
+        return False
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> Optional[MicroInstruction]:
+        """Execute one micro-operation; returns it (None when done)."""
+        if self.done:
+            return None
+        instruction = self.program.instructions[self.pc]
+        self.cycles += 1
+        if instruction.op == "p":
+            pause = getattr(self.memory, "pause", None)
+            if pause is not None:
+                pause(instruction.seconds)
+            self._next_element()
+            return instruction
+        if instruction.op == "w":
+            self.memory.write(self.address, instruction.data)
+        else:
+            observed = self.memory.read(self.address)
+            if observed != instruction.data:
+                self.fails.append(
+                    BistFail(self.address, self.pc, instruction.data, observed)
+                )
+                if self.stop_at_first:
+                    self.done = True
+                    return instruction
+        if instruction.last:
+            if self._advance_address(instruction.up):
+                self._next_element()
+            else:
+                self.pc = self._element_start
+        else:
+            self.pc += 1
+        return instruction
+
+    def _next_element(self) -> None:
+        # Skip past the current element's instructions.
+        pc = self._element_start
+        instructions = self.program.instructions
+        while pc < len(instructions):
+            if instructions[pc].op == "p" or instructions[pc].last:
+                pc += 1
+                break
+            pc += 1
+        if pc >= len(instructions):
+            self.done = True
+            return
+        self._element_start = pc
+        self.pc = pc
+        self.address = self._entry_address(self._current_element_up())
+        tick = getattr(self.memory, "tick", None)
+        if tick is not None:
+            tick()
+
+    def run(self, max_cycles: Optional[int] = None) -> BistResult:
+        """Step to completion; returns the signed-off result."""
+        budget = max_cycles if max_cycles is not None else (
+            self.program.store_size_bits() * self.size * 4 + 16
+        )
+        while not self.done:
+            if self.cycles >= budget:
+                raise RuntimeError("BIST run exceeded its cycle budget")
+            self.step()
+        return BistResult(
+            self.program.name, not self.fails, tuple(self.fails), self.cycles
+        )

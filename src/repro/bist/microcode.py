@@ -1,0 +1,156 @@
+"""Microcode representation of march tests.
+
+Embedded memories are tested by on-chip BIST controllers that execute the
+march test from a small microcode store rather than from a tester.  The
+conventional encoding (one instruction per march operation) uses four
+fields:
+
+========  =====================================================
+field     meaning
+========  =====================================================
+``op``    ``w`` (write), ``r`` (read-and-compare) or ``p`` (pause)
+``data``  the data bit written / expected (ignored for pauses)
+``last``  set on the final instruction of a march element: the
+          address counter steps (and wraps to the next element
+          when the sweep completes)
+``up``    address direction of the element this instruction
+          belongs to (pre-resolved: ``⇕`` is compiled to a
+          concrete direction)
+========  =====================================================
+
+:func:`compile_march` lowers a :class:`~repro.march.notation.MarchTest`
+to a :class:`MicroProgram`; :func:`decompile` lifts it back (an exact
+round-trip up to ``⇕`` resolution), which is how the test suite proves
+the encoding loses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..march.notation import (
+    Direction,
+    MarchElement,
+    MarchOp,
+    MarchPause,
+    MarchTest,
+)
+
+__all__ = ["MicroInstruction", "MicroProgram", "compile_march", "decompile"]
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One BIST micro-operation."""
+
+    op: str          # "w" | "r" | "p"
+    data: int = 0    # written / expected bit; pause slot index for "p"
+    last: bool = False
+    up: bool = True
+    seconds: float = 0.0   # pause duration (op == "p" only)
+
+    def __post_init__(self) -> None:
+        if self.op not in ("w", "r", "p"):
+            raise ValueError("micro-op must be 'w', 'r' or 'p'")
+        if self.op != "p" and self.data not in (0, 1):
+            raise ValueError("data bit must be 0 or 1")
+        if self.op == "p" and self.seconds <= 0:
+            raise ValueError("a pause instruction needs a positive duration")
+
+    def encode(self) -> int:
+        """Pack into the conventional 4-bit instruction word.
+
+        Bit 0: data, bit 1: read(1)/write(0), bit 2: last-in-element,
+        bit 3: direction up.  Pauses are stored out-of-band (they carry a
+        duration, which hardware realizes with a timer, not a data path).
+        """
+        if self.op == "p":
+            raise ValueError("pause instructions have no 4-bit encoding")
+        word = self.data
+        word |= (1 if self.op == "r" else 0) << 1
+        word |= (1 if self.last else 0) << 2
+        word |= (1 if self.up else 0) << 3
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "MicroInstruction":
+        if not 0 <= word < 16:
+            raise ValueError("instruction word must fit in 4 bits")
+        return cls(
+            op="r" if word & 0b10 else "w",
+            data=word & 0b1,
+            last=bool(word & 0b100),
+            up=bool(word & 0b1000),
+        )
+
+
+@dataclass(frozen=True)
+class MicroProgram:
+    """A complete march test in microcode."""
+
+    name: str
+    instructions: Tuple[MicroInstruction, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "instructions", tuple(self.instructions))
+        if not self.instructions:
+            raise ValueError("a microprogram needs at least one instruction")
+        trailing = [i for i in self.instructions if i.op != "p"]
+        if trailing and not trailing[-1].last:
+            raise ValueError("the final operation must close its element")
+
+    @property
+    def n_elements(self) -> int:
+        return sum(
+            1 for i in self.instructions if i.op == "p" or i.last
+        )
+
+    def store_size_bits(self) -> int:
+        """ROM bits needed for the operation instructions (4 bits each)."""
+        return 4 * sum(1 for i in self.instructions if i.op != "p")
+
+
+def compile_march(
+    test: MarchTest, either_as: Direction = Direction.UP
+) -> MicroProgram:
+    """Lower a march test to microcode, resolving ``⇕`` to ``either_as``."""
+    instructions: List[MicroInstruction] = []
+    for element in test.elements:
+        if isinstance(element, MarchPause):
+            instructions.append(
+                MicroInstruction("p", seconds=element.seconds)
+            )
+            continue
+        direction = element.direction
+        if direction is Direction.EITHER:
+            direction = either_as
+        up = direction is Direction.UP
+        for i, op in enumerate(element.ops):
+            instructions.append(
+                MicroInstruction(
+                    op.kind, op.value,
+                    last=(i == len(element.ops) - 1), up=up,
+                )
+            )
+    return MicroProgram(test.name, tuple(instructions))
+
+
+def decompile(program: MicroProgram) -> MarchTest:
+    """Lift microcode back to march notation."""
+    elements: List = []
+    ops: List[MarchOp] = []
+    for instruction in program.instructions:
+        if instruction.op == "p":
+            if ops:
+                raise ValueError("pause in the middle of an element")
+            elements.append(MarchPause(instruction.seconds))
+            continue
+        ops.append(MarchOp(instruction.op, instruction.data))
+        if instruction.last:
+            direction = Direction.UP if instruction.up else Direction.DOWN
+            elements.append(MarchElement(direction, tuple(ops)))
+            ops = []
+    if ops:
+        raise ValueError("dangling operations after the last element")
+    return MarchTest(program.name, tuple(elements))

@@ -1,0 +1,115 @@
+"""Redundancy allocation from a BIST fail bitmap.
+
+Embedded memories ship with spare rows/columns; after BIST, a repair
+allocator maps failing cells onto the spares.  This implements the
+standard two-stage scheme:
+
+1. **must-repair** — a row with more failing cells than there are spare
+   columns can only be fixed by a spare row (and symmetrically for
+   columns); these assignments are forced and applied first;
+2. **greedy final repair** — remaining fails are covered one line at a
+   time, choosing whichever row/column covers the most outstanding fails
+   (final repair is NP-complete in general; the greedy heuristic is the
+   usual practical choice and is exact whenever the remaining fails are
+   isolated singles).
+
+The allocator consumes the ``(address -> row, column)`` mapping of a
+:class:`~repro.memory.array.Topology` and the fail addresses a
+:class:`~repro.bist.controller.BistController` collects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..memory.array import Topology
+
+__all__ = ["RepairSolution", "allocate_repair"]
+
+
+@dataclass(frozen=True)
+class RepairSolution:
+    """Outcome of redundancy allocation."""
+
+    repairable: bool
+    spare_rows_used: Tuple[int, ...]
+    spare_cols_used: Tuple[int, ...]
+    uncovered: Tuple[Tuple[int, int], ...]
+
+    @property
+    def spares_used(self) -> int:
+        return len(self.spare_rows_used) + len(self.spare_cols_used)
+
+
+def allocate_repair(
+    topology: Topology,
+    fail_addresses: Iterable[int],
+    spare_rows: int,
+    spare_cols: int,
+) -> RepairSolution:
+    """Allocate spare rows/columns to cover the failing addresses."""
+    if spare_rows < 0 or spare_cols < 0:
+        raise ValueError("spare counts must be non-negative")
+    fails: Set[Tuple[int, int]] = {
+        (topology.row_of(a), topology.column_of(a)) for a in fail_addresses
+    }
+    rows_used: List[int] = []
+    cols_used: List[int] = []
+
+    # Stage 1: must-repair (iterate: fixing one line can force another).
+    changed = True
+    while changed:
+        changed = False
+        row_counts = Counter(r for r, _ in fails)
+        for row, count in row_counts.items():
+            if count > spare_cols - len(cols_used) and row not in rows_used:
+                if len(rows_used) >= spare_rows:
+                    return _failed(rows_used, cols_used, fails)
+                rows_used.append(row)
+                fails = {(r, c) for r, c in fails if r != row}
+                changed = True
+                break
+        if changed:
+            continue
+        col_counts = Counter(c for _, c in fails)
+        for col, count in col_counts.items():
+            if count > spare_rows - len(rows_used) and col not in cols_used:
+                if len(cols_used) >= spare_cols:
+                    return _failed(rows_used, cols_used, fails)
+                cols_used.append(col)
+                fails = {(r, c) for r, c in fails if c != col}
+                changed = True
+                break
+
+    # Stage 2: greedy cover of the leftovers.
+    while fails:
+        row_counts = Counter(r for r, _ in fails)
+        col_counts = Counter(c for _, c in fails)
+        best_row = row_counts.most_common(1)[0] if row_counts else (None, 0)
+        best_col = col_counts.most_common(1)[0] if col_counts else (None, 0)
+        can_row = len(rows_used) < spare_rows
+        can_col = len(cols_used) < spare_cols
+        if not can_row and not can_col:
+            return _failed(rows_used, cols_used, fails)
+        use_row = can_row and (not can_col or best_row[1] >= best_col[1])
+        if use_row:
+            rows_used.append(best_row[0])
+            fails = {(r, c) for r, c in fails if r != best_row[0]}
+        else:
+            cols_used.append(best_col[0])
+            fails = {(r, c) for r, c in fails if c != best_col[0]}
+
+    return RepairSolution(
+        True, tuple(sorted(rows_used)), tuple(sorted(cols_used)), ()
+    )
+
+
+def _failed(rows_used, cols_used, fails) -> RepairSolution:
+    return RepairSolution(
+        False,
+        tuple(sorted(rows_used)),
+        tuple(sorted(cols_used)),
+        tuple(sorted(fails)),
+    )

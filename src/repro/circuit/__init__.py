@@ -1,0 +1,1 @@
+"""Electrical DRAM-column substrate: lumped-RC model with open-defect injection."""

@@ -1,0 +1,102 @@
+"""A multi-column electrical cell array.
+
+One :class:`~repro.circuit.column.DRAMColumn` models one bit-line pair;
+real march tests walk an address space spanning many columns, and the
+``_BL`` completing-operation semantics only bite when column-mates are
+*not* adjacent in address order.  :class:`ElectricalArray` instantiates
+one column per array column (at most one of them defective) and routes
+row-major addresses to them, giving the march machinery a physically
+faithful multi-column device under test.
+
+Columns are electrically independent (they share nothing but the word
+lines, whose loading we do not model), so the composition is exact, not
+an approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..memory.array import Topology
+from .bridges import BridgeDefect
+from .column import DRAMColumn
+from .defects import FloatingNode, OpenDefect
+from .technology import Technology
+
+__all__ = ["ElectricalArray"]
+
+
+class ElectricalArray:
+    """Row-major addressed array of electrical columns.
+
+    Exposes the march-test memory protocol (``read``/``write``/``tick``/
+    ``pause``/``size``) plus per-column access for tests.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        defect: Optional[Union[OpenDefect, BridgeDefect]] = None,
+        defect_column: int = 0,
+        technology: Optional[Technology] = None,
+    ) -> None:
+        if not 0 <= defect_column < topology.n_cols:
+            raise IndexError(
+                f"defect column {defect_column} outside 0..{topology.n_cols - 1}"
+            )
+        self.topology = topology
+        self.defect_column = defect_column
+        self.columns: List[DRAMColumn] = [
+            DRAMColumn(
+                technology,
+                n_rows=topology.n_rows,
+                defect=defect if col == defect_column else None,
+            )
+            for col in range(topology.n_cols)
+        ]
+        for column in self.columns:
+            column.reset({})
+
+    @property
+    def size(self) -> int:
+        return self.topology.size
+
+    @property
+    def defective_column(self) -> DRAMColumn:
+        return self.columns[self.defect_column]
+
+    def _route(self, address: int):
+        row = self.topology.row_of(address)
+        column = self.columns[self.topology.column_of(address)]
+        return column, row
+
+    def read(self, address: int) -> int:
+        column, row = self._route(address)
+        return column.read(row)
+
+    def write(self, address: int, value: int) -> None:
+        column, row = self._route(address)
+        column.write(row, value)
+
+    def tick(self) -> None:
+        for column in self.columns:
+            column.precharge_cycle()
+
+    def pause(self, seconds: float) -> None:
+        for column in self.columns:
+            column.idle(seconds)
+
+    def set_floating_voltages(
+        self, voltage: float,
+        nodes: Optional[Dict[FloatingNode, float]] = None,
+    ) -> None:
+        """Preset every floating node of the defective column.
+
+        ``nodes`` overrides individual nodes; everything else gets
+        ``voltage``.
+        """
+        overrides = nodes or {}
+        for node in FloatingNode:
+            self.defective_column.set_floating_voltage(
+                node, overrides.get(node, voltage)
+            )

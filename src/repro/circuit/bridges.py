@@ -1,0 +1,82 @@
+"""Bridge (short) defects between array nodes.
+
+Section 2 of the paper *excludes* shorts and bridges from the partial
+fault analysis with an argument, not a simulation:
+
+    "Shorts and bridges are not expected to result in partial faults
+    since they do not restrict current flow and do not result in
+    floating voltages."
+
+This module makes that claim testable.  A bridge is a resistive element
+*added between* two nodes (where an open is added *in series within* a
+branch):
+
+* ``CELL_CELL`` — between the storage nodes of two cells in adjacent rows
+  of the same column (the classical coupling-fault defect);
+* ``CELL_BITLINE`` — between a cell's storage node and its bit line
+  (a leaky access transistor / cell-to-BL short);
+* ``CELL_GROUND`` — between a cell's storage node and the substrate: an
+  excessive-leakage defect, the classical cause of data-retention faults
+  (the cell still reads/writes fine but loses its 1 between refreshes).
+
+Bridges conduct whenever a voltage difference exists, so the faulty
+behaviour they cause (state coupling, disturb during neighbouring
+operations) depends on the *driven* states around them, never on a
+floating initial voltage — the experiment in
+:mod:`repro.experiments.bridges` sweeps the floating voltages anyway and
+verifies the resulting fault regions are indeed ``U``-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+__all__ = ["BridgeLocation", "BridgeDefect"]
+
+
+class BridgeLocation(Enum):
+    """Supported bridge sites in the column model."""
+
+    CELL_CELL = "cell-cell"
+    CELL_BITLINE = "cell-bitline"
+    CELL_GROUND = "cell-ground"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class BridgeDefect:
+    """A resistive short between two nodes of the column.
+
+    ``row`` names the (first) affected cell; for ``CELL_CELL`` the partner
+    is ``row + 1``.  ``resistance`` is the bridge resistance — *lower*
+    values mean a stronger defect (the opposite polarity of an open).
+    """
+
+    location: BridgeLocation
+    resistance: float
+    row: int = 0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError("bridge resistance must be positive")
+        if self.row < 0:
+            raise ValueError("row must be non-negative")
+
+    @property
+    def partner_row(self) -> int:
+        """The second cell of a cell-cell bridge."""
+        if self.location is not BridgeLocation.CELL_CELL:
+            raise ValueError("only cell-cell bridges have a partner row")
+        return self.row + 1
+
+    def with_resistance(self, resistance: float) -> "BridgeDefect":
+        return replace(self, resistance=resistance)
+
+    def __str__(self) -> str:
+        return (
+            f"Bridge {self.location.value} @ row {self.row} "
+            f"R={self.resistance:.3g}Ohm"
+        )

@@ -1,0 +1,429 @@
+"""Electrical model of one DRAM cell-array column (Fig. 2 of the paper).
+
+The column contains, left to right along the true bit line (BT):
+precharge devices, the memory cells, the reference cells, the sense
+amplifier, the column select and the read/write circuitry.  The complement
+bit line (BC) mirrors the structure and carries the reference cell used
+when a BT cell is read.
+
+Every memory operation is decomposed into phases, each simulated exactly
+on a lumped RC network (:mod:`repro.circuit.network`):
+
+1. **precharge** — BT/BC driven to ``v_precharge`` and equalized,
+2. **share** — the addressed word line rises, cell and reference cell dump
+   charge onto their bit lines,
+3. **sense** — the SA latch fires on sufficient differential and restores
+   full levels; the sensed value is forwarded to the output buffer through
+   the column select; the reference cell is rewritten,
+4. **write** (write operations only) — the write drivers overpower the
+   latch from the IO side,
+5. **wl off** — the word line falls and the cell isolates.
+
+A single :class:`~repro.circuit.defects.OpenDefect` may be injected; the
+open's resistance appears in the corresponding branch and bit-line
+segments left floating by the open simply keep their charge — which is
+precisely the behaviour partial faults feed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .bridges import BridgeDefect, BridgeLocation
+from .defects import FloatingNode, OpenDefect, OpenLocation
+from .network import Network
+from .senseamp import SenseAmplifier
+from .technology import Technology, default_technology
+from .wordline import WordLineGate
+
+__all__ = ["DRAMColumn", "OperationRecord"]
+
+#: Bit-line segments in physical order along BT.
+_SEGMENTS = ("pre", "cells", "ref", "sa", "io")
+
+#: Opens that split BT: open location -> index of the segment *right* of it.
+_SPLIT_BEFORE = {
+    OpenLocation.BL_PRECHARGE_CELLS: 1,
+    OpenLocation.BL_CELLS_REFERENCE: 2,
+    OpenLocation.BL_REFERENCE_SENSEAMP: 3,
+    OpenLocation.BL_SENSEAMP_IO: 4,
+}
+
+#: Minimum transistor conduction still treated as a connection.
+_MIN_CONDUCTION = 1e-6
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """Trace entry for one executed operation (useful in tests/debugging)."""
+
+    kind: str
+    row: int
+    value: Optional[int]
+    sa_fired: bool
+    sa_value: Optional[int]
+    read_result: Optional[int]
+    differential: float
+
+
+class DRAMColumn:
+    """One defective (or fault-free) DRAM column with an operation API."""
+
+    def __init__(
+        self,
+        technology: Optional[Technology] = None,
+        n_rows: int = 3,
+        defect: Optional[OpenDefect] = None,
+    ) -> None:
+        if n_rows < 1:
+            raise ValueError("a column needs at least one row")
+        if isinstance(defect, OpenDefect) and not defect.on_true_line:
+            raise ValueError(
+                "complementary defects are not simulated directly; simulate "
+                "the true-line defect and complement the resulting faults"
+            )
+        if defect is not None and defect.row >= n_rows:
+            raise ValueError("defect row outside the column")
+        if (
+            isinstance(defect, BridgeDefect)
+            and defect.location is BridgeLocation.CELL_CELL
+            and defect.partner_row >= n_rows
+        ):
+            raise ValueError("cell-cell bridge partner row outside the column")
+        self.tech = technology or default_technology()
+        self.n_rows = n_rows
+        self.defect = defect
+        self.sa = SenseAmplifier(offset=self.tech.sa_offset)
+        self.history: List[OperationRecord] = []
+        self._build()
+        self.reset()
+
+    # -- construction ---------------------------------------------------------
+
+    def _seg_caps(self) -> Dict[str, float]:
+        t = self.tech
+        return {
+            "pre": t.c_bl_precharge_stub,
+            "cells": t.c_bl_cells,
+            "ref": t.c_bl_reference,
+            "sa": t.c_bl_senseamp,
+            "io": t.c_bl_io,
+        }
+
+    def _build(self) -> None:
+        t = self.tech
+        split = None
+        if isinstance(self.defect, OpenDefect):
+            split = _SPLIT_BEFORE.get(self.defect.location)
+        groups: List[Tuple[str, ...]]
+        if split is None:
+            groups = [_SEGMENTS]
+        else:
+            groups = [_SEGMENTS[:split], _SEGMENTS[split:]]
+        caps = self._seg_caps()
+        self.net = Network()
+        self._seg_node: Dict[str, str] = {}
+        self._bt_nodes: List[str] = []
+        for i, group in enumerate(groups):
+            name = "bt" if len(groups) == 1 else f"bt{i}"
+            self.net.add_node(name, c=sum(caps[s] for s in group))
+            self._bt_nodes.append(name)
+            for seg in group:
+                self._seg_node[seg] = name
+        self.net.add_node("bc", c=t.c_bl_total)
+        for row in range(self.n_rows):
+            self.net.add_node(f"cell{row}", c=t.c_cell)
+        self.net.add_node("ref", c=t.c_ref_cell)
+        self.net.add_node("buf", c=t.c_out_buffer)
+        self._gates = [
+            WordLineGate(
+                capacitance=t.c_wl_gate,
+                resistance=self._defect_r(OpenLocation.WORD_LINE, row),
+            )
+            for row in range(self.n_rows)
+        ]
+
+    def _defect_r(self, location: OpenLocation, row: Optional[int] = None) -> float:
+        """Open resistance contributed at a given location (0 if absent)."""
+        d = self.defect
+        if not isinstance(d, OpenDefect) or d.location is not location:
+            return 0.0
+        if row is not None and location in (OpenLocation.CELL, OpenLocation.WORD_LINE):
+            return d.resistance if d.row == row else 0.0
+        return d.resistance
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self, data: Optional[Dict[int, int]] = None) -> None:
+        """Set every node to its nominal level; optionally preload cells.
+
+        ``data`` maps row -> stored bit; unlisted rows hold 0.  The preload
+        sets cell voltages *directly* (as if written before the defect
+        mattered); use :meth:`write` to establish data through the
+        defective circuit.
+        """
+        t = self.tech
+        for node in self._bt_nodes:
+            self.net.set_voltage(node, t.v_precharge)
+        self.net.set_voltage("bc", t.v_precharge)
+        data = data or {}
+        for row in range(self.n_rows):
+            value = data.get(row, 0)
+            self.net.set_voltage(f"cell{row}", t.vdd if value else 0.0)
+        self.net.set_voltage("ref", t.v_reference)
+        self.net.set_voltage("buf", 0.0)
+        for gate in self._gates:
+            gate.voltage = 0.0
+        self.sa.reset()
+        self.history.clear()
+
+    def set_floating_voltage(self, node: FloatingNode, voltage: float) -> None:
+        """Initialize a floating voltage before applying an SOS.
+
+        Which electrical node(s) the value lands on follows Section 2 of
+        the paper: for bit-line opens it is the bit-line section left
+        floating by the injected open (for a fault-free column, the whole
+        bit line).
+        """
+        if node is FloatingNode.CELL:
+            row = self.defect.row if self.defect is not None else 0
+            self.net.set_voltage(f"cell{row}", voltage)
+        elif node is FloatingNode.REFERENCE_CELL:
+            self.net.set_voltage("ref", voltage)
+        elif node is FloatingNode.OUTPUT_BUFFER:
+            self.net.set_voltage("buf", voltage)
+        elif node is FloatingNode.WORD_LINE:
+            row = self.defect.row if self.defect is not None else 0
+            self._gates[row].voltage = voltage
+        elif node is FloatingNode.BIT_LINE:
+            for name in self._floating_bt_nodes():
+                self.net.set_voltage(name, voltage)
+        else:  # pragma: no cover - exhaustive over the enum
+            raise ValueError(f"unknown floating node {node!r}")
+
+    def _floating_bt_nodes(self) -> Tuple[str, ...]:
+        """BT nodes that float for the injected defect (all, if none)."""
+        if not isinstance(self.defect, OpenDefect):
+            return tuple(self._bt_nodes)
+        loc = self.defect.location
+        if loc in _SPLIT_BEFORE:
+            # The section cut off from the precharge devices floats.
+            return (self._bt_nodes[-1],)
+        return tuple(self._bt_nodes)
+
+    def cell_voltage(self, row: int) -> float:
+        return self.net.voltage(f"cell{row}")
+
+    def gate_voltage(self, row: int) -> float:
+        return self._gates[row].voltage
+
+    def buffer_voltage(self) -> float:
+        return self.net.voltage("buf")
+
+    def reference_voltage(self) -> float:
+        return self.net.voltage("ref")
+
+    def bitline_voltage(self, segment: str = "cells") -> float:
+        return self.net.voltage(self._seg_node[segment])
+
+    @property
+    def state_threshold(self) -> float:
+        """Cell voltage above which an ideal (defect-free) read returns 1."""
+        t = self.tech
+        k_cell = t.c_cell / (t.c_cell + t.c_bl_total)
+        k_ref = t.c_ref_cell / (t.c_ref_cell + t.c_bl_total)
+        return t.v_precharge + (t.v_reference - t.v_precharge) * k_ref / k_cell
+
+    def logical_state(self, row: int) -> int:
+        """The bit an ideal read of this cell would return (the FP's F)."""
+        return 1 if self.cell_voltage(row) > self.state_threshold else 0
+
+    # -- operations ------------------------------------------------------------
+
+    def read(self, row: int) -> int:
+        """Apply one read operation; return the output-buffer value."""
+        return self._operation("r", row, None)
+
+    def write(self, row: int, value: int) -> None:
+        """Apply one write operation."""
+        if value not in (0, 1):
+            raise ValueError("written value must be 0 or 1")
+        self._operation("w", row, value)
+
+    def precharge_cycle(self) -> None:
+        """Run one precharge/equalize cycle with no cell access.
+
+        This is how state faults are probed: e.g. with a word-line open
+        whose gate floats high, the cell is charged up by the bit-line
+        precharge even though no operation addresses it (the paper's SF0
+        mechanism for Open 9).
+        """
+        self.sa.reset()
+        self._phase(self.tech.t_precharge, active_row=None, precharge=True)
+        self._phase(self.tech.t_wl_off, active_row=None)
+
+    def idle(self, duration: float) -> None:
+        """Let the column sit unclocked; cell charge leaks away.
+
+        Every storage node decays toward ground through the intrinsic
+        leakage resistance (temperature-dependent, see
+        :attr:`Technology.effective_cell_leak`); a ``CELL_GROUND`` bridge
+        defect adds its much stronger leak in parallel on the affected
+        row.  Bit lines are assumed refreshed by the next precharge and
+        are left untouched.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if duration == 0:
+            return
+        import math as _math
+
+        t = self.tech
+        # Junction leakage — intrinsic and defect-induced alike — is a
+        # thermal mechanism: both double every 10 C.
+        thermal = 2.0 ** ((t.temperature - 25.0) / 10.0)
+        for row in range(self.n_rows):
+            conductance = 1.0 / t.effective_cell_leak
+            if (
+                isinstance(self.defect, BridgeDefect)
+                and self.defect.location is BridgeLocation.CELL_GROUND
+                and self.defect.row == row
+            ):
+                conductance += thermal / self.defect.resistance
+            tau = t.c_cell / conductance
+            factor = _math.exp(-duration / tau)
+            self.net.set_voltage(
+                f"cell{row}", self.net.voltage(f"cell{row}") * factor
+            )
+        tau_ref = t.effective_cell_leak * t.c_ref_cell
+        self.net.set_voltage(
+            "ref", self.net.voltage("ref") * _math.exp(-duration / tau_ref)
+        )
+
+    def _operation(self, kind: str, row: int, value: Optional[int]) -> Optional[int]:
+        if not 0 <= row < self.n_rows:
+            raise ValueError(f"row {row} outside 0..{self.n_rows - 1}")
+        t = self.tech
+        self.sa.reset()
+        self._phase(t.t_precharge, active_row=None, precharge=True)
+        self._phase(t.t_share, active_row=row)
+        self.sa.sense(self._v_sa_true(), self.net.voltage("bc"))
+        dv = self._v_sa_true() - self.net.voltage("bc")
+        t_strobe = min(t.t_io_sample, t.t_sense)
+        self._phase(t_strobe, active_row=row, sa_drive=True)
+        self._update_buffer()
+        self._phase(t.t_sense - t_strobe, active_row=row, sa_drive=True)
+        read_result: Optional[int] = None
+        if kind == "r":
+            read_result = 1 if self.net.voltage("buf") > t.vdd / 2 else 0
+        if kind == "w":
+            assert value is not None
+            self._phase(
+                t.t_write / 2, active_row=row, sa_drive=True, write_value=value,
+            )
+            self.sa.maybe_flip(self._v_sa_true(), self.net.voltage("bc"))
+            self._phase(
+                t.t_write / 2, active_row=row, sa_drive=True, write_value=value,
+            )
+            self._update_buffer()
+        self._phase(t.t_wl_off, active_row=None)
+        self.history.append(
+            OperationRecord(
+                kind, row, value, self.sa.fired, self.sa.value, read_result, dv
+            )
+        )
+        return read_result
+
+    # -- phase machinery ----------------------------------------------------------
+
+    def _update_buffer(self) -> None:
+        """Second-stage IO amplifier: latch the IO-line differential.
+
+        The read output buffer compares the column-selected true IO line
+        against the complement line.  Below ``io_offset`` of differential
+        (e.g. a stale, floating IO segment behind Open 8, or an undriven
+        pair behind a dead sense amplifier) it keeps its previous state.
+        """
+        t = self.tech
+        dv = self.net.voltage(self._seg_node["io"]) - self.net.voltage("bc")
+        if abs(dv) >= t.io_offset:
+            self.net.set_voltage("buf", t.vdd if dv > 0 else 0.0)
+
+    def _v_sa_true(self) -> float:
+        return self.net.voltage(self._seg_node["sa"])
+
+    def _phase(
+        self,
+        duration: float,
+        active_row: Optional[int],
+        precharge: bool = False,
+        sa_drive: bool = False,
+        write_value: Optional[int] = None,
+    ) -> None:
+        t = self.tech
+        net = self.net
+        net.clear_phase()
+        # Bit-line split across the open (if any).
+        if len(self._bt_nodes) == 2:
+            assert self.defect is not None
+            net.connect(self._bt_nodes[0], self._bt_nodes[1], self.defect.resistance)
+        # Bridges conduct in every phase: they add a branch, never gate one.
+        if isinstance(self.defect, BridgeDefect):
+            if self.defect.location is BridgeLocation.CELL_CELL:
+                net.connect(
+                    f"cell{self.defect.row}",
+                    f"cell{self.defect.partner_row}",
+                    self.defect.resistance,
+                )
+            elif self.defect.location is BridgeLocation.CELL_BITLINE:
+                net.connect(
+                    f"cell{self.defect.row}",
+                    self._seg_node["cells"],
+                    self.defect.resistance,
+                )
+            else:  # CELL_GROUND: a leak to substrate
+                net.drive(
+                    f"cell{self.defect.row}", 0.0, self.defect.resistance
+                )
+        # Access transistors: gates follow their drivers (through a word-line
+        # open, if present); conduction uses the phase-mean gate voltage.
+        wl_high = active_row is not None and not precharge
+        for row in range(self.n_rows):
+            driven = t.v_wl_on if (wl_high and row == active_row) else 0.0
+            mean_gate = self._gates[row].advance(driven, duration)
+            factor = self._gates[row].conduction(mean_gate, t.v_threshold, t.v_wl_on)
+            if factor > _MIN_CONDUCTION:
+                r_cell = t.r_access / factor + self._defect_r(OpenLocation.CELL, row)
+                net.connect(f"cell{row}", self._seg_node["cells"], r_cell)
+        # Reference word line fires with every access.
+        if wl_high:
+            r_ref = t.r_access + self._defect_r(OpenLocation.REFERENCE_CELL)
+            net.connect("ref", "bc", r_ref)
+        if precharge:
+            r_bt_pre = t.r_precharge + self._defect_r(OpenLocation.PRECHARGE)
+            net.drive(self._seg_node["pre"], t.v_precharge, r_bt_pre)
+            net.drive("bc", t.v_precharge, t.r_precharge)
+            net.connect(self._seg_node["pre"], "bc", r_bt_pre + t.r_precharge)
+            # The reference cells are re-initialized every precharge cycle.
+            # The reference level is regenerated by sense-amp internal
+            # devices, so an Open 7 (and an open inside the reference cell)
+            # degrades this path — the paper's "reference cells depend on
+            # the proper functionality of the sense amplifier".
+            r_restore = (
+                t.r_ref_restore
+                + self._defect_r(OpenLocation.SENSE_AMPLIFIER)
+                + self._defect_r(OpenLocation.REFERENCE_CELL)
+            )
+            net.drive("ref", t.v_reference, r_restore)
+        if sa_drive and self.sa.fired:
+            rail = self.sa.rail(t.vdd)
+            assert rail is not None
+            r_sa = t.r_senseamp + self._defect_r(OpenLocation.SENSE_AMPLIFIER)
+            net.drive(self._seg_node["sa"], rail, r_sa)
+            net.drive("bc", t.vdd - rail, r_sa)
+        if write_value is not None:
+            rail = t.vdd if write_value else 0.0
+            net.drive(self._seg_node["io"], rail, t.r_write_driver)
+            net.drive("bc", t.vdd - rail, t.r_write_driver)
+        net.run(duration)

@@ -1,0 +1,132 @@
+"""Open-defect injection for the DRAM column (Fig. 2 of the paper).
+
+Nine open locations are modeled, numbered as in the paper:
+
+====  ======================================  ============================
+Open  Location                                Floating voltages to sweep
+====  ======================================  ============================
+1     inside a memory cell                    cell voltage
+2     inside a reference cell                 reference-cell voltage
+3     in the precharge device path            bit line (all segments)
+4     BT between precharge stub and cells     bit line (cells..IO side)
+5     BT between cells and reference cells    bit line (ref..IO side)
+6     BT between reference cells and SA       bit line (SA..IO side)
+7     inside the sense amplifier (drive)      reference cell, output buffer
+8     BT between SA and column select / IO    bit line (IO), output buffer
+9     word line to access-transistor gate     word-line gate (and cell)
+====  ======================================  ============================
+
+The right-hand column implements the Section 2 rules: for each defect it
+names the floating voltages a fault analysis must initialize and sweep.
+An open is a resistive element; ``resistance`` is the paper's ``R_def``.
+
+Only defects on the true bit line (BT) need simulating: the behaviour of
+the *complementary defect* (same location on BC) is the data complement of
+the simulated behaviour (see :mod:`repro.core.complement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Tuple
+
+__all__ = ["OpenLocation", "FloatingNode", "OpenDefect", "floating_nodes"]
+
+
+class OpenLocation(Enum):
+    """The nine open-defect locations of the paper's Fig. 2."""
+
+    CELL = 1
+    REFERENCE_CELL = 2
+    PRECHARGE = 3
+    BL_PRECHARGE_CELLS = 4
+    BL_CELLS_REFERENCE = 5
+    BL_REFERENCE_SENSEAMP = 6
+    SENSE_AMPLIFIER = 7
+    BL_SENSEAMP_IO = 8
+    WORD_LINE = 9
+
+    @property
+    def number(self) -> int:
+        """The paper's open number (1-9)."""
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Open {self.value}"
+
+
+class FloatingNode(Enum):
+    """Signal voltages that can float and must be swept during analysis."""
+
+    CELL = "Memory cell"
+    REFERENCE_CELL = "Reference cell"
+    BIT_LINE = "Bit line"
+    WORD_LINE = "Word line"
+    OUTPUT_BUFFER = "Output buffer"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Section 2 rules: floating voltages to initialize per open location, in
+#: the order the paper's Section 5 simulates them.
+_FLOATING: Dict[OpenLocation, Tuple[FloatingNode, ...]] = {
+    OpenLocation.CELL: (FloatingNode.CELL,),
+    OpenLocation.REFERENCE_CELL: (FloatingNode.REFERENCE_CELL,),
+    OpenLocation.PRECHARGE: (FloatingNode.BIT_LINE,),
+    OpenLocation.BL_PRECHARGE_CELLS: (FloatingNode.BIT_LINE,),
+    OpenLocation.BL_CELLS_REFERENCE: (FloatingNode.BIT_LINE,),
+    OpenLocation.BL_REFERENCE_SENSEAMP: (FloatingNode.BIT_LINE,),
+    OpenLocation.SENSE_AMPLIFIER: (
+        FloatingNode.REFERENCE_CELL,
+        FloatingNode.OUTPUT_BUFFER,
+    ),
+    OpenLocation.BL_SENSEAMP_IO: (
+        FloatingNode.BIT_LINE,
+        FloatingNode.OUTPUT_BUFFER,
+    ),
+    OpenLocation.WORD_LINE: (FloatingNode.WORD_LINE,),
+}
+
+
+def floating_nodes(location: OpenLocation) -> Tuple[FloatingNode, ...]:
+    """Floating voltages a fault analysis of this open must sweep."""
+    return _FLOATING[location]
+
+
+@dataclass(frozen=True)
+class OpenDefect:
+    """One injected open: a location, a resistance and the affected row.
+
+    ``row`` selects the cell/word line for per-row opens (1 and 9); it is
+    ignored for column-level opens.  ``on_true_line=False`` denotes the
+    complementary defect (the mirrored open on BC): the engine does not
+    simulate it directly — use the data-complement transform instead.
+    """
+
+    location: OpenLocation
+    resistance: float
+    row: int = 0
+    on_true_line: bool = True
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0:
+            raise ValueError("defect resistance must be non-negative")
+        if self.row < 0:
+            raise ValueError("row must be non-negative")
+
+    @property
+    def floating_nodes(self) -> Tuple[FloatingNode, ...]:
+        return floating_nodes(self.location)
+
+    def complementary(self) -> "OpenDefect":
+        """The mirrored defect on the complement bit line (Al-Ars, ATS'00)."""
+        return replace(self, on_true_line=not self.on_true_line)
+
+    def with_resistance(self, resistance: float) -> "OpenDefect":
+        return replace(self, resistance=resistance)
+
+    def __str__(self) -> str:
+        side = "" if self.on_true_line else " (complementary)"
+        return f"Open {self.location.value} R={self.resistance:.3g}Ohm{side}"

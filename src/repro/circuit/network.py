@@ -1,0 +1,208 @@
+"""Minimal linear RC network solver — the SPICE substitute.
+
+The DRAM column is modeled as a lumped network of capacitive nodes joined
+by resistors, with ideal voltage sources behind series resistances
+(drivers).  Within one operation *phase* (precharge, charge-share, sense,
+write, ...) the switch states are constant, so the network is linear and
+the node voltages obey::
+
+    C dV/dt = -G V + s
+
+with ``C`` the diagonal capacitance matrix, ``G`` the conductance Laplacian
+(including driver conductances on the diagonal) and ``s`` the driver
+current injections.  The exact transient over a phase of duration ``t`` is
+computed with the augmented matrix exponential::
+
+    [V(t)]   [exp(t * [A  b])]  [V(0)]
+    [ 1  ] = [       [0  0] ]   [ 1  ]      A = -C^-1 G,  b = C^-1 s
+
+which is robust even when ``G`` is singular (fully floating nodes simply
+hold their charge).  Node counts are tiny (~15), so this is fast enough for
+the thousands of operating points a ``(R_def, U)`` sweep needs.
+
+A resistance of :data:`OPEN` (infinite) removes an edge entirely; ``0`` is
+clamped to a small positive value to keep the system well conditioned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["OPEN", "Network"]
+
+#: Sentinel resistance meaning "no connection".
+OPEN = math.inf
+
+#: Resistances below this are clamped (ideal wires handled as merges).
+_R_MIN = 1e-3
+
+#: Edges with conductance below this are dropped as effectively open.
+_G_MIN = 1e-15
+
+
+@dataclass
+class _Driver:
+    node: int
+    voltage: float
+    resistance: float
+
+
+class Network:
+    """A lumped RC network with per-phase resistor/driver configuration.
+
+    Typical usage::
+
+        net = Network()
+        bl = net.add_node("bl", c=300e-15, v=1.65)
+        cell = net.add_node("cell", c=30e-15, v=3.3)
+        net.connect(bl, cell, r=8e3)          # access transistor on
+        net.drive(bl, v=1.65, r=2e3)          # precharge device
+        net.run(5e-9)                          # simulate the phase
+        net.clear_phase()                      # drop resistors and drivers
+
+    Node capacitances and voltages persist across phases; resistors and
+    drivers are per-phase and must be re-declared after
+    :meth:`clear_phase`.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._caps: List[float] = []
+        self._volts: List[float] = []
+        self._edges: List[Tuple[int, int, float]] = []
+        self._drivers: List[_Driver] = []
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, name: str, c: float, v: float = 0.0) -> int:
+        """Add a capacitive node and return its index."""
+        if name in self._index:
+            raise ValueError(f"duplicate node name {name!r}")
+        if c <= 0:
+            raise ValueError(f"node {name!r} must have positive capacitance")
+        idx = len(self._names)
+        self._names.append(name)
+        self._index[name] = idx
+        self._caps.append(c)
+        self._volts.append(v)
+        return idx
+
+    def node_index(self, name: str) -> int:
+        return self._index[name]
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    # -- state ---------------------------------------------------------------
+
+    def voltage(self, node) -> float:
+        """Voltage of a node (by index or name)."""
+        return self._volts[self._resolve(node)]
+
+    def set_voltage(self, node, v: float) -> None:
+        """Force a node voltage (used to initialize floating voltages)."""
+        self._volts[self._resolve(node)] = float(v)
+
+    def voltages(self) -> Dict[str, float]:
+        return dict(zip(self._names, self._volts))
+
+    def _resolve(self, node) -> int:
+        if isinstance(node, str):
+            return self._index[node]
+        return int(node)
+
+    # -- per-phase configuration ------------------------------------------------
+
+    def connect(self, a, b, r: float) -> None:
+        """Join two nodes with a resistor; ``r=OPEN`` is a no-op."""
+        ia, ib = self._resolve(a), self._resolve(b)
+        if ia == ib:
+            raise ValueError("cannot connect a node to itself")
+        if not math.isfinite(r):
+            return
+        self._edges.append((ia, ib, max(r, _R_MIN)))
+
+    def drive(self, node, v: float, r: float) -> None:
+        """Attach an ideal source of value ``v`` behind series ``r``."""
+        if not math.isfinite(r):
+            return
+        self._drivers.append(_Driver(self._resolve(node), float(v), max(r, _R_MIN)))
+
+    def clear_phase(self) -> None:
+        """Remove all resistors and drivers (keep node voltages)."""
+        self._edges.clear()
+        self._drivers.clear()
+
+    # -- simulation ---------------------------------------------------------------
+
+    def run(self, duration: float) -> Dict[str, float]:
+        """Advance the network by ``duration`` seconds; return node voltages."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        n = len(self._names)
+        if n == 0 or duration == 0:
+            return self.voltages()
+        g = np.zeros((n, n))
+        s = np.zeros(n)
+        for ia, ib, r in self._edges:
+            cond = 1.0 / r
+            if cond < _G_MIN:
+                continue
+            g[ia, ia] += cond
+            g[ib, ib] += cond
+            g[ia, ib] -= cond
+            g[ib, ia] -= cond
+        for drv in self._drivers:
+            cond = 1.0 / drv.resistance
+            if cond < _G_MIN:
+                continue
+            g[drv.node, drv.node] += cond
+            s[drv.node] += cond * drv.voltage
+        inv_c = 1.0 / np.asarray(self._caps)
+        a = -g * inv_c[:, None]
+        b = s * inv_c
+        # Augmented exponential: handles singular G (floating nodes) exactly.
+        aug = np.zeros((n + 1, n + 1))
+        aug[:n, :n] = a * duration
+        aug[:n, n] = b * duration
+        phi = _expm(aug)
+        v0 = np.asarray(self._volts)
+        v_t = phi[:n, :n] @ v0 + phi[:n, n]
+        self._volts = [float(x) for x in v_t]
+        return self.voltages()
+
+    def steady_state_then(self, duration: float) -> Dict[str, float]:
+        """Alias of :meth:`run` kept for API symmetry/readability."""
+        return self.run(duration)
+
+
+def _expm(m: np.ndarray) -> np.ndarray:
+    """Matrix exponential via scaling-and-squaring with Pade-free Taylor.
+
+    scipy.linalg.expm would also do; a local implementation keeps the hot
+    path dependency-free and fast for the small (<20x20) matrices we use.
+    """
+    norm = np.linalg.norm(m, ord=np.inf)
+    if norm == 0:
+        return np.eye(m.shape[0])
+    # Scale so the Taylor series converges quickly.
+    squarings = max(0, int(math.ceil(math.log2(norm))) + 1)
+    scaled = m / (2.0 ** squarings)
+    result = np.eye(m.shape[0])
+    term = np.eye(m.shape[0])
+    for k in range(1, 18):
+        term = term @ scaled / k
+        result = result + term
+        if np.linalg.norm(term, ord=np.inf) < 1e-16 * np.linalg.norm(
+            result, ord=np.inf
+        ):
+            break
+    for _ in range(squarings):
+        result = result @ result
+    return result

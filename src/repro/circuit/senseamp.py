@@ -1,0 +1,77 @@
+"""Sense-amplifier latch behaviour.
+
+The SA is a cross-coupled latch between the true and complement bit lines.
+Within the phase-based column model it contributes three behaviours:
+
+* **decision** — at sense-enable it compares the two bit-line voltages; it
+  fires only when the differential exceeds a small offset (``sa_offset``),
+  below which the latch stays metastable and drives nothing.  The
+  deterministic *no-signal* read value of the column is set by the
+  reference-cell level, not by the SA.
+* **restore drive** — once fired it drives both bit lines to full rails
+  (through its drive resistance, plus any Open 7 resistance).
+* **flip on write** — during a write the (stronger) write drivers overpower
+  the latch; the latch flips once its nodes cross.  An unfired latch fires
+  as soon as the drivers develop enough differential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SenseAmplifier"]
+
+
+@dataclass
+class SenseAmplifier:
+    """State machine of the cross-coupled sense-amp latch."""
+
+    offset: float
+    fired: bool = False
+    value: Optional[int] = None
+
+    def reset(self) -> None:
+        """Return to the precharged (unfired) state."""
+        self.fired = False
+        self.value = None
+
+    def sense(self, v_true: float, v_comp: float) -> bool:
+        """Evaluate the differential at sense-enable; fire if resolvable.
+
+        Returns True when the latch fired.  In the dead zone
+        (``|v_true - v_comp| < offset``) the latch does not fire and drives
+        nothing: the column's restore and forwarding silently fail — the
+        behaviour partial faults in the SA/forwarding path rely on.
+        """
+        dv = v_true - v_comp
+        if abs(dv) >= self.offset:
+            self.fired = True
+            self.value = 1 if dv > 0 else 0
+        else:
+            self.fired = False
+            self.value = None
+        return self.fired
+
+    def maybe_flip(self, v_true: float, v_comp: float) -> None:
+        """Mid-write re-evaluation: flip (or late-fire) with the drivers.
+
+        Called once the write drivers have been fighting the latch for half
+        the write window.  A fired latch flips when its nodes have crossed;
+        an unfired latch fires once the drivers develop a resolvable
+        differential.
+        """
+        dv = v_true - v_comp
+        if self.fired:
+            crossed = (self.value == 1 and dv < 0) or (self.value == 0 and dv > 0)
+            if crossed:
+                self.value = 1 - self.value
+        elif abs(dv) >= self.offset:
+            self.fired = True
+            self.value = 1 if dv > 0 else 0
+
+    def rail(self, vdd: float) -> Optional[float]:
+        """Voltage the latch drives on the true bit line (None if unfired)."""
+        if not self.fired:
+            return None
+        return vdd if self.value == 1 else 0.0

@@ -1,0 +1,199 @@
+"""Technology constants for the simulated embedded DRAM (0.35 um class).
+
+The paper performs SPICE simulation of a DRAM modeled on a 0.35 um
+technology.  We replace SPICE with a phase-based lumped-RC model (see
+:mod:`repro.circuit.network`); the constants below are typical published
+values for that technology generation.  Absolute fault-region boundaries
+(e.g. Fig. 4's 150 kOhm anchor) depend on these constants; the *shape* of
+the regions does not.
+
+All values are SI: volts, ohms, farads, seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Technology", "default_technology"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical and timing parameters of the simulated DRAM column."""
+
+    # -- supply and levels ---------------------------------------------------
+    vdd: float = 3.3
+    """Supply voltage; a stored 1 is ``vdd``, a stored 0 is 0 V."""
+
+    v_precharge: float = 1.65
+    """Bit-line precharge/equalize level (vdd/2 scheme)."""
+
+    v_reference: float = 1.4
+    """Voltage stored in the reference cells.
+
+    Slightly below the precharge level: the complement bit line then sits a
+    small, designed margin *below* the precharged true bit line, so a read
+    that receives no cell signal resolves deterministically to 1.  This
+    matches the paper's DRAM, where a disconnected cell reads 1 (RDF0 /
+    IRF0 regions of Figs. 3-4 and Table 1).
+    """
+
+    v_wl_on: float = 3.3
+    """Word-line high level (no boosting modeled; full transfer assumed)."""
+
+    v_threshold: float = 0.7
+    """Access-transistor threshold: the gate conducts above this level."""
+
+    # -- capacitances ---------------------------------------------------------
+    c_cell: float = 30e-15
+    """Storage capacitance of one memory cell."""
+
+    c_ref_cell: float = 60e-15
+    """Storage capacitance of a reference cell.
+
+    Twice the data-cell capacitance: the reference dump then spans the full
+    data-signal range, so a reference cell floating at an extreme level
+    (e.g. charged high through a sense-amplifier open) can overpower even a
+    full stored 1 — the paper's Open 7 RDF1 mechanism."""
+
+    c_bl_precharge_stub: float = 20e-15
+    """Bit-line capacitance of the precharge-device stub segment."""
+
+    c_bl_cells: float = 190e-15
+    """Bit-line capacitance of the memory-cell segment."""
+
+    c_bl_reference: float = 20e-15
+    """Bit-line capacitance of the reference-cell segment."""
+
+    c_bl_senseamp: float = 40e-15
+    """Bit-line capacitance of the sense-amplifier segment."""
+
+    c_bl_io: float = 30e-15
+    """Bit-line capacitance of the column-select / IO segment."""
+
+    c_wl_gate: float = 5e-15
+    """Capacitance of one access-transistor gate (for word-line opens)."""
+
+    c_out_buffer: float = 20e-15
+    """Capacitance of the read output buffer input node."""
+
+    # -- resistances ------------------------------------------------------------
+    r_precharge: float = 2e3
+    """On-resistance of a precharge device."""
+
+    r_access: float = 8e3
+    """On-resistance of a cell access transistor (fully driven gate)."""
+
+    r_senseamp: float = 2e3
+    """Drive resistance of the sense-amplifier latch."""
+
+    r_write_driver: float = 1e3
+    """Drive resistance of the write drivers."""
+
+    io_offset: float = 0.05
+    """Minimum differential on the IO lines for the second-stage (IO)
+    amplifier to update the read output buffer.
+
+    The buffer compares the column-selected true IO line against the
+    complement line; below this signal it keeps its previous state — the
+    stale-buffer behaviour the Open 7/8 partial faults depend on."""
+
+    r_ref_restore: float = 4e3
+    """Resistance of the reference-cell restore path (driven after sense)."""
+
+    # -- timing --------------------------------------------------------------------
+    t_precharge: float = 5e-9
+    """Duration of the precharge/equalize phase."""
+
+    t_share: float = 1.5e-9
+    """Word-line high to sense-amp enable (charge-sharing window)."""
+
+    t_sense: float = 20e-9
+    """Sense-and-restore window (SA drives the bit lines).
+
+    Much longer than the sharing window, as in real DRAMs: the signal is
+    sampled early in the cycle while the restore keeps driving for the rest
+    of it.  The ratio of the two windows sets where read sensing through a
+    resistive open starts failing relative to where the restore still
+    succeeds — i.e. the RDF-vs-IRF structure of the Fig. 4 region maps."""
+
+    t_write: float = 5e-9
+    """Write-driver window for write operations."""
+
+    t_wl_off: float = 1e-9
+    """Word-line fall settling time (cell isolates)."""
+
+    t_io_sample: float = 2e-9
+    """When, within the sense window, the IO amplifier strobes the IO
+    lines into the output buffer.  Early in the cycle, as in real designs:
+    a floating IO segment behind an open has barely drooped by then, so
+    near-zero differential latches nothing and the buffer keeps its stale
+    state."""
+
+    # -- leakage and environment --------------------------------------------------------
+    r_leak_cell: float = 2e13
+    """Intrinsic cell leakage resistance to substrate (ground) at 25 C.
+
+    Gives a nominal retention time constant of ~0.6 s; real parts refresh
+    every 32-64 ms, orders of magnitude inside that margin."""
+
+    temperature: float = 25.0
+    """Junction temperature in Celsius.  Leakage roughly doubles every
+    10 C (thermal generation), which is how temperature stress shrinks
+    retention margins — the effect studied by the paper's companion work
+    (Al-Ars et al., ITC 2001)."""
+
+    # -- sense amplifier behaviour ----------------------------------------------------
+    sa_offset: float = 0.01
+    """Minimum differential signal for the SA to latch deterministically.
+
+    Below this dead zone the latch does not fire: no restore takes place and
+    the output buffer is not driven (the behaviour exploited by opens in the
+    sense amplifier and the forwarding path).
+    """
+
+    @property
+    def c_bl_total(self) -> float:
+        """Total single bit-line capacitance (all segments)."""
+        return (
+            self.c_bl_precharge_stub
+            + self.c_bl_cells
+            + self.c_bl_reference
+            + self.c_bl_senseamp
+            + self.c_bl_io
+        )
+
+    @property
+    def transfer_ratio(self) -> float:
+        """Charge-transfer ratio ``c_cell / (c_cell + c_bl_total)``."""
+        return self.c_cell / (self.c_cell + self.c_bl_total)
+
+    def read_signal(self, stored: float) -> float:
+        """Ideal charge-sharing signal for a stored voltage (defect-free)."""
+        return (stored - self.v_precharge) * self.transfer_ratio
+
+    @property
+    def effective_cell_leak(self) -> float:
+        """Cell leakage resistance at the configured temperature.
+
+        Leakage current doubles every 10 C above 25 C, i.e. the leak
+        resistance halves."""
+        return self.r_leak_cell / 2.0 ** ((self.temperature - 25.0) / 10.0)
+
+    @property
+    def nominal_retention_tau(self) -> float:
+        """RC time constant of cell decay at the configured temperature."""
+        return self.effective_cell_leak * self.c_cell
+
+    def scaled(self, **overrides: float) -> "Technology":
+        """Return a copy with selected parameters replaced (for ablations)."""
+        return replace(self, **overrides)
+
+    def at_temperature(self, celsius: float) -> "Technology":
+        """Return a copy at a different junction temperature."""
+        return replace(self, temperature=celsius)
+
+
+def default_technology() -> Technology:
+    """The calibrated 0.35 um-class technology used by the experiments."""
+    return Technology()

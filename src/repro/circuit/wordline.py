@@ -1,0 +1,61 @@
+"""Word-line / access-transistor gate dynamics.
+
+Open 9 sits between the word-line driver and the access-transistor gate of
+one cell.  The gate is then a floating node charged and discharged through
+``R_def``: it no longer follows the row decoder within one operation, so
+the cell may stay connected during precharge (the paper's SF0 mechanism:
+a stored 0 is charged up by the bit-line precharge) or stay disconnected
+during its own access (IRF / TF faults that *cannot* be completed, because
+no memory operation manipulates a floating word line).
+
+The gate is simulated analytically (single-RC exponential per phase) and
+converted to an access-transistor conduction factor; the nonlinearity thus
+stays out of the linear network solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["WordLineGate"]
+
+
+@dataclass
+class WordLineGate:
+    """Gate node of one access transistor, possibly behind an open.
+
+    ``resistance`` is the series open resistance (0 for a defect-free word
+    line: the gate then follows the driver instantly).
+    """
+
+    capacitance: float
+    resistance: float = 0.0
+    voltage: float = 0.0
+
+    def advance(self, driven: float, duration: float) -> float:
+        """Move the gate toward the driver level; return the *mean* voltage.
+
+        The mean over the phase is what determines the average conduction
+        of the access transistor during that phase.
+        """
+        if duration <= 0:
+            return self.voltage
+        if self.resistance <= 0:
+            self.voltage = driven
+            return driven
+        tau = self.resistance * self.capacitance
+        x = duration / tau
+        start = self.voltage
+        end = driven + (start - driven) * math.exp(-x)
+        # Time average of an exponential relaxation over the phase.
+        mean = driven + (start - driven) * (1.0 - math.exp(-x)) / x
+        self.voltage = end
+        return mean
+
+    def conduction(self, mean_voltage: float, v_threshold: float, v_on: float) -> float:
+        """Linearized transistor conduction in [0, 1] for a gate level."""
+        if v_on <= v_threshold:
+            raise ValueError("v_on must exceed v_threshold")
+        factor = (mean_voltage - v_threshold) / (v_on - v_threshold)
+        return min(1.0, max(0.0, factor))

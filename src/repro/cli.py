@@ -1,0 +1,66 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Installed as ``repro-partial-faults``::
+
+    repro-partial-faults fig3          # Fig. 3 region maps
+    repro-partial-faults fig4          # Fig. 4 region maps
+    repro-partial-faults table1        # Table 1 inventory (slow)
+    repro-partial-faults fp-space      # Section 4 numbers
+    repro-partial-faults march         # march coverage comparison
+    repro-partial-faults ablation      # design-choice ablations
+    repro-partial-faults bridges       # Section 2 bridge check
+    repro-partial-faults retention     # leakage/temperature extension
+    repro-partial-faults escapes       # Monte-Carlo test-escape analysis
+    repro-partial-faults diagnosis     # fault-dictionary diagnosis
+    repro-partial-faults all           # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    ablation, bridges, diagnosis, escapes, fig3, fig4, fp_space, march_pf,
+    retention, table1,
+)
+
+_EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig3": lambda: fig3.run_fig3().report,
+    "fig4": lambda: fig4.run_fig4().report,
+    "table1": lambda: table1.run_table1().report,
+    "fp-space": lambda: fp_space.run_fp_space().report,
+    "march": lambda: march_pf.run_march_pf().report,
+    "ablation": lambda: ablation.run_ablation().report,
+    "bridges": lambda: bridges.run_bridges().report,
+    "retention": lambda: retention.run_retention().report,
+    "escapes": lambda: escapes.run_escapes().report,
+    "diagnosis": lambda: diagnosis.run_diagnosis().report,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``repro-partial-faults`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-partial-faults",
+        description="Reproduce the partial-fault paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    ok = True
+    for name in names:
+        report = _EXPERIMENTS[name]()
+        print(report.render())
+        print()
+        ok = ok and report.all_hold
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Fault models, region analysis, partial-fault identification and completion."""

@@ -1,0 +1,351 @@
+"""Fault analysis by defect injection and electrical simulation.
+
+This is the paper's Section 3 method.  For one open-defect location the
+analyzer sweeps the ``(R_def, U)`` plane — defect resistance against the
+initial value of a floating voltage — and classifies the faulty behaviour
+at every grid point into a fault primitive / FFM, producing the region
+maps of Figs. 3 and 4.
+
+Execution semantics of an SOS (this subtlety is the heart of the paper):
+
+* cell *initializations* (the leading ``1`` of ``1r1``) set cell voltages
+  **directly**, as states — not through write operations.  A march test can
+  only realize them with writes, which also precondition floating nodes;
+  that mismatch is exactly why partial faults escape conventional tests;
+* the floating voltage ``U`` is applied **after** the initializations and
+  **before** the operations: it stands for the unknown charge left on the
+  floating node by an arbitrary operation history;
+* completing and sensitizing *operations* are then executed through the
+  defective circuit, reads returning whatever the output buffer shows.
+
+``F`` is the victim state an ideal read would return afterwards; ``R`` is
+the result of the final victim read (when the SOS ends in one).
+
+The paper's partial-fault rule is then applied to the resulting region
+map: an FP observed only for a limited range of ``U`` is *partial* and
+needs completing operations (searched for in
+:mod:`repro.core.completion`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.column import DRAMColumn
+from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation, floating_nodes
+from ..circuit.technology import Technology, default_technology
+from .fault_primitives import BITLINE_NEIGHBOR, SOS, VICTIM, FaultPrimitive, parse_sos
+from .ffm import FFM, classify_fp
+from .regions import FPRegionMap
+
+__all__ = [
+    "SweepGrid",
+    "Observation",
+    "PartialFaultFinding",
+    "ColumnFaultAnalyzer",
+    "PROBE_SOSES",
+    "default_grid_for",
+]
+
+#: The paper's Section 1 probe space: single-cell SOSes with at most one
+#: operation (initial state alone, all four writes, both fault-free reads).
+PROBE_SOSES: Tuple[str, ...] = ("0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r1")
+
+
+def _log_space(lo: float, hi: float, n: int) -> Tuple[float, ...]:
+    if n < 2:
+        return (lo,)
+    step = (math.log10(hi) - math.log10(lo)) / (n - 1)
+    return tuple(10 ** (math.log10(lo) + i * step) for i in range(n))
+
+
+def _lin_space(lo: float, hi: float, n: int) -> Tuple[float, ...]:
+    if n < 2:
+        return (lo,)
+    step = (hi - lo) / (n - 1)
+    return tuple(lo + i * step for i in range(n))
+
+
+#: Region-of-interest resistance ranges per open location, mirroring the
+#: bounded axes of the paper's figures (e.g. Fig. 4 tops out at 1 MOhm).
+#: Outside these ranges an open degenerates: far below, the circuit is
+#: healthy; far above, the branch is fully disconnected and no operation
+#: can reach past it (so no completion can exist by construction).
+_R_RANGES: Dict[OpenLocation, Tuple[float, float]] = {
+    OpenLocation.CELL: (3e4, 1e6),
+    OpenLocation.REFERENCE_CELL: (3e4, 1e7),
+    OpenLocation.PRECHARGE: (3e3, 3e7),
+    OpenLocation.BL_PRECHARGE_CELLS: (3e3, 3e7),
+    OpenLocation.BL_CELLS_REFERENCE: (3e3, 3e7),
+    OpenLocation.BL_REFERENCE_SENSEAMP: (3e3, 3e7),
+    OpenLocation.SENSE_AMPLIFIER: (3e3, 3e7),
+    OpenLocation.BL_SENSEAMP_IO: (3e3, 1e9),
+    OpenLocation.WORD_LINE: (1e6, 1e10),
+}
+
+
+def _as_nodes(floating) -> Tuple[FloatingNode, ...]:
+    if isinstance(floating, FloatingNode):
+        return (floating,)
+    return tuple(floating)
+
+
+def default_grid_for(
+    location: OpenLocation, n_r: int = 16, n_u: int = 12, vdd: float = 3.3
+) -> SweepGrid:
+    """The default ``(R_def, U)`` sweep window for one open location."""
+    r_min, r_max = _R_RANGES[location]
+    return SweepGrid.make(r_min=r_min, r_max=r_max, n_r=n_r, u_max=vdd, n_u=n_u)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The ``(R_def, U)`` grid of one fault analysis."""
+
+    r_values: Tuple[float, ...]
+    u_values: Tuple[float, ...]
+
+    @classmethod
+    def make(
+        cls,
+        r_min: float = 1e3,
+        r_max: float = 1e8,
+        n_r: int = 25,
+        u_min: float = 0.0,
+        u_max: float = 3.3,
+        n_u: int = 12,
+    ) -> "SweepGrid":
+        """Log-spaced resistances, linearly spaced voltages."""
+        return cls(_log_space(r_min, r_max, n_r), _lin_space(u_min, u_max, n_u))
+
+    def coarser(self, every_r: int = 2, every_u: int = 2) -> "SweepGrid":
+        """Subsampled grid (for the inner loop of the completion search)."""
+        return SweepGrid(self.r_values[::every_r], self.u_values[::every_u])
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Result of executing one SOS at one ``(R_def, U)`` operating point."""
+
+    fp: Optional[FaultPrimitive]
+    ffm: Optional[FFM]
+    faulty_value: int
+    read_value: Optional[int]
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.fp is not None
+
+
+@dataclass(frozen=True)
+class PartialFaultFinding:
+    """One (possibly partial) fault observed while surveying a defect."""
+
+    location: OpenLocation
+    floating: Tuple[FloatingNode, ...]
+    probe_sos: SOS
+    ffm: FFM
+    region: FPRegionMap
+
+    @property
+    def floating_label(self) -> str:
+        """Human-readable floating-voltage name (Table 1 column)."""
+        return " + ".join(str(node) for node in self.floating)
+
+    @property
+    def is_partial(self) -> bool:
+        """The paper's rule: observed only for a limited range of ``U``."""
+        return self.region.is_partial_label(self.ffm)
+
+    @property
+    def partial_fp(self) -> FaultPrimitive:
+        """The canonical partial FP: probe SOS with the observed behaviour.
+
+        ``F``/``R`` are taken from the canonical FP of the observed FFM.
+        """
+        from .ffm import canonical_fp
+
+        return canonical_fp(self.ffm)
+
+
+class ColumnFaultAnalyzer:
+    """Sweeps one open-defect location over the ``(R_def, U)`` plane."""
+
+    def __init__(
+        self,
+        location: OpenLocation,
+        technology: Optional[Technology] = None,
+        n_rows: int = 3,
+        victim_row: int = 0,
+        grid: Optional[SweepGrid] = None,
+    ) -> None:
+        if n_rows < 2:
+            raise ValueError("the analyzer needs a bit-line neighbour row")
+        self.location = location
+        self.technology = technology or default_technology()
+        self.n_rows = n_rows
+        self.victim_row = victim_row
+        self.grid = grid or default_grid_for(
+            location, vdd=self.technology.vdd
+        )
+        self._cache: Dict[Tuple, Observation] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _row_of(self, cell: str) -> int:
+        """Map SOS cell labels onto physical rows of the column."""
+        if cell == VICTIM:
+            return self.victim_row
+        if cell == BITLINE_NEIGHBOR:
+            return (self.victim_row + 1) % self.n_rows
+        # Named aggressors a, b, ... take the remaining rows in order.
+        offset = 2 + (ord(cell[0]) - ord("a"))
+        row = (self.victim_row + offset) % self.n_rows
+        if row == self.victim_row:
+            raise ValueError(f"not enough rows to place cell {cell!r}")
+        return row
+
+    def make_column(self, r_def: float) -> DRAMColumn:
+        defect = OpenDefect(self.location, r_def, row=self.victim_row)
+        return DRAMColumn(self.technology, n_rows=self.n_rows, defect=defect)
+
+    def sweep_plans(self) -> Tuple[Tuple[FloatingNode, ...], ...]:
+        """Floating-voltage sweeps for this open (Section 2/5 rules).
+
+        Each plan is a tuple of nodes initialized *together* to the swept
+        ``U``.  Opens whose floating voltages are physically correlated
+        (the IO-side bit line and the output buffer it feeds, Open 8; the
+        reference cell and buffer behind a dead sense amplifier, Open 7)
+        additionally get a joint sweep — the paper likewise initializes
+        all floating voltages of such defects.
+        """
+        nodes = floating_nodes(self.location)
+        plans = [(node,) for node in nodes]
+        if len(nodes) > 1:
+            plans.append(tuple(nodes))
+        return tuple(plans)
+
+    # -- single-point execution ---------------------------------------------------
+
+    def observe(
+        self, sos: SOS, r_def: float, u: float, floating
+    ) -> Observation:
+        """Execute one SOS at one operating point; classify the behaviour.
+
+        ``floating`` is one :class:`FloatingNode` or a tuple of them (all
+        initialized to the same ``U``).
+        """
+        floating = _as_nodes(floating)
+        key = (sos, r_def, u, floating)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        column = self.make_column(r_def)
+        # When the floating voltage *is* the victim's storage node, the
+        # swept U is the cell voltage before initialization: the victim's
+        # initialization must then happen through the defective circuit
+        # (a write operation).  For every other floating node the
+        # initializations are plain state presets, and U models the charge
+        # an arbitrary earlier history left on the floating node.
+        init_via_write = FloatingNode.CELL in floating
+        data = {
+            self._row_of(init.cell): init.value
+            for init in sos.inits
+            if not (init_via_write and init.cell == VICTIM)
+        }
+        column.reset(data)
+        for node in floating:
+            column.set_floating_voltage(node, u)
+        ran_anything = False
+        if init_via_write:
+            for init in sos.inits:
+                if init.cell == VICTIM:
+                    column.write(self.victim_row, init.value)
+                    ran_anything = True
+        last_victim_read: Optional[int] = None
+        if not sos.ops and not ran_anything:
+            # State-fault probe: nothing addresses the cell, but precharge
+            # cycles still run (the Open 9 SF mechanism).
+            column.precharge_cycle()
+        for op in sos.ops:
+            row = self._row_of(op.cell)
+            if op.is_write:
+                column.write(row, op.value)
+            else:
+                result = column.read(row)
+                if op.cell == VICTIM:
+                    last_victim_read = result
+        faulty_value = column.logical_state(self.victim_row)
+        read_value = last_victim_read if sos.ends_in_read else None
+        fp = FaultPrimitive(sos, faulty_value, read_value)
+        if not fp.is_faulty():
+            obs = Observation(None, None, faulty_value, read_value)
+        else:
+            obs = Observation(fp, classify_fp(fp), faulty_value, read_value)
+        self._cache[key] = obs
+        return obs
+
+    # -- region maps (Figs. 3 and 4) ---------------------------------------------
+
+    def region_map(
+        self,
+        sos: SOS,
+        floating,
+        grid: Optional[SweepGrid] = None,
+        label: str = "ffm",
+    ) -> FPRegionMap:
+        """Classify the whole ``(R_def, U)`` grid for one SOS.
+
+        ``label`` selects what the map stores per point: ``"ffm"`` (the FFM,
+        or the raw FP string when unclassifiable) or ``"fp"`` (the full FP).
+        """
+        if label not in ("ffm", "fp"):
+            raise ValueError("label must be 'ffm' or 'fp'")
+        grid = grid or self.grid
+
+        def classify(r: float, u: float):
+            obs = self.observe(sos, r, u, floating)
+            if obs.fp is None:
+                return None
+            if label == "fp":
+                return obs.fp
+            return obs.ffm if obs.ffm is not None else obs.fp.to_string()
+
+        return FPRegionMap.from_function(grid.r_values, grid.u_values, classify)
+
+    # -- the Section 5 survey -------------------------------------------------------
+
+    def survey(
+        self,
+        floating: Optional[FloatingNode] = None,
+        probes: Optional[Sequence[str]] = None,
+        grid: Optional[SweepGrid] = None,
+    ) -> List[PartialFaultFinding]:
+        """Probe the defect with the single-cell SOS space; report findings.
+
+        One finding is returned per (floating voltage, FFM) pair observed
+        anywhere in the plane.  ``finding.is_partial`` applies the paper's
+        rule.  When ``floating`` is None, all floating voltages prescribed
+        for this open by the Section 2 rules are swept in turn.
+        """
+        if floating is not None:
+            plans: Tuple[Tuple[FloatingNode, ...], ...] = (_as_nodes(floating),)
+        else:
+            plans = self.sweep_plans()
+        probe_list = tuple(probes) if probes is not None else PROBE_SOSES
+        findings: List[PartialFaultFinding] = []
+        for plan in plans:
+            for text in probe_list:
+                sos = parse_sos(text) if isinstance(text, str) else text
+                region = self.region_map(sos, plan, grid=grid)
+                for observed in region.observed_labels:
+                    if not isinstance(observed, FFM):
+                        continue
+                    findings.append(
+                        PartialFaultFinding(
+                            self.location, plan, sos, observed, region
+                        )
+                    )
+        return findings

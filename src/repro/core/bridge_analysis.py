@@ -1,0 +1,164 @@
+"""Fault analysis of bridge defects — testing the paper's Section 2 claim.
+
+The paper excludes shorts and bridges from the partial-fault analysis by
+argument: they "do not restrict current flow and do not result in
+floating voltages".  :class:`BridgeFaultAnalyzer` runs the *same* method
+applied to opens — sweep defect strength against an initial floating
+voltage, classify the behaviour, apply the partial-fault rule — for
+bridge defects, so the claim becomes an experiment
+(:mod:`repro.experiments.bridges`): every fault region a bridge produces
+should be independent of the initial floating voltage.
+
+Semantics match :class:`~repro.core.analysis.ColumnFaultAnalyzer`, with
+two differences appropriate to bridges:
+
+* states decay over *time*, not only under operations, so state probes
+  are given several idle precharge cycles before the victim is assessed;
+* the aggressor label ``a`` maps to the bridge's partner cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuit.bridges import BridgeDefect, BridgeLocation
+from ..circuit.column import DRAMColumn
+from ..circuit.defects import FloatingNode
+from ..circuit.technology import Technology, default_technology
+from .analysis import SweepGrid, _as_nodes
+from .coupling import (
+    AGGRESSOR,
+    CouplingFFM,
+    classify_two_cell_fp,
+    two_cell_state_probes,
+)
+from .fault_primitives import SOS, VICTIM, FaultPrimitive
+from .ffm import FFM, classify_fp
+from .regions import FPRegionMap
+
+__all__ = ["BridgeFinding", "BridgeFaultAnalyzer", "default_bridge_grid"]
+
+
+def default_bridge_grid(n_r: int = 14, n_u: int = 8, vdd: float = 3.3) -> SweepGrid:
+    """Bridge resistances from hard shorts to barely-there leaks."""
+    return SweepGrid.make(r_min=1e3, r_max=1e9, n_r=n_r, u_max=vdd, n_u=n_u)
+
+
+@dataclass(frozen=True)
+class BridgeFinding:
+    """One fault observed while surveying a bridge defect."""
+
+    location: BridgeLocation
+    floating: Tuple[FloatingNode, ...]
+    probe_sos: SOS
+    ffm: Union[CouplingFFM, FFM, str]
+    region: FPRegionMap
+
+    @property
+    def is_partial(self) -> bool:
+        return self.region.is_partial_label(self.ffm)
+
+
+class BridgeFaultAnalyzer:
+    """Sweeps a bridge defect over the (R_bridge, U) plane."""
+
+    def __init__(
+        self,
+        location: BridgeLocation,
+        technology: Optional[Technology] = None,
+        n_rows: int = 3,
+        victim_row: int = 0,
+        grid: Optional[SweepGrid] = None,
+        state_cycles: int = 6,
+    ) -> None:
+        if n_rows < 2:
+            raise ValueError("a bridge analysis needs the partner row")
+        self.location = location
+        self.technology = technology or default_technology()
+        self.n_rows = n_rows
+        self.victim_row = victim_row
+        self.grid = grid or default_bridge_grid(vdd=self.technology.vdd)
+        self.state_cycles = state_cycles
+        self._cache: Dict[Tuple, object] = {}
+
+    def _row_of(self, cell: str) -> int:
+        if cell == VICTIM:
+            return self.victim_row
+        if cell == AGGRESSOR:
+            return self.victim_row + 1   # the bridge partner
+        return (self.victim_row + 2) % self.n_rows
+
+    def make_column(self, resistance: float) -> DRAMColumn:
+        defect = BridgeDefect(self.location, resistance, row=self.victim_row)
+        return DRAMColumn(self.technology, n_rows=self.n_rows, defect=defect)
+
+    def observe(self, sos: SOS, resistance: float, u: float, floating):
+        """Execute one SOS at one operating point; return the label."""
+        floating = _as_nodes(floating)
+        key = (sos, resistance, u, floating)
+        if key in self._cache:
+            return self._cache[key]
+        column = self.make_column(resistance)
+        data = {self._row_of(init.cell): init.value for init in sos.inits}
+        column.reset(data)
+        for node in floating:
+            column.set_floating_voltage(node, u)
+        last_victim_read: Optional[int] = None
+        if not sos.ops:
+            for _ in range(self.state_cycles):
+                column.precharge_cycle()
+        for op in sos.ops:
+            row = self._row_of(op.cell)
+            if op.is_write:
+                column.write(row, op.value)
+            else:
+                result = column.read(row)
+                if op.cell == VICTIM:
+                    last_victim_read = result
+        faulty_value = column.logical_state(self.victim_row)
+        read_value = last_victim_read if sos.ends_in_read else None
+        fp = FaultPrimitive(sos, faulty_value, read_value)
+        label: Optional[object] = None
+        if fp.is_faulty():
+            label = (
+                classify_two_cell_fp(fp)
+                or classify_fp(fp)
+                or fp.to_string()
+            )
+        self._cache[key] = label
+        return label
+
+    def region_map(
+        self, sos: SOS, floating, grid: Optional[SweepGrid] = None
+    ) -> FPRegionMap:
+        grid = grid or self.grid
+        return FPRegionMap.from_function(
+            grid.r_values,
+            grid.u_values,
+            lambda r, u: self.observe(sos, r, u, floating),
+        )
+
+    def survey(
+        self,
+        floating=FloatingNode.BIT_LINE,
+        probes: Optional[Sequence[SOS]] = None,
+        grid: Optional[SweepGrid] = None,
+    ) -> List[BridgeFinding]:
+        """Probe the bridge with the two-cell SOS space.
+
+        The floating voltage is swept *even though bridges leave nothing
+        floating* — demonstrating U-independence is the experiment's
+        point.
+        """
+        probe_list = tuple(probes) if probes is not None else two_cell_state_probes()
+        findings: List[BridgeFinding] = []
+        for sos in probe_list:
+            region = self.region_map(sos, floating, grid=grid)
+            for label in region.observed_labels:
+                findings.append(
+                    BridgeFinding(
+                        self.location, _as_nodes(floating), sos, label, region
+                    )
+                )
+        return findings

@@ -1,0 +1,42 @@
+"""Complementary-defect transform (Al-Ars & van de Goor, ATS 2000).
+
+Memory cell arrays are electrically symmetric with respect to data
+complement: for every defect location on the true bit line (BT) there is a
+*complementary defect* at the mirrored location on the complement bit line
+(BC), and its faulty behaviour is the data complement of the original
+defect's behaviour.  The paper uses this to derive Table 1's ``Com.``
+column without extra simulation: an observed ``RDF0`` implies the
+complementary defect shows ``RDF1`` with the complemented completed FP.
+
+The transform complements every data value: initial states, operation
+values, the faulty value ``F`` and the read value ``R``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .fault_primitives import SOS, FaultPrimitive, Init, Op
+from .ffm import FFM
+
+__all__ = ["complement"]
+
+
+def complement(
+    item: Union[FaultPrimitive, SOS, Op, Init, FFM, int, None]
+) -> Union[FaultPrimitive, SOS, Op, Init, FFM, int, None]:
+    """Data complement of any fault-model object.
+
+    Accepts fault primitives, SOSes, operations, initializations, FFMs,
+    plain bits (0/1) and ``None`` (for a missing read value).  The transform
+    is an involution: ``complement(complement(x)) == x``.
+    """
+    if item is None:
+        return None
+    if isinstance(item, (FaultPrimitive, SOS, Op, Init)):
+        return item.complement()
+    if isinstance(item, FFM):
+        return item.complement()
+    if isinstance(item, int) and item in (0, 1):
+        return 1 - item
+    raise TypeError(f"cannot complement object of type {type(item).__name__}")

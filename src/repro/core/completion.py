@@ -1,0 +1,185 @@
+"""Search for completing operations (Sections 3-5 of the paper).
+
+Given a partial fault — an FP observed only for a limited range of a
+floating voltage — this module searches for *completing operations*: a
+short prefix of writes that preconditions the floating node so the fault
+is sensitized for **every** initial voltage.
+
+The paper gives no constructive rule ("there is no rule for generating
+the completing operations"); like the paper we search the small space of
+candidate prefixes, cheapest first, and validate each candidate on the
+``(R_def, U)`` grid:
+
+* writes to a *bit-line neighbour* (``w0_BL`` / ``w1_BL``) precondition a
+  floating bit line, reference cell or output buffer — any cell on the
+  victim's column will do;
+* writes to the *victim itself* replace its state initialization (the
+  ``<[w1 w1 w0] r0/1/1>`` style): the prefix must end by writing the value
+  the sensitizing operation expects, and the initialization is dropped.
+
+A candidate *completes* the fault when the fault region becomes
+``U``-independent: above some resistance the fault holds for every initial
+voltage, and no resistance shows a partially covered ``U`` axis above that
+threshold.  When no candidate within the operation budget succeeds the
+fault is reported as ``Not possible`` — the paper's verdict for floating
+word lines (Open 9) and some cell-open faults, where no memory operation
+can steer the floating voltage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..circuit.defects import FloatingNode
+from .analysis import ColumnFaultAnalyzer, PartialFaultFinding, SweepGrid
+from .fault_primitives import (
+    BITLINE_NEIGHBOR,
+    SOS,
+    VICTIM,
+    FaultPrimitive,
+    Op,
+    OpKind,
+)
+from .ffm import FFM
+from .regions import FPRegionMap
+
+__all__ = ["CompletionOutcome", "candidate_completions", "complete_fault"]
+
+
+@dataclass(frozen=True)
+class CompletionOutcome:
+    """Result of the completing-operation search for one partial fault."""
+
+    finding: PartialFaultFinding
+    completed_fp: Optional[FaultPrimitive]
+    completed_region: Optional[FPRegionMap]
+    candidates_tried: int
+    r_complete: Optional[float] = None
+    """Resistance above which the completed fault holds for every ``U``."""
+
+    @property
+    def possible(self) -> bool:
+        """False reproduces the paper's ``Not possible`` table entries."""
+        return self.completed_fp is not None
+
+    def describe(self) -> str:
+        if self.completed_fp is None:
+            return "Not possible"
+        return self.completed_fp.to_string()
+
+
+def _write(value: int, cell: str) -> Op:
+    return Op(OpKind.WRITE, value, cell, completing=True)
+
+
+def candidate_completions(sos: SOS, max_extra_ops: int = 3) -> Iterator[SOS]:
+    """Yield candidate completed SOSes, fewest added operations first.
+
+    Two families are generated per length:
+
+    * bit-line-neighbour write prefixes (initializations kept), and
+    * victim write prefixes (initializations dropped; the last write must
+      establish the state the sensitizing operation expects).
+    """
+    if max_extra_ops < 1:
+        return
+    init_value = sos.init_value(VICTIM)
+    for length in range(1, max_extra_ops + 1):
+        for values in itertools.product((0, 1), repeat=length):
+            ops = tuple(_write(v, BITLINE_NEIGHBOR) for v in values)
+            yield sos.with_prefix(ops)
+        if init_value is None:
+            continue
+        for values in itertools.product((0, 1), repeat=length):
+            if values[-1] != init_value:
+                continue
+            ops = tuple(_write(v, VICTIM) for v in values)
+            yield sos.with_prefix(ops, drop_inits=True)
+
+
+def _completion_threshold(
+    region: FPRegionMap,
+    label: FFM,
+    partial_region: FPRegionMap,
+    boundary_slack: float = 3.0,
+) -> Optional[float]:
+    """``R_c`` if the region is ``U``-independent (Figs. 3(b)/4(b)), else None.
+
+    Criteria:
+
+    1. some resistance row covers the whole ``U`` axis, and every row above
+       the smallest such resistance (``R_c``) is also fully covered — above
+       ``R_c`` the defect is guaranteed sensitized for *any* initial
+       voltage;
+    2. ``R_c`` reaches down to where the partial fault begins
+       (``R_c <= boundary_slack * R_p`` with ``R_p`` the smallest partial
+       resistance) — completing may not shrink the detectable defect range
+       beyond a grid-resolution slack.
+    """
+    n_u = len(region.u_values)
+    r_complete: Optional[float] = None
+    for i, r in enumerate(region.r_values):
+        hits = len(region.u_indices_with(label, i))
+        if r_complete is None:
+            if hits == n_u:
+                r_complete = r
+        elif hits != n_u:
+            return None
+    if r_complete is None:
+        return None
+    partial_rows = [
+        r
+        for i, r in enumerate(partial_region.r_values)
+        if partial_region.u_indices_with(label, i)
+    ]
+    if partial_rows and r_complete > boundary_slack * min(partial_rows):
+        return None
+    return r_complete
+
+
+def complete_fault(
+    analyzer: ColumnFaultAnalyzer,
+    finding: PartialFaultFinding,
+    max_extra_ops: int = 3,
+    grid: Optional[SweepGrid] = None,
+) -> CompletionOutcome:
+    """Search completing operations for one partial-fault finding.
+
+    The validation grid defaults to the analyzer's grid; pass a coarser one
+    to speed up wide surveys.  The completed FP keeps the behaviour
+    (``F``/``R``) of the observed FFM's canonical primitive.
+    """
+    grid = grid or analyzer.grid
+    target = finding.ffm
+    canonical = finding.partial_fp
+    # Completing operations must be able to steer the floating voltage.
+    # A floating *cell* node is only reachable through the victim's own
+    # access path, so bit-line-neighbour prefixes are excluded there (the
+    # paper's Open 1 completion acts on the victim: ``[w1 w1 w0] r0``).
+    cell_floating = FloatingNode.CELL in finding.floating
+    tried = 0
+    best: Optional[Tuple[float, SOS, FPRegionMap]] = None
+    for candidate_sos in candidate_completions(finding.probe_sos, max_extra_ops):
+        if cell_floating and any(
+            op.cell == BITLINE_NEIGHBOR for op in candidate_sos.completing_ops
+        ):
+            continue
+        tried += 1
+        region = analyzer.region_map(candidate_sos, finding.floating, grid=grid)
+        if target not in region.observed_labels:
+            continue
+        r_complete = _completion_threshold(region, target, finding.region)
+        if r_complete is None:
+            continue
+        # All candidates are evaluated; the one sensitizing the fault for
+        # the widest defect-resistance range (smallest R_c) wins, shorter
+        # sequences breaking ties (they enumerate first).
+        if best is None or r_complete < best[0]:
+            best = (r_complete, candidate_sos, region)
+    if best is None:
+        return CompletionOutcome(finding, None, None, tried)
+    r_complete, sos, region = best
+    completed = FaultPrimitive(sos, canonical.faulty_value, canonical.read_value)
+    return CompletionOutcome(finding, completed, region, tried, r_complete)

@@ -1,0 +1,626 @@
+"""Fault primitives and sensitizing operation sequences (SOS).
+
+This module implements the ``<S/F/R>`` fault-primitive notation of van de
+Goor & Al-Ars (VTS 2000) as used by the DATE 2002 partial-fault paper:
+
+* ``S`` is the *sensitizing operation sequence* (SOS): optional initial cell
+  states followed by read/write operations, e.g. ``1r1`` (cell holds 1, a
+  read-1 is applied) or ``0w1`` (cell holds 0, a write-1 is applied).
+* ``F`` is the state of the faulty (victim) cell after ``S``.
+* ``R`` is the value returned by the final read of ``S``, or ``-`` when the
+  SOS does not end in a read of the victim.
+
+The paper extends the notation with *completing operations*, written in
+square brackets, and *cell subscripts*:
+
+* ``<1_v [w0_BL] r1_v /0/0>`` — the victim holds 1, a completing ``w0`` is
+  applied to *any other cell on the victim's bit line*, then the victim is
+  read.  Completing operations count toward ``#O`` and their cells toward
+  ``#C`` (Section 4 of the paper).
+* ``<[w1 w1 w0] r0 /1/1>`` — completing operations applied to the victim
+  itself; note the initial state is dropped because the completing writes
+  establish the state for any initial floating voltage.
+
+The textual grammar accepted by :func:`parse_fp` / :func:`parse_sos`::
+
+    fp     := "<" sos "/" f "/" r ">"
+    sos    := item (" " item)*
+    item   := init | op | "[" op (" " op)* "]"
+    init   := bit subscript?
+    op     := ("r" | "w") bit subscript?
+    bit    := "0" | "1"
+    subscript := "v" | "a" | "b" | ... | "BL" | "WL"   (also "_v", "_BL")
+    f      := "0" | "1"
+    r      := "0" | "1" | "-"
+
+Whitespace inside brackets separates completing operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "OpKind",
+    "VICTIM",
+    "BITLINE_NEIGHBOR",
+    "Init",
+    "Op",
+    "SOS",
+    "FaultPrimitive",
+    "NotationError",
+    "parse_sos",
+    "parse_fp",
+    "enumerate_single_cell_sos",
+    "enumerate_single_cell_fps",
+    "single_cell_fp_count",
+    "cumulative_single_cell_fp_count",
+]
+
+
+class NotationError(ValueError):
+    """Raised when a fault-primitive or SOS string cannot be parsed."""
+
+
+class OpKind(Enum):
+    """Kind of a memory operation inside an SOS."""
+
+    READ = "r"
+    WRITE = "w"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Canonical cell label of the victim cell.
+VICTIM = "v"
+
+#: Cell label meaning "any other cell sharing the victim's bit line".
+BITLINE_NEIGHBOR = "BL"
+
+#: Cell label meaning "any other cell sharing the victim's word line".
+WORDLINE_NEIGHBOR = "WL"
+
+_BIT_VALUES = (0, 1)
+
+_SUBSCRIPT_RE = re.compile(r"^(?P<core>[rw]?[01])_?(?P<cell>[A-Za-z]*)$")
+
+
+def _check_bit(value: int, what: str) -> int:
+    if value not in _BIT_VALUES:
+        raise ValueError(f"{what} must be 0 or 1, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class Init:
+    """Initial state of one cell at the start of an SOS.
+
+    ``Init(0)`` is the leading ``0`` in ``0w1``: the victim holds 0 before
+    the operations are applied.
+    """
+
+    value: int
+    cell: str = VICTIM
+
+    def __post_init__(self) -> None:
+        _check_bit(self.value, "initial state")
+        if not self.cell:
+            raise ValueError("cell label must be a non-empty string")
+
+    def complement(self) -> "Init":
+        """Return the data-complemented initialization (0 <-> 1)."""
+        return Init(1 - self.value, self.cell)
+
+    def to_string(self, explicit_subscript: bool = False) -> str:
+        if self.cell == VICTIM and not explicit_subscript:
+            return str(self.value)
+        return f"{self.value}{self.cell}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+@dataclass(frozen=True, order=True)
+class Op:
+    """One read or write operation inside an SOS.
+
+    For a read, :attr:`value` is the value the fault-free memory would
+    return (the ``0`` in ``r0``).  For a write it is the value written.
+    ``completing=True`` marks the operation as a completing operation
+    (rendered inside square brackets).
+    """
+
+    kind: OpKind
+    value: int
+    cell: str = VICTIM
+    completing: bool = False
+
+    def __post_init__(self) -> None:
+        _check_bit(self.value, "operation value")
+        if not self.cell:
+            raise ValueError("cell label must be a non-empty string")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    def complement(self) -> "Op":
+        """Return the data-complemented operation (w0 <-> w1, r0 <-> r1)."""
+        return Op(self.kind, 1 - self.value, self.cell, self.completing)
+
+    def as_completing(self, completing: bool = True) -> "Op":
+        """Return a copy with the ``completing`` flag set as given."""
+        return Op(self.kind, self.value, self.cell, completing)
+
+    def to_string(self, explicit_subscript: bool = False) -> str:
+        core = f"{self.kind.value}{self.value}"
+        if self.cell == VICTIM and not explicit_subscript:
+            return core
+        return f"{core}{self.cell}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def _parse_items(token: str, completing: bool) -> list:
+    """Parse one whitespace-delimited token into Init/Op items.
+
+    A token is normally a single item (``w0``, ``1v``, ``r1BL``); glued
+    single-cell runs such as ``0w1`` (initial state immediately followed
+    by operations) are also accepted.
+    """
+    match = _SUBSCRIPT_RE.match(token)
+    if match is None:
+        if all(ch in "rw01" for ch in token):
+            glued = _parse_compact_sos(token)
+            if completing and glued.inits:
+                raise NotationError(
+                    f"initial state in {token!r} is not allowed inside "
+                    "completing brackets"
+                )
+            return [*glued.inits,
+                    *(op.as_completing(completing) for op in glued.ops)]
+        raise NotationError(f"cannot parse SOS token {token!r}")
+    core = match.group("core")
+    cell = match.group("cell") or VICTIM
+    if cell in ("r", "w"):
+        # "0w" is a truncated operation, not an init of a cell named "w".
+        raise NotationError(f"cannot parse SOS token {token!r}")
+    if core[0] in "rw":
+        kind = OpKind(core[0])
+        return [Op(kind, int(core[1]), cell, completing)]
+    if completing:
+        raise NotationError(
+            f"initial state {token!r} is not allowed inside completing brackets"
+        )
+    return [Init(int(core), cell)]
+
+
+def _tokenize_sos(text: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(token, inside_brackets)`` pairs from an SOS string."""
+    depth = 0
+    for raw in re.findall(r"\[|\]|[^\s\[\]]+", text):
+        if raw == "[":
+            if depth:
+                raise NotationError("nested completing brackets are not allowed")
+            depth = 1
+        elif raw == "]":
+            if not depth:
+                raise NotationError("unbalanced ']' in SOS")
+            depth = 0
+        else:
+            yield raw, bool(depth)
+    if depth:
+        raise NotationError("unbalanced '[' in SOS")
+
+
+@dataclass(frozen=True)
+class SOS:
+    """A sensitizing operation sequence: initializations plus operations.
+
+    The dataclass is immutable and hashable so SOSes can be used as
+    dictionary keys during fault analysis.
+    """
+
+    inits: Tuple[Init, ...] = ()
+    ops: Tuple[Op, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inits", tuple(self.inits))
+        object.__setattr__(self, "ops", tuple(self.ops))
+        seen = set()
+        for init in self.inits:
+            if init.cell in seen:
+                raise ValueError(f"duplicate initialization for cell {init.cell!r}")
+            seen.add(init.cell)
+
+    # -- metrics (Section 4 of the paper) --------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """``#C``: the number of distinct cells referenced by the SOS."""
+        cells = {init.cell for init in self.inits}
+        cells.update(op.cell for op in self.ops)
+        return len(cells)
+
+    @property
+    def n_ops(self) -> int:
+        """``#O``: the number of operations, completing ones included."""
+        return len(self.ops)
+
+    @property
+    def cells(self) -> Tuple[str, ...]:
+        """All distinct cell labels, victim first, in order of appearance."""
+        ordered = []
+        for item in (*self.inits, *self.ops):
+            if item.cell not in ordered:
+                ordered.append(item.cell)
+        if VICTIM in ordered:
+            ordered.remove(VICTIM)
+            ordered.insert(0, VICTIM)
+        return tuple(ordered)
+
+    @property
+    def completing_ops(self) -> Tuple[Op, ...]:
+        return tuple(op for op in self.ops if op.completing)
+
+    @property
+    def plain_ops(self) -> Tuple[Op, ...]:
+        return tuple(op for op in self.ops if not op.completing)
+
+    @property
+    def has_completing_ops(self) -> bool:
+        return any(op.completing for op in self.ops)
+
+    @property
+    def last_op(self) -> Optional[Op]:
+        return self.ops[-1] if self.ops else None
+
+    @property
+    def ends_in_read(self) -> bool:
+        """True when the SOS ends with a read applied to the victim."""
+        last = self.last_op
+        return last is not None and last.is_read and last.cell == VICTIM
+
+    def init_value(self, cell: str = VICTIM) -> Optional[int]:
+        """Initial state of ``cell``, or None when unspecified."""
+        for init in self.inits:
+            if init.cell == cell:
+                return init.value
+        return None
+
+    # -- fault-free semantics --------------------------------------------
+
+    def expected_states(self) -> dict:
+        """Fault-free final state per cell after the whole SOS.
+
+        A cell whose state is never established (no init and no write before
+        it is read) maps to ``None``.
+        """
+        state = {init.cell: init.value for init in self.inits}
+        for op in self.ops:
+            if op.is_write:
+                state[op.cell] = op.value
+            else:
+                state.setdefault(op.cell, None)
+        return state
+
+    def expected_final_state(self, cell: str = VICTIM) -> Optional[int]:
+        return self.expected_states().get(cell)
+
+    def is_consistent(self) -> bool:
+        """Check that every read value matches the tracked fault-free state.
+
+        ``1r1`` and ``[w1 w1 w0] r0`` are consistent; ``0r1`` is not.  A read
+        of a cell whose state is unknown (never initialized nor written) is
+        accepted — the notation leaves such values free.
+        """
+        state = {init.cell: init.value for init in self.inits}
+        for op in self.ops:
+            if op.is_write:
+                state[op.cell] = op.value
+            else:
+                known = state.get(op.cell)
+                if known is not None and known != op.value:
+                    return False
+                state[op.cell] = op.value
+        return True
+
+    # -- transforms -------------------------------------------------------
+
+    def complement(self) -> "SOS":
+        """Data complement of the SOS: every 0 <-> 1.
+
+        This is the transform relating a defect to its *complementary
+        defect* (Al-Ars & van de Goor, ATS 2000), used by the paper to fill
+        the ``Com.`` column of Table 1.
+        """
+        return SOS(
+            tuple(init.complement() for init in self.inits),
+            tuple(op.complement() for op in self.ops),
+        )
+
+    def without_completing_ops(self) -> "SOS":
+        """The partial SOS obtained by removing completing operations."""
+        return SOS(self.inits, self.plain_ops)
+
+    def with_prefix(self, completing: Sequence[Op], drop_inits: bool = False) -> "SOS":
+        """Prepend completing operations (used by the completion search).
+
+        ``drop_inits=True`` models the paper's ``<[w1 w1 w0] r0/1/1>`` style,
+        where the completing writes subsume the initialization.
+        """
+        prefix = tuple(op.as_completing() for op in completing)
+        inits = () if drop_inits else self.inits
+        return SOS(inits, prefix + self.ops)
+
+    # -- formatting / parsing ----------------------------------------------
+
+    def to_string(self) -> str:
+        explicit = self.n_cells > 1
+        parts = [init.to_string(explicit) for init in self.inits]
+        run: list = []
+        for op in self.ops:
+            if op.completing:
+                run.append(op)
+                continue
+            if run:
+                parts.append("[" + " ".join(o.to_string(explicit) for o in run) + "]")
+                run = []
+            parts.append(op.to_string(explicit))
+        if run:
+            parts.append("[" + " ".join(o.to_string(explicit) for o in run) + "]")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def parse_sos(text: str) -> SOS:
+    """Parse an SOS string such as ``"1r1"`` or ``"1v [w0BL] r1v"``.
+
+    Compact forms without whitespace (``"0w1"``, ``"1r1"``) are accepted for
+    single-cell sequences.
+    """
+    text = text.strip()
+    if not text:
+        return SOS()
+    inits: list = []
+    ops: list = []
+    for token, inside in _tokenize_sos(text):
+        for item in _parse_items(token, inside):
+            if isinstance(item, Init):
+                if ops:
+                    raise NotationError(
+                        f"initial state {token!r} appears after an operation"
+                    )
+                inits.append(item)
+            else:
+                ops.append(item)
+    return SOS(tuple(inits), tuple(ops))
+
+
+def _parse_compact_sos(text: str) -> SOS:
+    """Parse whitespace-free single-cell SOS strings like ``"0w11r1"``.
+
+    The practically relevant forms are ``"0"``, ``"1"``, ``"0w1"``,
+    ``"1r1"``, ``"0r0r0"``, etc.
+    """
+    inits: list = []
+    ops: list = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch in "01":
+            if inits or ops:
+                raise NotationError(
+                    f"unexpected bare state {ch!r} at position {i} in {text!r}"
+                )
+            inits.append(Init(int(ch)))
+            i += 1
+        elif ch in "rw":
+            if i + 1 >= len(text) or text[i + 1] not in "01":
+                raise NotationError(f"operation {ch!r} lacks a value in {text!r}")
+            ops.append(Op(OpKind(ch), int(text[i + 1])))
+            i += 2
+        else:
+            raise NotationError(f"unexpected character {ch!r} in SOS {text!r}")
+    return SOS(tuple(inits), tuple(ops))
+
+
+@dataclass(frozen=True)
+class FaultPrimitive:
+    """A fault primitive ``<S/F/R>``.
+
+    :attr:`faulty_value` is ``F``; :attr:`read_value` is ``R`` with ``None``
+    standing for the paper's ``-`` (no read result).
+    """
+
+    sos: SOS
+    faulty_value: int
+    read_value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_bit(self.faulty_value, "faulty value F")
+        if self.read_value is not None:
+            _check_bit(self.read_value, "read value R")
+        if self.read_value is not None and not self.sos.ends_in_read:
+            raise ValueError(
+                "R is given but the SOS does not end with a read of the victim"
+            )
+        if self.read_value is None and self.sos.ends_in_read:
+            raise ValueError("the SOS ends with a read but R is '-'")
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """``#C`` of the fault primitive."""
+        return self.sos.n_cells
+
+    @property
+    def n_ops(self) -> int:
+        """``#O`` of the fault primitive."""
+        return self.sos.n_ops
+
+    @property
+    def expected_value(self) -> Optional[int]:
+        """Fault-free final state of the victim."""
+        return self.sos.expected_final_state(VICTIM)
+
+    @property
+    def expected_read(self) -> Optional[int]:
+        last = self.sos.last_op
+        if last is not None and last.is_read and last.cell == VICTIM:
+            return last.value
+        return None
+
+    @property
+    def is_completed(self) -> bool:
+        """True when the SOS carries completing operations."""
+        return self.sos.has_completing_ops
+
+    def is_faulty(self) -> bool:
+        """True when ``<S/F/R>`` actually deviates from fault-free behaviour.
+
+        A fault primitive must either corrupt the stored value (``F`` differs
+        from the expected final state) or return a wrong read value.
+        """
+        expected = self.expected_value
+        if expected is not None and self.faulty_value != expected:
+            return True
+        expected_read = self.expected_read
+        if expected_read is not None and self.read_value != expected_read:
+            return True
+        return False
+
+    def complement(self) -> "FaultPrimitive":
+        """Data complement (the Table 1 ``Com.`` transform)."""
+        read = None if self.read_value is None else 1 - self.read_value
+        return FaultPrimitive(self.sos.complement(), 1 - self.faulty_value, read)
+
+    def partial_counterpart(self) -> "FaultPrimitive":
+        """Drop completing operations, recovering the partial FP."""
+        return FaultPrimitive(
+            self.sos.without_completing_ops(), self.faulty_value, self.read_value
+        )
+
+    def to_string(self) -> str:
+        read = "-" if self.read_value is None else str(self.read_value)
+        return f"<{self.sos.to_string()}/{self.faulty_value}/{read}>"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def parse_fp(text: str) -> FaultPrimitive:
+    """Parse a fault primitive string such as ``"<1r1/0/0>"``.
+
+    Also accepts the paper's subscripted/bracketed forms, e.g.
+    ``"<1v [w0BL] r1v /0/0>"`` and ``"<[w1 w1 w0] r0/1/1>"``.
+    """
+    text = text.strip()
+    if not (text.startswith("<") and text.endswith(">")):
+        raise NotationError(f"fault primitive must be wrapped in <>: {text!r}")
+    body = text[1:-1]
+    parts = body.rsplit("/", 2)
+    if len(parts) != 3:
+        raise NotationError(f"fault primitive needs exactly two '/': {text!r}")
+    sos_text, f_text, r_text = (part.strip() for part in parts)
+    sos = parse_sos(sos_text)
+    if f_text not in ("0", "1"):
+        raise NotationError(f"faulty value must be 0 or 1, got {f_text!r}")
+    if r_text in ("-", "−", ""):
+        read: Optional[int] = None
+    elif r_text in ("0", "1"):
+        read = int(r_text)
+    else:
+        raise NotationError(f"read value must be 0, 1 or '-', got {r_text!r}")
+    try:
+        return FaultPrimitive(sos, int(f_text), read)
+    except ValueError as exc:
+        raise NotationError(str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# FP-space enumeration and counting (Section 4 of the paper)
+# ---------------------------------------------------------------------------
+
+
+def enumerate_single_cell_sos(n_ops: int) -> Iterator[SOS]:
+    """Yield all consistent single-cell SOSes with exactly ``n_ops`` ops.
+
+    An SOS starts from an initial state in ``{0, 1}``; each subsequent
+    operation is one of ``w0``, ``w1`` or a read of the current fault-free
+    state, giving ``2 * 3**n_ops`` sequences.
+    """
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    for init_value in _BIT_VALUES:
+        for choices in itertools.product(("r", "w0", "w1"), repeat=n_ops):
+            state = init_value
+            ops = []
+            for choice in choices:
+                if choice == "r":
+                    ops.append(Op(OpKind.READ, state))
+                else:
+                    value = int(choice[1])
+                    ops.append(Op(OpKind.WRITE, value))
+                    state = value
+            yield SOS((Init(init_value),), tuple(ops))
+
+
+def enumerate_single_cell_fps(n_ops: int) -> Iterator[FaultPrimitive]:
+    """Yield all single-cell fault primitives with exactly ``n_ops`` ops.
+
+    For every SOS, all ``<S/F/R>`` combinations that actually deviate from
+    fault-free behaviour are produced:
+
+    * SOS ending in a write (or with no ops): one FP, with ``F`` the
+      complement of the expected state.
+    * SOS ending in a read: three FPs — the ``(F, R)`` combinations other
+      than the fault-free pair.
+    """
+    for sos in enumerate_single_cell_sos(n_ops):
+        expected = sos.expected_final_state()
+        assert expected is not None
+        if sos.ends_in_read:
+            for faulty, read in itertools.product(_BIT_VALUES, _BIT_VALUES):
+                if (faulty, read) == (expected, expected):
+                    continue
+                yield FaultPrimitive(sos, faulty, read)
+        else:
+            yield FaultPrimitive(sos, 1 - expected)
+
+
+def single_cell_fp_count(n_ops: int) -> int:
+    """Number of single-cell FPs with exactly ``n_ops`` operations.
+
+    Closed form (validated against :func:`enumerate_single_cell_fps` in the
+    test suite)::
+
+        #FPs(0) = 2                    (the two state faults)
+        #FPs(k) = 10 * 3**(k-1)        (k >= 1)
+
+    The paper's Section 4 instance — "0 and 1 operations means 12 FPs have
+    been analysed" — is ``#FPs(0) + #FPs(1) = 2 + 10 = 12``.
+    """
+    if n_ops < 0:
+        raise ValueError("n_ops must be non-negative")
+    if n_ops == 0:
+        return 2
+    return 10 * 3 ** (n_ops - 1)
+
+
+def cumulative_single_cell_fp_count(max_ops: int) -> int:
+    """Number of single-cell FPs with ``#O`` between 0 and ``max_ops``."""
+    return sum(single_cell_fp_count(k) for k in range(max_ops + 1))

@@ -1,0 +1,166 @@
+"""Functional fault models (FFMs) for single-cell memory faults.
+
+An FFM is a named set of fault primitives.  This module provides the
+single-cell, single-operation taxonomy of van de Goor & Al-Ars (VTS 2000)
+that the paper's Table 1 is written in:
+
+========  =================================  ==============================
+FFM       Fault primitive                    Meaning
+========  =================================  ==============================
+SF0       ``<0/1/->``                        state fault: a stored 0 flips
+SF1       ``<1/0/->``                        state fault: a stored 1 flips
+TF_UP     ``<0w1/0/->``                      up-transition write fails
+TF_DOWN   ``<1w0/1/->``                      down-transition write fails
+WDF0      ``<0w0/1/->``                      non-transition w0 flips cell
+WDF1      ``<1w1/0/->``                      non-transition w1 flips cell
+RDF0      ``<0r0/1/1>``                      read destroys cell, reads wrong
+RDF1      ``<1r1/0/0>``                      read destroys cell, reads wrong
+DRDF0     ``<0r0/1/0>``                      deceptive read destructive
+DRDF1     ``<1r1/0/1>``                      deceptive read destructive
+IRF0      ``<0r0/0/1>``                      incorrect read, state intact
+IRF1      ``<1r1/1/0>``                      incorrect read, state intact
+========  =================================  ==============================
+
+Classification is *behavioural*: a completed FP such as
+``<1_v [w0_BL] r1_v /0/0>`` classifies as RDF1 because, ignoring completing
+operations, it has the same sensitizing sequence and faulty behaviour as
+``<1r1/0/0>``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from .fault_primitives import VICTIM, FaultPrimitive, parse_fp
+
+__all__ = ["FFM", "classify_fp", "canonical_fp", "ALL_SINGLE_CELL_FFMS"]
+
+
+class FFM(Enum):
+    """Single-cell functional fault models used by the paper."""
+
+    SF0 = "SF0"
+    SF1 = "SF1"
+    TF_UP = "TF^"
+    TF_DOWN = "TFv"
+    WDF0 = "WDF0"
+    WDF1 = "WDF1"
+    RDF0 = "RDF0"
+    RDF1 = "RDF1"
+    DRDF0 = "DRDF0"
+    DRDF1 = "DRDF1"
+    IRF0 = "IRF0"
+    IRF1 = "IRF1"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    def complement(self) -> "FFM":
+        """The FFM sensitized by the complementary defect (Table 1 Com.)."""
+        return _COMPLEMENTS[self]
+
+
+_CANONICAL: Dict[FFM, str] = {
+    FFM.SF0: "<0/1/->",
+    FFM.SF1: "<1/0/->",
+    FFM.TF_UP: "<0w1/0/->",
+    FFM.TF_DOWN: "<1w0/1/->",
+    FFM.WDF0: "<0w0/1/->",
+    FFM.WDF1: "<1w1/0/->",
+    FFM.RDF0: "<0r0/1/1>",
+    FFM.RDF1: "<1r1/0/0>",
+    FFM.DRDF0: "<0r0/1/0>",
+    FFM.DRDF1: "<1r1/0/1>",
+    FFM.IRF0: "<0r0/0/1>",
+    FFM.IRF1: "<1r1/1/0>",
+}
+
+_COMPLEMENTS: Dict[FFM, FFM] = {
+    FFM.SF0: FFM.SF1,
+    FFM.SF1: FFM.SF0,
+    FFM.TF_UP: FFM.TF_DOWN,
+    FFM.TF_DOWN: FFM.TF_UP,
+    FFM.WDF0: FFM.WDF1,
+    FFM.WDF1: FFM.WDF0,
+    FFM.RDF0: FFM.RDF1,
+    FFM.RDF1: FFM.RDF0,
+    FFM.DRDF0: FFM.DRDF1,
+    FFM.DRDF1: FFM.DRDF0,
+    FFM.IRF0: FFM.IRF1,
+    FFM.IRF1: FFM.IRF0,
+}
+
+#: All twelve single-cell, at-most-one-operation FFMs (the "12 FPs" of
+#: Section 4: two state faults plus ten one-operation faults).
+ALL_SINGLE_CELL_FFMS: Tuple[FFM, ...] = tuple(FFM)
+
+
+def canonical_fp(ffm: FFM) -> FaultPrimitive:
+    """The canonical (partial, single-cell) fault primitive of an FFM."""
+    return parse_fp(_CANONICAL[ffm])
+
+
+def _victim_signature(fp: FaultPrimitive) -> Tuple:
+    """Signature of the victim-cell behaviour, completing ops stripped.
+
+    The signature is ``(init, last_victim_op, F, R)`` where ``init`` is the
+    victim state immediately before the last victim operation (or the final
+    state for operation-free SOSes).
+    """
+    sos = fp.sos.without_completing_ops()
+    victim_ops = [op for op in sos.ops if op.cell == VICTIM]
+    if not victim_ops:
+        # State-fault shaped: derive the intended state of the victim.  For a
+        # completed FP whose completing writes target the victim (e.g.
+        # <[w1 w1 w0] r0/1/1> minus its final read this cannot happen), fall
+        # back to the full SOS expected state.
+        intended = sos.expected_final_state(VICTIM)
+        if intended is None:
+            intended = fp.sos.expected_final_state(VICTIM)
+        return ("state", intended, fp.faulty_value, fp.read_value)
+    last = victim_ops[-1]
+    # State of the victim just before its last operation.
+    state = sos.init_value(VICTIM)
+    for op in victim_ops[:-1]:
+        if op.is_write:
+            state = op.value
+        else:
+            state = op.value  # a fault-free read confirms the state
+    if state is None:
+        # Initialization dropped (completed FPs like <[w1 w1 w0] r0/1/1>):
+        # reconstruct from the completing prefix of the full SOS.
+        state = _state_before_last_victim_op(fp)
+    return (last.kind.value, last.value, state, fp.faulty_value, fp.read_value)
+
+
+def _state_before_last_victim_op(fp: FaultPrimitive) -> Optional[int]:
+    state = fp.sos.init_value(VICTIM)
+    victim_ops = [op for op in fp.sos.ops if op.cell == VICTIM]
+    for op in victim_ops[:-1]:
+        state = op.value
+    return state
+
+
+_SIGNATURES: Dict[Tuple, FFM] = {}
+for _ffm in FFM:
+    _SIGNATURES[_victim_signature(canonical_fp(_ffm))] = _ffm
+
+
+def classify_fp(fp: FaultPrimitive) -> Optional[FFM]:
+    """Classify a (possibly completed) fault primitive into an FFM.
+
+    Completing operations and their preconditioning are ignored: only the
+    victim's final sensitizing operation, its prior state, and the faulty
+    behaviour ``(F, R)`` matter.  Returns ``None`` for FPs outside the
+    single-cell, one-operation taxonomy (e.g. ``#O > 1`` on the victim with
+    non-completing operations) or for non-faulty primitives.
+    """
+    if not fp.is_faulty():
+        return None
+    plain_victim_ops = [
+        op for op in fp.sos.ops if op.cell == VICTIM and not op.completing
+    ]
+    if len(plain_victim_ops) > 1:
+        return None
+    return _SIGNATURES.get(_victim_signature(fp))

@@ -1,0 +1,81 @@
+"""Partial-fault metrics and relations (Section 4 of the paper).
+
+Fault models are classified by their SOS along two axes:
+
+* ``#C`` — the number of *different cells* accessed by the SOS, and
+* ``#O`` — the number of *performed operations* (initializations excluded,
+  completing operations included).
+
+The paper's example: ``S = 0_a 0_v w1_a r1_a r0_v`` has ``#C = 2`` (cells
+``a`` and ``v``) and ``#O = 3`` (``w1_a``, ``r1_a``, ``r0_v``).
+
+For a partial FP ``FP_p`` and a completed FP ``FP_c`` built from it, at
+least one of the paper's three relations holds:
+
+1. ``#C_c >= #C_p``
+2. ``#O_c >= #O_p``
+3. ``#C_c >= #C_p`` **and** ``#O_c >= #O_p``
+
+i.e. completing a fault never reduces the number of cells *and* operations;
+a test for the completed fault is at least as complex as one for the
+partial fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .fault_primitives import SOS, FaultPrimitive
+
+__all__ = [
+    "SOSMetrics",
+    "metrics_of",
+    "satisfied_relations",
+    "check_completion_relations",
+]
+
+
+@dataclass(frozen=True, order=True)
+class SOSMetrics:
+    """The ``(#C, #O)`` pair of an SOS or fault primitive."""
+
+    n_cells: int
+    n_ops: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"#C={self.n_cells}, #O={self.n_ops}"
+
+
+def metrics_of(item: Union[SOS, FaultPrimitive]) -> SOSMetrics:
+    """Compute ``(#C, #O)`` for an SOS or a fault primitive."""
+    sos = item.sos if isinstance(item, FaultPrimitive) else item
+    return SOSMetrics(sos.n_cells, sos.n_ops)
+
+
+def satisfied_relations(
+    partial: Union[SOS, FaultPrimitive], completed: Union[SOS, FaultPrimitive]
+) -> Tuple[int, ...]:
+    """Which of the paper's relations 1-3 hold between partial and completed.
+
+    Returns a tuple of relation numbers, e.g. ``(1, 2, 3)`` for the Open 4
+    example where ``RDF1`` (``#C=1, #O=1``) completes to
+    ``<1_v [w0_BL] r1_v /0/0>`` (``#C=2, #O=2``).
+    """
+    mp = metrics_of(partial)
+    mc = metrics_of(completed)
+    relations = []
+    if mc.n_cells >= mp.n_cells:
+        relations.append(1)
+    if mc.n_ops >= mp.n_ops:
+        relations.append(2)
+    if mc.n_cells >= mp.n_cells and mc.n_ops >= mp.n_ops:
+        relations.append(3)
+    return tuple(relations)
+
+
+def check_completion_relations(
+    partial: Union[SOS, FaultPrimitive], completed: Union[SOS, FaultPrimitive]
+) -> bool:
+    """True when at least one of the paper's relations 1-3 is satisfied."""
+    return bool(satisfied_relations(partial, completed))

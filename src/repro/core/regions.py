@@ -1,0 +1,231 @@
+"""FP region maps in the ``(R_def, U)`` plane (Figs. 3 and 4 of the paper).
+
+A :class:`FPRegionMap` records, for every grid point of defect resistance
+``R_def`` and initial floating voltage ``U``, which fault primitive (if any)
+the simulated memory exhibits.  The paper's partial-fault rule operates on
+these maps:
+
+    *"Assume a defect results in a floating voltage V_f and in observing
+    FP_1.  If FP_1 is only observed for a limited range of V_f values, then
+    completing operations should be added to FP_1."*
+
+Accordingly the map exposes :meth:`is_partial_label` (fault present for a
+strict, non-empty subset of the ``U`` axis at some resistance) and
+:meth:`is_u_independent` (some resistance exists above which the fault is
+present for *every* initial voltage — the completed-FP success criterion of
+Figs. 3(b)/4(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["FPRegionMap"]
+
+Label = Optional[Hashable]
+
+
+@dataclass(frozen=True)
+class FPRegionMap:
+    """Grid of observed fault labels over the ``(R_def, U)`` plane.
+
+    ``labels[i][j]`` is the label observed at ``r_values[i]``,
+    ``u_values[j]``; ``None`` means fault-free behaviour.
+    """
+
+    r_values: Tuple[float, ...]
+    u_values: Tuple[float, ...]
+    labels: Tuple[Tuple[Label, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "r_values", tuple(self.r_values))
+        object.__setattr__(self, "u_values", tuple(self.u_values))
+        object.__setattr__(self, "labels", tuple(tuple(row) for row in self.labels))
+        if list(self.r_values) != sorted(self.r_values):
+            raise ValueError("r_values must be sorted ascending")
+        if list(self.u_values) != sorted(self.u_values):
+            raise ValueError("u_values must be sorted ascending")
+        if len(self.labels) != len(self.r_values):
+            raise ValueError("labels must have one row per r value")
+        for row in self.labels:
+            if len(row) != len(self.u_values):
+                raise ValueError("labels rows must have one entry per u value")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        r_values: Sequence[float],
+        u_values: Sequence[float],
+        classify: Callable[[float, float], Label],
+    ) -> "FPRegionMap":
+        """Build a map by evaluating ``classify(r, u)`` on the full grid."""
+        rows = tuple(
+            tuple(classify(r, u) for u in u_values) for r in r_values
+        )
+        return cls(tuple(r_values), tuple(u_values), rows)
+
+    # -- basic queries -------------------------------------------------------
+
+    def label_at(self, r: float, u: float) -> Label:
+        """Label at the grid point closest to ``(r, u)``."""
+        i = min(range(len(self.r_values)), key=lambda k: abs(self.r_values[k] - r))
+        j = min(range(len(self.u_values)), key=lambda k: abs(self.u_values[k] - u))
+        return self.labels[i][j]
+
+    @property
+    def observed_labels(self) -> Tuple[Hashable, ...]:
+        """Distinct non-None labels, in first-appearance order."""
+        seen: List[Hashable] = []
+        for row in self.labels:
+            for label in row:
+                if label is not None and label not in seen:
+                    seen.append(label)
+        return tuple(seen)
+
+    def fault_fraction(self, label: Optional[Hashable] = None) -> float:
+        """Fraction of grid points showing ``label`` (any fault if None)."""
+        total = len(self.r_values) * len(self.u_values)
+        if total == 0:
+            return 0.0
+        count = 0
+        for row in self.labels:
+            for cell in row:
+                if (label is None and cell is not None) or (
+                    label is not None and cell == label
+                ):
+                    count += 1
+        return count / total
+
+    # -- partial-fault rule ----------------------------------------------------
+
+    def u_indices_with(self, label: Hashable, r_index: int) -> Tuple[int, ...]:
+        row = self.labels[r_index]
+        return tuple(j for j, cell in enumerate(row) if cell == label)
+
+    def is_partial_label(self, label: Hashable) -> bool:
+        """The paper's rule: fault observed for a limited range of ``U``.
+
+        True when, at some resistance where the label appears, it covers a
+        strict subset of the ``U`` axis.  (A label that always covers the
+        entire axis wherever it appears is *not* partial.)
+        """
+        n_u = len(self.u_values)
+        appeared = False
+        for i in range(len(self.r_values)):
+            hits = self.u_indices_with(label, i)
+            if hits:
+                appeared = True
+                if len(hits) < n_u:
+                    return True
+        if not appeared:
+            raise ValueError(f"label {label!r} never observed in the map")
+        return False
+
+    def partial_area_fraction(self, label: Optional[Hashable] = None) -> float:
+        """Fraction of the fault region lying in partially covered rows.
+
+        Quantifies *how* partial a fault is: 1.0 means every occurrence
+        sits at a resistance where the fault covers only part of the ``U``
+        axis (the Fig. 3(a) picture); values near 0 mean the fault body is
+        ``U``-independent and only grid-resolution boundary rows wiggle
+        (what bridge defects produce).
+
+        With ``label=None`` the *union* of all fault labels is measured —
+        the per-defect question "does this defect's faulty behaviour
+        depend on the initial floating voltage at all?".
+        """
+        n_u = len(self.u_values)
+        total = 0
+        in_partial_rows = 0
+        for i in range(len(self.r_values)):
+            if label is None:
+                hits = sum(
+                    1 for cell in self.labels[i] if cell is not None
+                )
+            else:
+                hits = len(self.u_indices_with(label, i))
+            total += hits
+            if 0 < hits < n_u:
+                in_partial_rows += hits
+        if total == 0:
+            raise ValueError(f"label {label!r} never observed in the map")
+        return in_partial_rows / total
+
+    def is_u_independent(self, label: Hashable) -> bool:
+        """Completed-FP criterion: above some R, fault holds for every U."""
+        n_u = len(self.u_values)
+        for i in range(len(self.r_values)):
+            if len(self.u_indices_with(label, i)) == n_u:
+                return True
+        return False
+
+    # -- threshold curves (the figure boundaries) -------------------------------
+
+    def threshold_resistance(self, label: Hashable, u: float) -> Optional[float]:
+        """Smallest ``R_def`` at which ``label`` is observed for a given ``U``.
+
+        This is the fault-region boundary curve of Figs. 3/4; ``None`` when
+        the fault never appears at this voltage.
+        """
+        j = min(range(len(self.u_values)), key=lambda k: abs(self.u_values[k] - u))
+        for i, r in enumerate(self.r_values):
+            if self.labels[i][j] == label:
+                return r
+        return None
+
+    def threshold_curve(self, label: Hashable) -> Dict[float, Optional[float]]:
+        """Boundary ``R*(U)`` for every grid voltage."""
+        return {
+            u: self.threshold_resistance(label, u) for u in self.u_values
+        }
+
+    def u_extent(self, label: Hashable) -> Optional[Tuple[float, float]]:
+        """Min/max ``U`` at which the label is ever observed."""
+        hits = [
+            self.u_values[j]
+            for i in range(len(self.r_values))
+            for j in self.u_indices_with(label, i)
+        ]
+        if not hits:
+            return None
+        return (min(hits), max(hits))
+
+    def max_fault_voltage(self, label: Hashable) -> Optional[float]:
+        """Largest ``U`` showing the fault (Fig. 3(a)'s "about 2 V" bound)."""
+        extent = self.u_extent(label)
+        return None if extent is None else extent[1]
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render_ascii(
+        self, symbols: Optional[Dict[Hashable, str]] = None, free: str = "."
+    ) -> str:
+        """Render the map as ASCII art, resistance increasing upward.
+
+        Unmapped labels are assigned letters in order of appearance.
+        """
+        table = dict(symbols or {})
+        letters = iter("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+        for label in self.observed_labels:
+            if label not in table:
+                table[label] = next(letters)
+        lines = []
+        for i in reversed(range(len(self.r_values))):
+            row = "".join(
+                free if cell is None else table[cell] for cell in self.labels[i]
+            )
+            lines.append(f"{self.r_values[i]:>12.3g} | {row}")
+        axis = " " * 13 + "+" + "-" * len(self.u_values)
+        label_line = (
+            " " * 15
+            + f"U: {self.u_values[0]:.2g} .. {self.u_values[-1]:.2g} V"
+        )
+        legend = "  ".join(f"{sym}={label}" for label, sym in table.items())
+        lines.append(axis)
+        lines.append(label_line)
+        if legend:
+            lines.append("legend: " + legend + f"  {free}=no fault")
+        return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""

@@ -1,0 +1,188 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Four knobs of the electrical model are swept and their effect on the two
+headline fault-region boundaries measured:
+
+* **cell-to-bit-line capacitance ratio** — sets the charge-sharing signal,
+  and with it where the Fig. 3 boundary voltage falls;
+* **charge-sharing window** ``t_share`` — sets the resistance at which
+  read sensing through a cell open starts failing (the Fig. 4 anchors);
+* **sense-amp dead zone** ``sa_offset`` — widens or narrows the band where
+  unfired sensing leaves state stale;
+* **completion search depth** — cost (candidates tried, exactly the
+  Section 4 exponential) against completions found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.defects import FloatingNode, OpenLocation
+from ..circuit.technology import Technology, default_technology
+from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
+from ..core.completion import candidate_completions, complete_fault
+from ..core.fault_primitives import parse_sos
+from ..core.ffm import FFM
+from .reporting import ExperimentReport, format_table
+
+__all__ = ["AblationResult", "run_ablation"]
+
+
+@dataclass
+class AblationResult:
+    rows: Dict[str, List[Tuple]]
+    report: ExperimentReport
+
+
+def _fig3_boundary(tech: Technology, n_r: int, n_u: int) -> Optional[float]:
+    analyzer = ColumnFaultAnalyzer(
+        OpenLocation.BL_PRECHARGE_CELLS, technology=tech,
+        grid=default_grid_for(OpenLocation.BL_PRECHARGE_CELLS, n_r, n_u,
+                              vdd=tech.vdd),
+    )
+    region = analyzer.region_map(parse_sos("1r1"), FloatingNode.BIT_LINE)
+    if FFM.RDF1 not in region.observed_labels:
+        return None
+    return region.max_fault_voltage(FFM.RDF1)
+
+
+def _fig4_threshold(tech: Technology, n_r: int, n_u: int) -> Optional[float]:
+    analyzer = ColumnFaultAnalyzer(
+        OpenLocation.CELL, technology=tech,
+        grid=default_grid_for(OpenLocation.CELL, n_r, n_u, vdd=tech.vdd),
+    )
+    region = analyzer.region_map(parse_sos("0r0"), FloatingNode.CELL)
+    if FFM.RDF0 not in region.observed_labels:
+        return None
+    thresholds = [
+        r for u in region.u_values
+        for r in [region.threshold_resistance(FFM.RDF0, u)]
+        if r is not None
+    ]
+    return min(thresholds) if thresholds else None
+
+
+def run_ablation(n_r: int = 12, n_u: int = 8) -> AblationResult:
+    """Sweep the design knobs; report boundary movements."""
+    base = default_technology()
+    report = ExperimentReport("Ablations — model design choices")
+    rows: Dict[str, List[Tuple]] = {}
+
+    # 1. capacitance ratio.
+    cap_rows = []
+    for c_cell in (15e-15, 30e-15, 60e-15):
+        tech = base.scaled(c_cell=c_cell)
+        boundary = _fig3_boundary(tech, n_r, n_u)
+        cap_rows.append(
+            (f"{c_cell*1e15:.0f} fF",
+             f"{tech.transfer_ratio:.3f}",
+             "none" if boundary is None else f"{boundary:.2f} V")
+        )
+    rows["capacitance"] = cap_rows
+    report.add_block(
+        "Cell capacitance vs Fig. 3 boundary voltage:\n"
+        + format_table(("c_cell", "transfer ratio", "max fault U"), cap_rows)
+    )
+    boundaries = [r[2] for r in cap_rows if r[2] != "none"]
+    report.claim(
+        "larger cells shrink the partial-fault voltage range",
+        "stronger cell signal -> fault needs lower U",
+        " -> ".join(boundaries),
+        len(boundaries) >= 2 and boundaries == sorted(boundaries, reverse=True),
+    )
+
+    # 2. sharing window vs Fig. 4 threshold.
+    share_rows = []
+    for t_share in (0.75e-9, 1.5e-9, 3e-9):
+        tech = base.scaled(t_share=t_share)
+        threshold = _fig4_threshold(tech, n_r, n_u)
+        share_rows.append(
+            (f"{t_share*1e9:.2f} ns",
+             "none" if threshold is None else f"{threshold/1e3:.0f} kOhm")
+        )
+    rows["t_share"] = share_rows
+    report.add_block(
+        "Charge-sharing window vs Fig. 4 low threshold:\n"
+        + format_table(("t_share", "min RDF0 threshold"), share_rows)
+    )
+    thresholds = [r[1] for r in share_rows if r[1] != "none"]
+    report.claim(
+        "longer sharing windows push the cell-open threshold up",
+        "more settling time -> higher R_def needed to fail",
+        " -> ".join(thresholds),
+        len(thresholds) >= 2
+        and [float(t.split()[0]) for t in thresholds]
+        == sorted(float(t.split()[0]) for t in thresholds),
+    )
+
+    # 3. sense-amp offset: the fault inventory must be robust to it.
+    offset_rows = []
+    for sa_offset in (0.005, 0.01, 0.02):
+        tech = base.scaled(sa_offset=sa_offset)
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.BL_PRECHARGE_CELLS, technology=tech,
+            grid=default_grid_for(OpenLocation.BL_PRECHARGE_CELLS, n_r, n_u),
+        )
+        region = analyzer.region_map(parse_sos("1r1"), FloatingNode.BIT_LINE)
+        partial = (
+            FFM.RDF1 in region.observed_labels
+            and region.is_partial_label(FFM.RDF1)
+        )
+        offset_rows.append(
+            (f"{sa_offset*1e3:.0f} mV", "partial RDF1" if partial else "lost")
+        )
+    rows["sa_offset"] = offset_rows
+    report.add_block(
+        "SA dead zone vs RDF1 partial fault:\n"
+        + format_table(("sa_offset", "finding"), offset_rows)
+    )
+    report.claim(
+        "the partial-fault phenomenon is robust to the SA dead zone",
+        "RDF1 stays partial across realistic offsets",
+        f"{sum(r[1] == 'partial RDF1' for r in offset_rows)}/3 offsets",
+        all(r[1] == "partial RDF1" for r in offset_rows),
+    )
+
+    # 4. completion search depth: cost vs success (Section 4 economics).
+    analyzer = ColumnFaultAnalyzer(OpenLocation.BL_PRECHARGE_CELLS)
+    findings = [
+        f for f in analyzer.survey(
+            (FloatingNode.BIT_LINE,), probes=("1r1",)
+        )
+        if f.ffm is FFM.RDF1 and f.is_partial
+    ]
+    depth_rows = []
+    if findings:
+        for depth in (1, 2, 3):
+            n_candidates = sum(
+                1 for _ in candidate_completions(findings[0].probe_sos, depth)
+            )
+            outcome = complete_fault(
+                analyzer, findings[0], max_extra_ops=depth,
+                grid=analyzer.grid.coarser(3, 3),
+            )
+            depth_rows.append(
+                (depth, n_candidates, outcome.describe())
+            )
+    rows["depth"] = depth_rows
+    report.add_block(
+        "Completion search depth (candidates grow exponentially):\n"
+        + format_table(("max extra ops", "candidates", "completion"),
+                       depth_rows)
+    )
+    report.claim(
+        "depth-1 search already completes the Fig. 3 fault",
+        "one completing operation suffices (the paper's w0_BL)",
+        depth_rows[0][2] if depth_rows else "no finding",
+        bool(depth_rows) and depth_rows[0][2] != "Not possible",
+    )
+    return AblationResult(rows, report)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_ablation().report.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,137 @@
+"""Section 4 numbers: #C/#O metrics, relations, and the FP-space size.
+
+Reproduced claims:
+
+* the worked metric example: ``S = 0_a 0_v w1_a r1_a r0_v`` has ``#C = 2``
+  and ``#O = 3``;
+* the FP-space anchor: analysing ``#C = 1`` with ``#O ∈ {0, 1}`` means
+  12 fault primitives;
+* the growth is exponential in ``#O`` (the paper's argument for why the
+  partial-fault method beats brute-force high-``#O`` analysis);
+* the three partial-to-completed relations hold for every completed fault
+  of the Table 1 inventory (e.g. the Open 4 example: RDF1 with
+  ``#C=1, #O=1`` completes to ``<1_v [w0_BL] r1_v/0/0>`` with
+  ``#C=2, #O=2`` — relation 3).
+
+The paper's printed cumulative count for ``#O <= 4`` ("372") is not
+reproducible from its OCR-garbled formula; direct enumeration gives 402
+(= 2 + 10 + 30 + 90 + 270).  Both the closed form and the enumeration are
+checked against each other here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.fault_primitives import (
+    cumulative_single_cell_fp_count,
+    enumerate_single_cell_fps,
+    parse_fp,
+    parse_sos,
+    single_cell_fp_count,
+)
+from ..core.metrics import metrics_of, satisfied_relations
+from .reporting import ExperimentReport, format_table
+from .table1 import REFERENCE_COMPLETED_FPS
+
+__all__ = ["FPSpaceResult", "run_fp_space"]
+
+
+@dataclass
+class FPSpaceResult:
+    counts: Dict[int, int]
+    report: ExperimentReport
+
+
+def run_fp_space(max_ops: int = 4) -> FPSpaceResult:
+    """Regenerate the Section 4 numbers."""
+    report = ExperimentReport("Section 4 — FP-space size, #C/#O relations")
+
+    counts: Dict[int, int] = {}
+    rows = []
+    for k in range(max_ops + 1):
+        formula = single_cell_fp_count(k)
+        enumerated = sum(1 for _ in enumerate_single_cell_fps(k))
+        counts[k] = enumerated
+        rows.append((k, formula, enumerated, cumulative_single_cell_fp_count(k)))
+    report.add_block(
+        format_table(("#O", "formula", "enumerated", "cumulative <=#O"), rows)
+    )
+    report.claim(
+        "closed form matches enumeration",
+        "#FPs(0)=2, #FPs(k)=10*3^(k-1)",
+        "all match" if all(r[1] == r[2] for r in rows) else "mismatch",
+        all(r[1] == r[2] for r in rows),
+    )
+    report.claim(
+        "the paper's 12-FP anchor (#C=1, #O<=1)",
+        "12 FPs analysed",
+        f"{cumulative_single_cell_fp_count(1)} FPs",
+        cumulative_single_cell_fp_count(1) == 12,
+    )
+    growth = all(
+        counts[k + 1] == 3 * counts[k] for k in range(1, max_ops)
+    )
+    report.claim(
+        "exponential growth in #O",
+        "each extra operation multiplies the FP space",
+        "x3 per operation" if growth else "not exponential",
+        growth,
+    )
+
+    example = parse_sos("0a 0v w1a r1a r0v")
+    m = metrics_of(example)
+    report.claim(
+        "worked example 0_a 0_v w1_a r1_a r0_v",
+        "#C=2, #O=3",
+        str(m),
+        (m.n_cells, m.n_ops) == (2, 3),
+    )
+
+    relation_rows: List[Tuple[str, str, str, str]] = []
+    all_hold = True
+    for text in REFERENCE_COMPLETED_FPS:
+        completed = parse_fp(text)
+        partial = completed.partial_counterpart()
+        relations = satisfied_relations(partial, completed)
+        all_hold = all_hold and bool(relations)
+        relation_rows.append(
+            (
+                text,
+                str(metrics_of(partial)),
+                str(metrics_of(completed)),
+                ",".join(map(str, relations)) or "none",
+            )
+        )
+    report.add_block(
+        "Partial-to-completed relations on the Table 1 inventory:\n"
+        + format_table(
+            ("completed FP", "partial #C/#O", "completed #C/#O", "relations"),
+            relation_rows,
+        )
+    )
+    report.claim(
+        "relations 1-3 hold for every completed fault",
+        "completion never reduces #C and #O below the partial fault's",
+        "all rows satisfy at least one relation" if all_hold else "violation",
+        all_hold,
+    )
+
+    open4 = parse_fp("<1v [w0BL] r1v/0/0>")
+    rel = satisfied_relations(open4.partial_counterpart(), open4)
+    report.claim(
+        "Open 4 example satisfies relation 3",
+        "#C: 1->2, #O: 1->2 (relation 3)",
+        f"relations {rel}",
+        3 in rel,
+    )
+    return FPSpaceResult(counts, report)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_fp_space().report.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,81 @@
+"""Reporting primitives shared by the experiment harnesses.
+
+Every experiment reproduces one table or figure of the paper and returns
+an :class:`ExperimentReport`: a list of :class:`Claim` rows stating what
+the paper reports, what this reproduction measures, and whether the
+qualitative claim holds.  ``render()`` prints the same information the
+paper's table/figure conveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Claim", "ExperimentReport", "format_table"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper-vs-measured comparison row."""
+
+    name: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        mark = "OK " if self.holds else "DIFF"
+        return f"[{mark}] {self.name}: paper={self.paper}  measured={self.measured}"
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one experiment harness."""
+
+    title: str
+    claims: List[Claim] = field(default_factory=list)
+    blocks: List[str] = field(default_factory=list)
+
+    def claim(self, name: str, paper: str, measured: str, holds: bool) -> None:
+        self.claims.append(Claim(name, paper, measured, holds))
+
+    def add_block(self, text: str) -> None:
+        self.blocks.append(text)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    @property
+    def holding(self) -> int:
+        return sum(claim.holds for claim in self.claims)
+
+    def render(self) -> str:
+        bar = "=" * max(20, len(self.title))
+        lines = [bar, self.title, bar]
+        for block in self.blocks:
+            lines.append(block)
+            lines.append("")
+        for claim in self.claims:
+            lines.append(claim.render())
+        lines.append(
+            f"-- {self.holding}/{len(self.claims)} claims hold --"
+        )
+        return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Left-aligned plain-text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    def line(row):
+        return "  ".join(f"{row[i]:<{widths[i]}s}" for i in range(len(row)))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

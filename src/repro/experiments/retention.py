@@ -1,0 +1,194 @@
+"""Extension experiment: leakage, temperature and data-retention faults.
+
+The paper's companion work (Al-Ars et al., ITC 2001 — cited as
+[Al-Ars01b], the source of March PF) studies how temperature changes the
+faulty behaviour of the same defects.  This extension adds the relevant
+physics to the column model and measures:
+
+1. **retention time vs. leak strength** — a cell-to-substrate leakage
+   defect (``CELL_GROUND`` bridge) shortens how long a stored 1 survives;
+   the fault is invisible to any march test without delay elements;
+2. **retention time vs. temperature** — leakage doubles every 10 °C, so a
+   marginally leaky cell that passes at 25 °C fails at 85 °C (why
+   industrial retention tests run hot);
+3. **test comparison** — March C- (no delays) misses the leaky cell at
+   any strength that survives an operation, while the classical IFA 13
+   (two 100 ms delay elements) catches it, both behaviourally and on the
+   electrical model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..circuit.bridges import BridgeDefect, BridgeLocation
+from ..circuit.column import DRAMColumn
+from ..circuit.technology import Technology, default_technology
+from ..march.library import IFA_13, MARCH_C_MINUS, MARCH_SS
+from ..march.simulator import run_march
+from ..memory.array import Topology
+from ..memory.fault_machine import DataRetentionFault
+from ..memory.simulator import ElectricalMemory, FaultyMemory
+from .reporting import ExperimentReport, format_table
+
+__all__ = ["RetentionResult", "run_retention", "measure_retention_time"]
+
+
+def measure_retention_time(
+    technology: Optional[Technology] = None,
+    leak_resistance: Optional[float] = None,
+    resolution: int = 24,
+    t_max: float = 10.0,
+) -> float:
+    """Time until a freshly written 1 no longer reads back (bisection)."""
+    tech = technology or default_technology()
+
+    def survives(duration: float) -> bool:
+        defect = (
+            BridgeDefect(BridgeLocation.CELL_GROUND, leak_resistance)
+            if leak_resistance is not None else None
+        )
+        column = DRAMColumn(tech, n_rows=2, defect=defect)
+        column.write(0, 1)
+        column.idle(duration)
+        return column.read(0) == 1
+
+    low, high = 0.0, t_max
+    if survives(t_max):
+        return math.inf
+    for _ in range(resolution):
+        mid = (low + high) / 2
+        if survives(mid):
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+@dataclass
+class RetentionResult:
+    retention_by_leak: Dict[float, float]
+    retention_by_temperature: Dict[float, float]
+    report: ExperimentReport
+
+
+def run_retention(
+    technology: Optional[Technology] = None,
+) -> RetentionResult:
+    """Run the retention extension experiment."""
+    tech = technology or default_technology()
+    report = ExperimentReport(
+        "Extension — leakage, temperature and retention faults"
+    )
+
+    # 1. Retention vs. leak strength.
+    retention_by_leak: Dict[float, float] = {}
+    leak_rows = []
+    for r_leak in (None, 1e11, 1e10, 1e9):
+        t_ret = measure_retention_time(tech, r_leak)
+        key = math.inf if r_leak is None else r_leak
+        retention_by_leak[key] = t_ret
+        leak_rows.append(
+            ("healthy" if r_leak is None else f"{r_leak:.0e} Ohm",
+             "> 10 s" if math.isinf(t_ret) else f"{t_ret * 1e3:.1f} ms")
+        )
+    report.add_block(
+        "Retention time vs. cell-to-substrate leak:\n"
+        + format_table(("leak", "retention"), leak_rows)
+    )
+    finite = [v for v in retention_by_leak.values() if not math.isinf(v)]
+    report.claim(
+        "leak strength sets the retention time",
+        "stronger leaks lose the 1 sooner",
+        " -> ".join(r[1] for r in leak_rows),
+        len(finite) >= 2 and finite == sorted(finite, reverse=True),
+    )
+
+    # 2. Retention vs. temperature (marginally leaky cell).
+    retention_by_temperature: Dict[float, float] = {}
+    temp_rows = []
+    for celsius in (25.0, 55.0, 85.0):
+        t_ret = measure_retention_time(
+            tech.at_temperature(celsius), leak_resistance=1e11
+        )
+        retention_by_temperature[celsius] = t_ret
+        temp_rows.append(
+            (f"{celsius:.0f} C",
+             "> 10 s" if math.isinf(t_ret) else f"{t_ret * 1e3:.1f} ms")
+        )
+    report.add_block(
+        "Retention of a marginally leaky cell vs. temperature:\n"
+        + format_table(("temperature", "retention"), temp_rows)
+    )
+    finite_t = [
+        v for v in retention_by_temperature.values() if not math.isinf(v)
+    ]
+    report.claim(
+        "heat shrinks retention (test hot!)",
+        "leakage doubles every 10 C",
+        " -> ".join(r[1] for r in temp_rows),
+        len(finite_t) == len(retention_by_temperature)
+        and finite_t == sorted(finite_t, reverse=True),
+    )
+
+    # 3. Test comparison — behavioural and electrical.
+    rows = []
+    topo = Topology(4, 2)
+    for test in (MARCH_C_MINUS, MARCH_SS, IFA_13):
+        fault = DataRetentionFault(victim=3, topology=topo,
+                                   retention_time=0.05)
+        behavioural = run_march(test, FaultyMemory(topo, fault)).detected
+        electrical = run_march(
+            test,
+            ElectricalMemory.with_defect(
+                defect=BridgeDefect(BridgeLocation.CELL_GROUND, 3e9),
+                technology=tech, n_rows=3,
+            ),
+            stop_at_first=True,
+        ).detected
+        rows.append(
+            (test.name,
+             "DET" if behavioural else "miss",
+             "DET" if electrical else "miss")
+        )
+    report.add_block(
+        "Detection of a retention fault (50 ms cell):\n"
+        + format_table(("test", "behavioural", "electrical"), rows)
+    )
+    by_name = {r[0]: r for r in rows}
+    report.claim(
+        "delay-free march tests miss retention faults",
+        "DRFs need Del elements",
+        f"March C-: {by_name['March C-'][1]}/{by_name['March C-'][2]}, "
+        f"March SS: {by_name['March SS'][1]}/{by_name['March SS'][2]}",
+        by_name["March C-"][1] == "miss"
+        and by_name["March C-"][2] == "miss",
+    )
+    report.claim(
+        "IFA 13 catches the retention fault",
+        "its two 100 ms delays expose the decay",
+        f"{by_name['IFA 13'][1]}/{by_name['IFA 13'][2]}",
+        by_name["IFA 13"][1] == "DET" and by_name["IFA 13"][2] == "DET",
+    )
+
+    # Soundness: a healthy memory passes the delay test.
+    healthy = run_march(
+        IFA_13, ElectricalMemory.with_defect(technology=tech, n_rows=3)
+    )
+    report.claim(
+        "a healthy memory passes IFA 13",
+        "nominal retention >> the 100 ms delays",
+        "pass" if not healthy.detected else "false positive",
+        not healthy.detected,
+    )
+    return RetentionResult(retention_by_leak, retention_by_temperature, report)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_retention().report.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

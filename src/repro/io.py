@@ -1,0 +1,175 @@
+"""JSON serialization for the library's analysis artifacts.
+
+Fault analyses and fault dictionaries are expensive to compute (minutes of
+electrical simulation); march tests and fault primitives are the things
+teams exchange.  This module round-trips the relevant objects through
+plain JSON-compatible structures:
+
+* :class:`~repro.march.notation.MarchTest` — via the standard notation
+  string (the notation *is* the interchange format);
+* :class:`~repro.core.fault_primitives.FaultPrimitive` — via ``<S/F/R>``;
+* :class:`~repro.core.regions.FPRegionMap` — grid plus tagged labels
+  (``ffm:``/``cffm:``/``fp:``/``raw:`` prefixes preserve the label type);
+* :class:`~repro.core.diagnosis.SignatureDatabase` — the signature entries,
+  so the dictionary is built once and loaded afterwards.
+
+Every ``dump_*`` returns JSON-serializable data; ``dumps_*``/``loads_*``
+go straight to strings.  Version tags guard against silent format drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .circuit.defects import OpenLocation
+from .core.coupling import CouplingFFM
+from .core.diagnosis import SignatureDatabase
+from .core.fault_primitives import FaultPrimitive, parse_fp
+from .core.ffm import FFM
+from .core.regions import FPRegionMap
+from .march.notation import MarchTest, parse_march
+
+__all__ = [
+    "dump_march", "load_march", "dumps_march", "loads_march",
+    "dump_fp", "load_fp",
+    "dump_region_map", "load_region_map",
+    "dump_signature_database", "load_signature_database",
+]
+
+_FORMAT = "repro-v1"
+
+
+def _tagged(payload: Dict[str, Any], kind: str) -> Dict[str, Any]:
+    return {"format": _FORMAT, "kind": kind, **payload}
+
+
+def _check(data: Dict[str, Any], kind: str) -> Dict[str, Any]:
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unsupported format {data.get('format')!r}")
+    if data.get("kind") != kind:
+        raise ValueError(f"expected {kind!r} data, got {data.get('kind')!r}")
+    return data
+
+
+# -- march tests ---------------------------------------------------------------
+
+def dump_march(test: MarchTest) -> Dict[str, Any]:
+    return _tagged({"name": test.name, "notation": test.to_string()}, "march")
+
+
+def load_march(data: Dict[str, Any]) -> MarchTest:
+    data = _check(data, "march")
+    return parse_march(data["notation"], data["name"])
+
+
+def dumps_march(test: MarchTest) -> str:
+    return json.dumps(dump_march(test))
+
+
+def loads_march(text: str) -> MarchTest:
+    return load_march(json.loads(text))
+
+
+# -- fault primitives -----------------------------------------------------------
+
+def dump_fp(fp: FaultPrimitive) -> Dict[str, Any]:
+    return _tagged({"notation": fp.to_string()}, "fault-primitive")
+
+
+def load_fp(data: Dict[str, Any]) -> FaultPrimitive:
+    data = _check(data, "fault-primitive")
+    return parse_fp(data["notation"])
+
+
+# -- region maps -------------------------------------------------------------------
+
+def _encode_label(label) -> Optional[str]:
+    if label is None:
+        return None
+    if isinstance(label, FFM):
+        return f"ffm:{label.name}"
+    if isinstance(label, CouplingFFM):
+        return f"cffm:{label.name}"
+    if isinstance(label, FaultPrimitive):
+        return f"fp:{label.to_string()}"
+    return f"raw:{label}"
+
+
+def _decode_label(text: Optional[str]):
+    if text is None:
+        return None
+    kind, _, payload = text.partition(":")
+    if kind == "ffm":
+        return FFM[payload]
+    if kind == "cffm":
+        return CouplingFFM[payload]
+    if kind == "fp":
+        return parse_fp(payload)
+    if kind == "raw":
+        return payload
+    raise ValueError(f"unknown label encoding {text!r}")
+
+
+def dump_region_map(region: FPRegionMap) -> Dict[str, Any]:
+    return _tagged(
+        {
+            "r_values": list(region.r_values),
+            "u_values": list(region.u_values),
+            "labels": [
+                [_encode_label(cell) for cell in row] for row in region.labels
+            ],
+        },
+        "region-map",
+    )
+
+
+def load_region_map(data: Dict[str, Any]) -> FPRegionMap:
+    data = _check(data, "region-map")
+    return FPRegionMap(
+        tuple(data["r_values"]),
+        tuple(data["u_values"]),
+        tuple(
+            tuple(_decode_label(cell) for cell in row)
+            for row in data["labels"]
+        ),
+    )
+
+
+# -- signature databases ----------------------------------------------------------------
+
+def dump_signature_database(database: SignatureDatabase) -> Dict[str, Any]:
+    entries: List[Dict[str, Any]] = []
+    for signature, location, resistance in database._entries:
+        entries.append(
+            {
+                "location": location.name,
+                "resistance": resistance,
+                "signature": sorted(list(item) for item in signature),
+            }
+        )
+    return _tagged(
+        {
+            "test": dump_march(database.test),
+            "n_rows": database.n_rows,
+            "entries": entries,
+        },
+        "signature-database",
+    )
+
+
+def load_signature_database(data: Dict[str, Any]) -> SignatureDatabase:
+    data = _check(data, "signature-database")
+    database = SignatureDatabase.__new__(SignatureDatabase)
+    database.test = load_march(data["test"])
+    database.technology = None
+    database.n_rows = data["n_rows"]
+    database._entries = [
+        (
+            frozenset(tuple(item) for item in entry["signature"]),
+            OpenLocation[entry["location"]],
+            entry["resistance"],
+        )
+        for entry in data["entries"]
+    ]
+    return database

@@ -1,0 +1,1 @@
+"""March tests: notation, library, execution, coverage and generation."""

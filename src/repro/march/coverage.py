@@ -1,0 +1,84 @@
+"""Fault-coverage matrices: march tests against (partial) fault models.
+
+The central question of the paper's Section 5: which march tests
+*guarantee* detection of the completed partial faults?  Guaranteed means
+for every victim location, every initial floating-node value and both
+resolutions of ``⇕`` elements (see :func:`repro.march.simulator.detects`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.fault_primitives import FaultPrimitive
+from ..core.ffm import classify_fp
+from ..memory.array import Topology
+from .notation import MarchTest
+from .simulator import detects
+
+__all__ = ["CoverageMatrix", "coverage_matrix"]
+
+
+@dataclass(frozen=True)
+class CoverageMatrix:
+    """Detection results: one row per test, one column per fault."""
+
+    tests: Tuple[MarchTest, ...]
+    faults: Tuple[FaultPrimitive, ...]
+    detected: Tuple[Tuple[bool, ...], ...]
+
+    def detection_count(self, test: MarchTest) -> int:
+        row = self.detected[self.tests.index(test)]
+        return sum(row)
+
+    def covers_all(self, test: MarchTest) -> bool:
+        return self.detection_count(test) == len(self.faults)
+
+    def missed_by(self, test: MarchTest) -> Tuple[FaultPrimitive, ...]:
+        row = self.detected[self.tests.index(test)]
+        return tuple(fp for fp, hit in zip(self.faults, row) if not hit)
+
+    def best_tests(self) -> Tuple[MarchTest, ...]:
+        """Tests with maximal coverage, cheapest first."""
+        best = max(self.detection_count(t) for t in self.tests)
+        winners = [t for t in self.tests if self.detection_count(t) == best]
+        return tuple(sorted(winners, key=lambda t: t.ops_per_address))
+
+    def render(self) -> str:
+        """ASCII table: rows are tests, columns are faults (by FFM)."""
+        headers = []
+        for fp in self.faults:
+            ffm = classify_fp(fp)
+            headers.append(str(ffm) if ffm is not None else fp.to_string())
+        width = max(len(t.name) for t in self.tests) + 2
+        lines = [
+            " " * width
+            + " ".join(f"{h:>6s}" for h in headers)
+            + "   total"
+        ]
+        for test, row in zip(self.tests, self.detected):
+            marks = " ".join(f"{'X' if hit else '.':>6s}" for hit in row)
+            lines.append(
+                f"{test.name:<{width}s}{marks}   {sum(row)}/{len(row)}"
+            )
+        return "\n".join(lines)
+
+
+def coverage_matrix(
+    tests: Sequence[MarchTest],
+    faults: Sequence[FaultPrimitive],
+    topology: Optional[Topology] = None,
+    node_values: Sequence[Optional[int]] = (0, 1),
+) -> CoverageMatrix:
+    """Qualify every test against every fault primitive."""
+    topology = topology or Topology(n_rows=4, n_cols=2)
+    rows: List[Tuple[bool, ...]] = []
+    for test in tests:
+        rows.append(
+            tuple(
+                detects(test, fp, topology, node_values=node_values)
+                for fp in faults
+            )
+        )
+    return CoverageMatrix(tuple(tests), tuple(faults), tuple(rows))

@@ -1,0 +1,166 @@
+"""Library of march tests.
+
+Classic tests (MATS+ through March SS) are included as baselines; the two
+partial-fault tests are:
+
+* :data:`MARCH_PF` — the paper's March PF exactly as printed:
+  ``{⇕(w0,w1); ⇕(r1,w1,w0,w0,w1,r1); ⇕(w1,w0); ⇕(r0,w0,w1,w1,w0,r0)}``.
+  Its ``⇕(w1,w0)`` / ``⇕(w0,w1)`` elements arm the victim-targeted
+  completions (cell opens: ``<[w1 w0] r0/1/1>`` family) which the leading
+  read of the next element then detects.
+* :data:`MARCH_PF_PLUS` — this library's extension.  March PF as printed
+  never performs a read immediately after an *opposite-value* write on the
+  same bit line, which is the arming condition of every ``[wx_BL]``
+  completed fault in Table 1; in our electrical model those faults
+  therefore escape it (see EXPERIMENTS.md — the printed test may be
+  corrupted by the paper's OCR).  March PF+ adds the
+  read-after-opposite-write structure in both march directions and is
+  verified, behaviourally and electrically, to detect every completable
+  partial fault the fault analysis finds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .notation import MarchTest, parse_march
+
+__all__ = [
+    "SCAN",
+    "MATS",
+    "MATS_PLUS",
+    "MATS_PLUS_PLUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MARCH_C_MINUS",
+    "MARCH_A",
+    "MARCH_B",
+    "MARCH_SS",
+    "PMOVI",
+    "MARCH_LR",
+    "MARCH_G",
+    "MARCH_RAW",
+    "IFA_13",
+    "MARCH_PF",
+    "MARCH_PF_PLUS",
+    "ALL_TESTS",
+    "BASELINE_TESTS",
+    "get_test",
+]
+
+#: Zero-one / scan test: 4N, detects only gross stuck-at faults.
+SCAN = parse_march("{⇕(w0); ⇕(r0); ⇕(w1); ⇕(r1)}", "Scan")
+
+#: MATS: 4N, address-decoder + stuck-at coverage.
+MATS = parse_march("{⇕(w0); ⇕(r0,w1); ⇕(r1)}", "MATS")
+
+#: MATS+: 5N, the minimal test for AFs in memories with arbitrary decoders.
+MATS_PLUS = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}", "MATS+")
+
+#: MATS++: 6N, MATS+ plus transition-fault coverage.
+MATS_PLUS_PLUS = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}", "MATS++")
+
+#: March X: 6N, unlinked inversion coupling faults.
+MARCH_X = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}", "March X")
+
+#: March Y: 8N, March X plus linked transition faults.
+MARCH_Y = parse_march("{⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)}", "March Y")
+
+#: March C-: 10N, the classic unlinked coupling-fault test.
+MARCH_C_MINUS = parse_march(
+    "{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}", "March C-"
+)
+
+#: March A: 15N, linked coupling faults.
+MARCH_A = parse_march(
+    "{⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    "March A",
+)
+
+#: March B: 17N, March A plus TFs linked with CFs.
+MARCH_B = parse_march(
+    "{⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    "March B",
+)
+
+#: March SS: 22N, all static simple single-cell and two-cell faults.
+MARCH_SS = parse_march(
+    "{⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); "
+    "⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)}",
+    "March SS",
+)
+
+#: PMOVI: 13N, the classic DRAM production test (Dekker et al.).
+PMOVI = parse_march(
+    "{⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)}", "PMOVI"
+)
+
+#: March LR: 14N, linked realistic faults (van de Goor & Gaydadjiev).
+MARCH_LR = parse_march(
+    "{⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇕(r0)}",
+    "March LR",
+)
+
+#: March G: 23N + 2 delays, March B plus SOAFs and data retention.
+MARCH_G = parse_march(
+    "{⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); "
+    "⇓(r0,w1,w0); Del; ⇕(r0,w1,r1); Del; ⇕(r1,w0,r0)}",
+    "March G",
+)
+
+#: March RAW: 26N, dynamic read-after-write faults (Hamdioui et al.).
+MARCH_RAW = parse_march(
+    "{⇕(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0); "
+    "⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); ⇕(r0)}",
+    "March RAW",
+)
+
+#: IFA 13n: March-style test with two delay elements, the classical
+#: industrial test for data-retention faults (leaky cells decay during
+#: the 100 ms pauses and the following reads catch the loss).
+IFA_13 = parse_march(
+    "{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); Del; ⇑(r0,w1); Del; ⇓(r1)}", "IFA 13"
+)
+
+#: The paper's March PF, as printed (22N).
+MARCH_PF = parse_march(
+    "{⇕(w0,w1); ⇕(r1,w1,w0,w0,w1,r1); ⇕(w1,w0); ⇕(r0,w0,w1,w1,w0,r0)}",
+    "March PF",
+)
+
+#: March PF+ (this library): detects every completable partial fault of
+#: the fault analysis — bit-line-armed reads (read after opposite-value
+#: write, both directions), write-sensitized faults read back before
+#: re-writing, and the victim-targeted cell-open completions.  The final
+#: ``⇑(r1,w0); ⇓(r0,w1)`` pair additionally reads knife-edge cells with an
+#: *opposite-polarity stale output buffer* (the cross-address write of the
+#: previously visited cell leaves the buffer holding the complement of the
+#: expected read), catching marginal-resistance defects whose only symptom
+#: is a dead-zone read resolved by the stale buffer.
+MARCH_PF_PLUS = parse_march(
+    "{⇕(w1); "
+    "⇑(r1,w0,r0,w0); ⇑(r0,w1,r1,w1); "
+    "⇓(r1,w0,w0,r0,w0); ⇓(r0,w1,w1,r1,w1); "
+    "⇓(w1,r1,w0); ⇑(w0,r0,w1); ⇑(w1,r1,w0); ⇓(w0,r0,w1); "
+    "⇑(r1,w0); ⇓(r0,w1); ⇕(r1)}",
+    "March PF+",
+)
+
+BASELINE_TESTS: Tuple[MarchTest, ...] = (
+    SCAN, MATS, MATS_PLUS, MATS_PLUS_PLUS, MARCH_X, MARCH_Y,
+    MARCH_C_MINUS, MARCH_A, MARCH_B, MARCH_SS, PMOVI, MARCH_LR,
+    MARCH_G, MARCH_RAW,
+)
+
+ALL_TESTS: Tuple[MarchTest, ...] = BASELINE_TESTS + (IFA_13, MARCH_PF, MARCH_PF_PLUS)
+
+_BY_NAME: Dict[str, MarchTest] = {t.name.lower(): t for t in ALL_TESTS}
+
+
+def get_test(name: str) -> MarchTest:
+    """Look up a library test by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown march test {name!r}; known: {known}") from None

@@ -1,0 +1,219 @@
+"""March test notation.
+
+A march test is a sequence of *march elements*; each element walks the
+whole address space in one direction applying the same operations at every
+address::
+
+    {⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}
+
+``⇑`` marches ascending, ``⇓`` descending, ``⇕`` means the direction is
+irrelevant (implementations may pick either; qualification should hold for
+both).  ASCII aliases are accepted: ``U``/``up``, ``D``/``down``,
+``UD``/``B``/``any``.
+
+:func:`parse_march` and :meth:`MarchTest.to_string` round-trip the
+standard notation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["Direction", "MarchOp", "MarchElement", "MarchPause", "MarchTest", "parse_march"]
+
+
+class Direction(Enum):
+    """Address order of one march element."""
+
+    UP = "⇑"
+    DOWN = "⇓"
+    EITHER = "⇕"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_DIRECTION_ALIASES = {
+    "⇑": Direction.UP, "u": Direction.UP, "up": Direction.UP,
+    "⇓": Direction.DOWN, "d": Direction.DOWN, "down": Direction.DOWN,
+    "⇕": Direction.EITHER, "ud": Direction.EITHER, "b": Direction.EITHER,
+    "any": Direction.EITHER, "": Direction.EITHER,
+}
+
+
+@dataclass(frozen=True)
+class MarchOp:
+    """One operation of a march element: ``r0``, ``r1``, ``w0`` or ``w1``."""
+
+    kind: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError("march operation kind must be 'r' or 'w'")
+        if self.value not in (0, 1):
+            raise ValueError("march operation value must be 0 or 1")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "r"
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "w"
+
+    def complement(self) -> "MarchOp":
+        return MarchOp(self.kind, 1 - self.value)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.value}"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One pass over the address space."""
+
+    direction: Direction
+    ops: Tuple[MarchOp, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+        if not self.ops:
+            raise ValueError("a march element needs at least one operation")
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    def complement(self) -> "MarchElement":
+        return MarchElement(self.direction, tuple(op.complement() for op in self.ops))
+
+    def addresses(self, size: int, either_as: Direction = Direction.UP):
+        """Iterate the address space in this element's direction."""
+        direction = self.direction
+        if direction is Direction.EITHER:
+            direction = either_as
+        if direction is Direction.UP:
+            return range(size)
+        return range(size - 1, -1, -1)
+
+    def __str__(self) -> str:
+        body = ",".join(str(op) for op in self.ops)
+        return f"{self.direction.value}({body})"
+
+
+@dataclass(frozen=True)
+class MarchPause:
+    """A delay element ("Del"): the memory sits idle for a while.
+
+    Delay elements are how march tests target data-retention faults
+    (e.g. IFA-13): writes establish a background, the pause lets leaky
+    cells decay, the following reads catch the loss.  ``seconds`` is the
+    pause duration; the conventional industrial delay of 100 ms is the
+    default.
+    """
+
+    seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("pause duration must be positive")
+
+    def complement(self) -> "MarchPause":
+        return self
+
+    def __str__(self) -> str:
+        if self.seconds == 0.1:
+            return "Del"
+        return f"Del({self.seconds:g})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of march elements."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elements", tuple(self.elements))
+        if not self.elements:
+            raise ValueError("a march test needs at least one element")
+
+    @property
+    def march_elements(self) -> Tuple[MarchElement, ...]:
+        """The operation-carrying elements (pauses excluded)."""
+        return tuple(
+            e for e in self.elements if isinstance(e, MarchElement)
+        )
+
+    @property
+    def pauses(self) -> Tuple["MarchPause", ...]:
+        return tuple(e for e in self.elements if isinstance(e, MarchPause))
+
+    @property
+    def ops_per_address(self) -> int:
+        """Test complexity: total operations applied per address (the "xN")."""
+        return sum(element.n_ops for element in self.march_elements)
+
+    def operation_count(self, size: int) -> int:
+        """Total operations for a memory of ``size`` addresses."""
+        return self.ops_per_address * size
+
+    def complement(self) -> "MarchTest":
+        """Data complement of the whole test."""
+        return MarchTest(
+            f"{self.name}-complement",
+            tuple(element.complement() for element in self.elements),
+        )
+
+    def to_string(self) -> str:
+        return "{" + "; ".join(str(e) for e in self.elements) + "}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+_ELEMENT_RE = re.compile(
+    r"(?P<dir>[^\s(;]*)\(\s*(?P<ops>[rw][01](?:\s*,\s*[rw][01])*)\s*\)"
+    r"|(?P<pause>[Dd]el(?:\(\s*(?P<seconds>[0-9.eE+-]+)\s*\))?)"
+)
+
+
+def parse_march(text: str, name: str = "march") -> MarchTest:
+    """Parse ``"{⇕(w0); ⇑(r0,w1); ⇓(r1)}"`` (or ASCII ``U``/``D``/``UD``)."""
+    body = text.strip()
+    if body.startswith("{") and body.endswith("}"):
+        body = body[1:-1]
+    elements = []
+    consumed = 0
+    for match in _ELEMENT_RE.finditer(body):
+        between = body[consumed:match.start()].strip(" ;\t\n")
+        if between:
+            raise ValueError(f"unparsable march fragment {between!r}")
+        if match.group("pause") is not None:
+            seconds = match.group("seconds")
+            elements.append(
+                MarchPause(float(seconds)) if seconds else MarchPause()
+            )
+            consumed = match.end()
+            continue
+        direction_text = match.group("dir").strip().lower()
+        if direction_text not in _DIRECTION_ALIASES:
+            raise ValueError(f"unknown march direction {match.group('dir')!r}")
+        direction = _DIRECTION_ALIASES[direction_text]
+        ops = tuple(
+            MarchOp(op[0], int(op[1]))
+            for op in re.split(r"\s*,\s*", match.group("ops"))
+        )
+        elements.append(MarchElement(direction, ops))
+        consumed = match.end()
+    tail = body[consumed:].strip(" ;\t\n")
+    if tail:
+        raise ValueError(f"unparsable march fragment {tail!r}")
+    if not elements:
+        raise ValueError(f"no march elements found in {text!r}")
+    return MarchTest(name, tuple(elements))

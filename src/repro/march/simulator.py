@@ -1,0 +1,206 @@
+"""March test execution and detection qualification.
+
+:func:`run_march` drives any object with the ``read(addr)``/
+``write(addr, value)`` protocol (fault-free arrays, behavioural fault
+machines, the electrical column model) and reports every read whose value
+differs from the march-expected one.
+
+:func:`detects` qualifies *guaranteed* detection of a behavioural fault:
+the paper's floating voltages mean a defective memory's initial state is
+unknown, so the test must fail for **every** initial floating-node value,
+every victim location and both resolutions of ``⇕`` elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.fault_primitives import FaultPrimitive
+from ..memory.array import Topology
+from ..memory.fault_machine import BehavioralFault, NodeKind
+from ..memory.simulator import FaultyMemory
+from .notation import Direction, MarchPause, MarchTest
+
+__all__ = [
+    "Mismatch",
+    "MarchResult",
+    "run_march",
+    "detects",
+    "escape_cases",
+    "detects_coupling",
+]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One failing read: where it happened and what was seen."""
+
+    element_index: int
+    address: int
+    op_index: int
+    expected: int
+    observed: int
+
+
+@dataclass(frozen=True)
+class MarchResult:
+    """Outcome of one march run."""
+
+    test_name: str
+    mismatches: Tuple[Mismatch, ...]
+    operations: int
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.mismatches)
+
+
+def run_march(
+    test: MarchTest,
+    memory,
+    size: Optional[int] = None,
+    either_as: Direction = Direction.UP,
+    stop_at_first: bool = False,
+) -> MarchResult:
+    """Run a march test against a memory; collect read mismatches.
+
+    ``memory`` needs ``read``/``write`` (and optionally ``tick``, called
+    between elements to model idle precharge cycles).  ``either_as``
+    resolves ``⇕`` elements.
+    """
+    n = size if size is not None else memory.size
+    mismatches: List[Mismatch] = []
+    operations = 0
+    tick = getattr(memory, "tick", None)
+    pause = getattr(memory, "pause", None)
+    for ei, element in enumerate(test.elements):
+        if isinstance(element, MarchPause):
+            if pause is not None:
+                pause(element.seconds)
+            continue
+        for address in element.addresses(n, either_as):
+            for oi, op in enumerate(element.ops):
+                operations += 1
+                if op.is_write:
+                    memory.write(address, op.value)
+                else:
+                    observed = memory.read(address)
+                    if observed != op.value:
+                        mismatches.append(
+                            Mismatch(ei, address, oi, op.value, observed)
+                        )
+                        if stop_at_first:
+                            return MarchResult(
+                                test.name, tuple(mismatches), operations
+                            )
+        if tick is not None:
+            tick()
+    return MarchResult(test.name, tuple(mismatches), operations)
+
+
+def _scenarios(
+    fp: FaultPrimitive,
+    topology: Topology,
+    node_values: Sequence[Optional[int]],
+    kind: Optional[NodeKind],
+):
+    for victim in topology.addresses():
+        for node_value in node_values:
+            yield victim, node_value
+
+
+def detects(
+    test: MarchTest,
+    fp: FaultPrimitive,
+    topology: Optional[Topology] = None,
+    node_values: Sequence[Optional[int]] = (0, 1),
+    kind: Optional[NodeKind] = None,
+    both_either_directions: bool = True,
+) -> bool:
+    """Guaranteed detection of a fault primitive by a march test.
+
+    True only if the test flags the fault for every victim address, every
+    initial floating-node value in ``node_values`` and (by default) both
+    resolutions of ``⇕`` elements.  This is the paper's criterion: a
+    partial fault whose floating node happens to sit in the benign range
+    must still be caught.
+
+    Note on STATIC faults: a static node value that never sensitizes the
+    fault makes the memory functionally fault-free, so no test can flag
+    it; qualify those with ``node_values=(1,)`` (the active region) to ask
+    "is the fault caught whenever it manifests?".
+    """
+    return not escape_cases(
+        test, fp, topology, node_values, kind, both_either_directions
+    )
+
+
+def detects_coupling(
+    test: MarchTest,
+    ffm,
+    topology: Optional[Topology] = None,
+    adjacent_only: bool = False,
+    both_either_directions: bool = True,
+) -> bool:
+    """Guaranteed detection of a two-cell coupling fault.
+
+    Qualifies over every ordered (aggressor, victim) pair — or only
+    physically adjacent same-column pairs when ``adjacent_only`` is set,
+    matching bridge defects — and both ``⇕`` resolutions.  Coupling
+    machines have no floating node, so no node sweep is needed.
+    """
+    from ..memory.coupling_machine import CouplingFault
+
+    topology = topology or Topology(n_rows=4, n_cols=2)
+    directions = (
+        (Direction.UP, Direction.DOWN) if both_either_directions
+        else (Direction.UP,)
+    )
+    for aggressor in topology.addresses():
+        for victim in topology.addresses():
+            if aggressor == victim:
+                continue
+            if adjacent_only:
+                if not topology.same_column(aggressor, victim):
+                    continue
+                if abs(topology.row_of(aggressor) - topology.row_of(victim)) != 1:
+                    continue
+            for either_as in directions:
+                fault = CouplingFault(ffm, aggressor, victim, topology)
+                memory = FaultyMemory(topology, fault)
+                result = run_march(
+                    test, memory, either_as=either_as, stop_at_first=True
+                )
+                if not result.detected:
+                    return False
+    return True
+
+
+def escape_cases(
+    test: MarchTest,
+    fp: FaultPrimitive,
+    topology: Optional[Topology] = None,
+    node_values: Sequence[Optional[int]] = (0, 1),
+    kind: Optional[NodeKind] = None,
+    both_either_directions: bool = True,
+) -> Tuple[Tuple[int, Optional[int], Direction], ...]:
+    """The scenarios (victim, node value, ⇕ resolution) the test misses."""
+    topology = topology or Topology(n_rows=4, n_cols=2)
+    directions = (
+        (Direction.UP, Direction.DOWN) if both_either_directions
+        else (Direction.UP,)
+    )
+    escapes: List[Tuple[int, Optional[int], Direction]] = []
+    for victim, node_value in _scenarios(fp, topology, node_values, kind):
+        for either_as in directions:
+            fault = BehavioralFault.from_fp(
+                fp, victim, topology, node_value=node_value, kind=kind
+            )
+            memory = FaultyMemory(topology, fault)
+            result = run_march(
+                test, memory, either_as=either_as, stop_at_first=True
+            )
+            if not result.detected:
+                escapes.append((victim, node_value, either_as))
+    return tuple(escapes)

@@ -1,0 +1,1 @@
+"""Functional memory substrate: arrays, behavioural fault machines, simulators."""

@@ -1,0 +1,123 @@
+"""Address-decoder faults (AFs).
+
+The classical four decoder fault types (van de Goor's taxonomy), modeled
+as a wrapper over the fault-free array — the decoder, not a cell, is
+broken:
+
+=====  ==========================================================
+type   behaviour
+=====  ==========================================================
+AF-A   an address accesses **no cell**: writes are lost, reads
+       return the floating data-line value (modeled as the last
+       value the data path carried — the stale-buffer behaviour)
+AF-B   a **cell is never accessed**: its address maps onto another
+       cell (the cell keeps its power-up value forever)
+AF-C   an address accesses **two cells** (its own plus another)
+AF-D   **two addresses access one cell**
+=====  ==========================================================
+
+AF-B/C/D are pure mapping faults; AF-A adds the stale-read rule.  The
+classical theorem — any march test whose elements satisfy MATS+'s
+condition (a ⇑ element reading the previous background before writing
+the new one, and a ⇓ element doing the reverse) detects all AFs — is
+validated against these machines in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .array import MemoryArray, Topology
+
+__all__ = ["AddressFaultKind", "AddressFaultMemory"]
+
+
+class AddressFaultKind(Enum):
+    """The four classical address-decoder fault types."""
+
+    NO_CELL = "AF-A"
+    NO_ADDRESS = "AF-B"
+    MULTI_CELL = "AF-C"
+    MULTI_ADDRESS = "AF-D"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class AddressFaultMemory:
+    """A memory whose decoder mis-maps one address (or address pair).
+
+    ``address_a`` is the faulty address; ``address_b`` is its partner
+    (the extra/replacement cell) for the kinds that need one.  Power-up
+    contents are all zeros; the stale data line starts at 0.
+    """
+
+    topology: Topology
+    kind: AddressFaultKind
+    address_a: int
+    address_b: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.topology.check(self.address_a)
+        if self.kind is AddressFaultKind.NO_CELL:
+            if self.address_b is not None:
+                raise ValueError("AF-A takes no partner address")
+        else:
+            if self.address_b is None:
+                raise ValueError(f"{self.kind} needs a partner address")
+            self.topology.check(self.address_b)
+            if self.address_b == self.address_a:
+                raise ValueError("partner address must differ")
+        self.array = MemoryArray(self.topology)
+        self._stale = 0
+
+    @property
+    def size(self) -> int:
+        return self.topology.size
+
+    # -- the broken decoder ------------------------------------------------------
+
+    def read(self, address: int) -> int:
+        self.topology.check(address)
+        kind = self.kind
+        if address == self.address_a and kind is AddressFaultKind.NO_CELL:
+            return self._stale
+        if address == self.address_a and kind is AddressFaultKind.NO_ADDRESS:
+            # Cell a is unreachable: its address lands on cell b instead.
+            value = self.array.read(self.address_b)
+        elif address == self.address_a and kind is AddressFaultKind.MULTI_CELL:
+            # Both cells drive the data lines; equal values read fine,
+            # conflicting values resolve to the wired-AND (0 wins: two
+            # cells sharing one bit line halve the signal).
+            value = min(
+                self.array.read(self.address_a),
+                self.array.read(self.address_b),
+            )
+        elif address == self.address_b and kind is AddressFaultKind.MULTI_ADDRESS:
+            # Address b also decodes onto cell a (cell b is orphaned).
+            value = self.array.read(self.address_a)
+        else:
+            value = self.array.read(address)
+        self._stale = value
+        return value
+
+    def write(self, address: int, value: int) -> None:
+        self.topology.check(address)
+        self._stale = value
+        kind = self.kind
+        if address == self.address_a and kind is AddressFaultKind.NO_CELL:
+            return                                        # the write is lost
+        if address == self.address_a and kind is AddressFaultKind.NO_ADDRESS:
+            self.array.write(self.address_b, value)       # lands elsewhere
+            return
+        if address == self.address_a and kind is AddressFaultKind.MULTI_CELL:
+            self.array.write(self.address_a, value)
+            self.array.write(self.address_b, value)       # disturbs b too
+            return
+        if address == self.address_b and kind is AddressFaultKind.MULTI_ADDRESS:
+            self.array.write(self.address_a, value)       # aliases onto a
+            return
+        self.array.write(address, value)

@@ -1,0 +1,108 @@
+"""Logical memory-array topology.
+
+March tests operate on a linear address space, but partial faults care
+about *physical* adjacency: completing operations marked ``_BL`` must land
+on a cell sharing the victim's bit line (column).  :class:`Topology` maps
+addresses onto a rows-by-columns cell array so the march machinery can
+reason about column neighbourhoods.
+
+The default address order is row-major (consecutive addresses walk along a
+word line); column-mates of an address are ``addr ± k * n_cols``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["Topology", "MemoryArray"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Rows-by-columns geometry with row-major addressing."""
+
+    n_rows: int
+    n_cols: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1 or self.n_cols < 1:
+            raise ValueError("topology needs at least one row and one column")
+
+    @property
+    def size(self) -> int:
+        """Number of addressable cells."""
+        return self.n_rows * self.n_cols
+
+    def check(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise IndexError(f"address {address} outside 0..{self.size - 1}")
+        return address
+
+    def row_of(self, address: int) -> int:
+        return self.check(address) // self.n_cols
+
+    def column_of(self, address: int) -> int:
+        return self.check(address) % self.n_cols
+
+    def address_of(self, row: int, column: int) -> int:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} outside 0..{self.n_rows - 1}")
+        if not 0 <= column < self.n_cols:
+            raise IndexError(f"column {column} outside 0..{self.n_cols - 1}")
+        return row * self.n_cols + column
+
+    def same_column(self, a: int, b: int) -> bool:
+        """Do two addresses share a bit line?"""
+        return self.column_of(a) == self.column_of(b)
+
+    def column_addresses(self, column: int) -> Tuple[int, ...]:
+        """All addresses on one bit line, in row order."""
+        if not 0 <= column < self.n_cols:
+            raise IndexError(f"column {column} outside 0..{self.n_cols - 1}")
+        return tuple(row * self.n_cols + column for row in range(self.n_rows))
+
+    def bitline_neighbours(self, address: int) -> Tuple[int, ...]:
+        """Column-mates of an address (the ``_BL`` cells), excluding it."""
+        return tuple(
+            a for a in self.column_addresses(self.column_of(address))
+            if a != address
+        )
+
+    def addresses(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+
+class MemoryArray:
+    """A plain, fault-free bit array with the read/write protocol.
+
+    This is both the reference model for march-test qualification and the
+    storage backing :class:`repro.memory.simulator.FaultyMemory`.
+    """
+
+    def __init__(self, topology: Topology, fill: int = 0) -> None:
+        if fill not in (0, 1):
+            raise ValueError("fill must be 0 or 1")
+        self.topology = topology
+        self._bits: List[int] = [fill] * topology.size
+
+    def read(self, address: int) -> int:
+        return self._bits[self.topology.check(address)]
+
+    def write(self, address: int, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError("written value must be 0 or 1")
+        self._bits[self.topology.check(address)] = value
+
+    def fill(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError("fill must be 0 or 1")
+        for i in range(len(self._bits)):
+            self._bits[i] = value
+
+    def dump(self) -> Tuple[int, ...]:
+        """Snapshot of the stored bits (for assertions in tests)."""
+        return tuple(self._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)

@@ -1,0 +1,121 @@
+"""Behavioural machines for two-cell coupling faults.
+
+Functional counterparts of the faults bridge defects produce
+(:mod:`repro.core.coupling`), with the same ``on_read``/``on_write``
+protocol as :class:`~repro.memory.fault_machine.BehavioralFault` so they
+plug into :class:`~repro.memory.simulator.FaultyMemory` and the march
+qualification machinery:
+
+* **CFst** — whenever the aggressor holds the coupling state, the victim
+  cannot hold its sensitive value: it flips as soon as both conditions
+  coincide (after the operation establishing either one);
+* **CFid** — an aggressor transition write in the coupling direction
+  flips a victim holding the sensitive value;
+* **CFrd** — reading the victim while the aggressor holds the coupling
+  state flips it, deceptively returning the old value.
+
+Unlike partial faults these machines have **no floating node**: their
+trigger condition is fully determined by stored states — which is why
+ordinary coupling-fault tests detect them without completing operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.coupling import AGGRESSOR, CouplingFFM, canonical_coupling_fp
+from ..core.fault_primitives import VICTIM, Op
+from .array import Topology
+
+__all__ = ["CouplingFault"]
+
+
+@dataclass
+class CouplingFault:
+    """One aggressor/victim pair governed by a coupling FFM."""
+
+    ffm: CouplingFFM
+    aggressor: int
+    victim: int
+    topology: Topology
+    aggressor_state: int = 0
+    state: int = 0
+    triggered: bool = False
+
+    def __post_init__(self) -> None:
+        self.topology.check(self.aggressor)
+        self.topology.check(self.victim)
+        if self.aggressor == self.victim:
+            raise ValueError("aggressor and victim must differ")
+        fp = canonical_coupling_fp(self.ffm)
+        self._couple_state = fp.sos.init_value(AGGRESSOR)
+        self._sensitive = fp.sos.init_value(VICTIM)
+        self._faulty = fp.faulty_value
+        ops = fp.sos.ops
+        self._sens_op: Optional[Op] = ops[0] if ops else None
+        assert self._couple_state is not None
+        assert self._sensitive is not None
+        # The machine tracks the *actual* memory contents; it starts from
+        # the array's fill (both cells 0), not from the FP's sensitizing
+        # condition — the march test itself establishes that.
+        self._maybe_state_trigger()
+
+    @property
+    def is_state_coupling(self) -> bool:
+        return self._sens_op is None
+
+    # -- protocol ----------------------------------------------------------
+
+    def on_write(self, address: int, value: int) -> int:
+        if address == self.aggressor:
+            previous = self.aggressor_state
+            self.aggressor_state = value
+            self._maybe_idempotent_trigger(previous, value)
+            self._maybe_state_trigger()
+        elif address == self.victim:
+            self.state = value
+            self._maybe_state_trigger()
+        return self.state
+
+    def on_read(self, address: int, fault_free_value: int) -> int:
+        if address == self.aggressor:
+            return self.aggressor_state
+        if address != self.victim:
+            return fault_free_value
+        result = self.state
+        if (
+            self._sens_op is not None
+            and self._sens_op.is_read
+            and self.aggressor_state == self._couple_state
+            and self.state == self._sensitive
+        ):
+            # CFrd: deceptive — returns the old value, flips the cell.
+            self.triggered = True
+            self.state = self._faulty
+        return result
+
+    def tick(self) -> None:
+        """Idle time: state coupling keeps acting."""
+        self._maybe_state_trigger()
+
+    # -- internals -----------------------------------------------------------
+
+    def _maybe_state_trigger(self) -> None:
+        if not self.is_state_coupling:
+            return
+        if (
+            self.aggressor_state == self._couple_state
+            and self.state == self._sensitive
+        ):
+            self.triggered = True
+            self.state = self._faulty
+
+    def _maybe_idempotent_trigger(self, previous: int, value: int) -> None:
+        op = self._sens_op
+        if op is None or not op.is_write or op.cell != AGGRESSOR:
+            return
+        if previous == self._couple_state and value == op.value:
+            if self.state == self._sensitive:
+                self.triggered = True
+                self.state = self._faulty

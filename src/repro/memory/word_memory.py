@@ -1,0 +1,199 @@
+"""Word-oriented memories and data backgrounds.
+
+Real memories read and write *words*; march tests are specified
+bit-oriented.  The standard bridge is the **data background**: a
+word-oriented run of a march test interprets ``w0``/``r0`` as "write/read
+the background pattern" and ``w1``/``r1`` as its complement, and the test
+is repeated over a set of backgrounds.
+
+Intra-word coupling faults (aggressor and victim bits inside the same
+word) are only sensitized when a background drives the two bits to the
+right value pair, which is why the classical result requires
+``log2(B) + 1`` backgrounds for word width ``B``: the standard set —
+solid plus the ``2^k``-period stripes — makes every bit pair take *all
+four* value combinations across the set.  :func:`standard_backgrounds`
+builds that set and the test suite validates the theorem against the
+coupling machines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..march.notation import Direction, MarchPause, MarchTest
+from ..march.simulator import MarchResult, Mismatch
+from .array import Topology
+from .simulator import FaultyMemory
+
+__all__ = [
+    "standard_backgrounds",
+    "WordMemory",
+    "run_word_march",
+    "detects_word_fault",
+]
+
+
+def standard_backgrounds(width: int) -> Tuple[Tuple[int, ...], ...]:
+    """The classical ``log2(B) + 1`` data backgrounds for word width B.
+
+    Solid zeros plus the stripe patterns of period 2, 4, ... — e.g. for
+    ``width=4``: ``0000``, ``0101``, ``0011``.  Every pair of bit
+    positions is equal under the solid background and differs under at
+    least one stripe.
+    """
+    if width < 1:
+        raise ValueError("word width must be positive")
+    backgrounds: List[Tuple[int, ...]] = [tuple([0] * width)]
+    period = 2
+    while period <= width or period // 2 < width:
+        pattern = tuple((i // (period // 2)) % 2 for i in range(width))
+        if pattern == backgrounds[-1]:
+            break
+        backgrounds.append(pattern)
+        if period >= 2 * width:
+            break
+        period *= 2
+    # Drop duplicates while keeping order (width 1 yields just the solid).
+    unique: List[Tuple[int, ...]] = []
+    for background in backgrounds:
+        if background not in unique:
+            unique.append(background)
+    return tuple(unique)
+
+
+class WordMemory:
+    """A word-oriented view over a bit-level (possibly faulty) memory.
+
+    Words are rows of the underlying bit topology; bit positions are its
+    columns, so an underlying bit-level fault machine (including the
+    two-cell coupling machines) can place aggressor and victim inside one
+    word or across words.
+    """
+
+    def __init__(self, n_words: int, width: int,
+                 bit_memory: Optional[FaultyMemory] = None) -> None:
+        if n_words < 1 or width < 1:
+            raise ValueError("need at least one word and one bit")
+        self.n_words = n_words
+        self.width = width
+        expected = Topology(n_rows=n_words, n_cols=width)
+        if bit_memory is None:
+            bit_memory = FaultyMemory(expected)
+        if bit_memory.topology != expected:
+            raise ValueError(
+                "bit memory topology must be n_words rows x width columns"
+            )
+        self.bits = bit_memory
+
+    @property
+    def size(self) -> int:
+        """Number of word addresses."""
+        return self.n_words
+
+    def _bit_address(self, word: int, position: int) -> int:
+        return self.bits.topology.address_of(word, position)
+
+    def read_word(self, word: int) -> Tuple[int, ...]:
+        return tuple(
+            self.bits.read(self._bit_address(word, i))
+            for i in range(self.width)
+        )
+
+    def write_word(self, word: int, bits: Sequence[int]) -> None:
+        """Write a word; bit cells are updated in position order.
+
+        The serialization order matters for intra-word coupling: an
+        aggressor bit's transition that disturbs a *later* bit of the same
+        word is immediately overwritten by that bit's own write — the
+        classical reason write-sensitized intra-word CFid faults are
+        partially unobservable in word-oriented memories.
+        """
+        if len(bits) != self.width:
+            raise ValueError("word width mismatch")
+        for i, bit in enumerate(bits):
+            self.bits.write(self._bit_address(word, i), bit)
+
+    def tick(self) -> None:
+        self.bits.tick()
+
+    def pause(self, seconds: float) -> None:
+        self.bits.pause(seconds)
+
+
+def _pattern(background: Sequence[int], value: int) -> Tuple[int, ...]:
+    """Background for march value 0, its complement for value 1."""
+    if value == 0:
+        return tuple(background)
+    return tuple(1 - bit for bit in background)
+
+
+def run_word_march(
+    test: MarchTest,
+    memory: WordMemory,
+    background: Sequence[int],
+    either_as: Direction = Direction.UP,
+    stop_at_first: bool = False,
+) -> MarchResult:
+    """Run a bit-oriented march test word-wise under one data background."""
+    if len(tuple(background)) != memory.width:
+        raise ValueError("background width mismatch")
+    mismatches: List[Mismatch] = []
+    operations = 0
+    for ei, element in enumerate(test.elements):
+        if isinstance(element, MarchPause):
+            memory.pause(element.seconds)
+            continue
+        for word in element.addresses(memory.size, either_as):
+            for oi, op in enumerate(element.ops):
+                operations += 1
+                expected = _pattern(background, op.value)
+                if op.is_write:
+                    memory.write_word(word, expected)
+                else:
+                    observed = memory.read_word(word)
+                    if observed != expected:
+                        bad = next(
+                            i for i, (o, e) in enumerate(zip(observed, expected))
+                            if o != e
+                        )
+                        mismatches.append(
+                            Mismatch(ei, word, oi, expected[bad], observed[bad])
+                        )
+                        if stop_at_first:
+                            return MarchResult(
+                                test.name, tuple(mismatches), operations
+                            )
+        memory.tick()
+    return MarchResult(test.name, tuple(mismatches), operations)
+
+
+def detects_word_fault(
+    test: MarchTest,
+    make_bit_memory,
+    n_words: int,
+    width: int,
+    backgrounds: Optional[Sequence[Sequence[int]]] = None,
+) -> bool:
+    """Guaranteed detection over all backgrounds and both ⇕ resolutions.
+
+    ``make_bit_memory()`` builds a fresh faulty bit-level memory per run
+    (the fault machines are stateful).  The fault is detected when *some*
+    background's run flags it, for **both** ⇕ resolutions.
+    """
+    backgrounds = tuple(
+        tuple(b) for b in (backgrounds or standard_backgrounds(width))
+    )
+    for either_as in (Direction.UP, Direction.DOWN):
+        caught = False
+        for background in backgrounds:
+            memory = WordMemory(n_words, width, make_bit_memory())
+            result = run_word_march(
+                test, memory, background, either_as=either_as,
+                stop_at_first=True,
+            )
+            if result.detected:
+                caught = True
+                break
+        if not caught:
+            return False
+    return True

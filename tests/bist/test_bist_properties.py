@@ -1,0 +1,94 @@
+"""Property-based tests: BIST controller vs. software march runner."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bist.controller import BistController
+from repro.bist.microcode import compile_march, decompile
+from repro.core.fault_primitives import parse_fp
+from repro.march.notation import Direction, MarchElement, MarchOp, MarchTest
+from repro.march.simulator import run_march
+from repro.memory.array import Topology
+from repro.memory.fault_machine import BehavioralFault
+from repro.memory.simulator import FaultyMemory
+
+FAULT_FPS = (
+    "<1v [w0BL] r1v/0/0>",
+    "<0v [w1BL] r0v/0/1>",
+    "<1v [w1BL] w0v/1/->",
+    "<[w1 w0] r0/1/1>",
+)
+
+
+@st.composite
+def consistent_march_tests(draw):
+    n_elements = draw(st.integers(1, 4))
+    state = draw(st.sampled_from((0, 1)))
+    elements = [MarchElement(Direction.EITHER, (MarchOp("w", state),))]
+    for _ in range(n_elements):
+        direction = draw(
+            st.sampled_from((Direction.UP, Direction.DOWN, Direction.EITHER))
+        )
+        ops = []
+        for _ in range(draw(st.integers(1, 4))):
+            if draw(st.booleans()):
+                ops.append(MarchOp("r", state))
+            else:
+                state = draw(st.sampled_from((0, 1)))
+                ops.append(MarchOp("w", state))
+        elements.append(MarchElement(direction, tuple(ops)))
+    return MarchTest("generated", tuple(elements))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    consistent_march_tests(),
+    st.sampled_from(FAULT_FPS),
+    st.integers(0, 5),
+    st.sampled_from((0, 1, None)),
+)
+def test_controller_equals_run_march(test, fp_text, victim_raw, node_value):
+    """Identical fail streams for any test, fault, victim and arming."""
+    topology = Topology(3, 2)
+    victim = victim_raw % topology.size
+    fp = parse_fp(fp_text)
+
+    def memory():
+        fault = BehavioralFault.from_fp(
+            fp, victim, topology, node_value=node_value
+        )
+        return FaultyMemory(topology, fault)
+
+    reference = run_march(test, memory(), either_as=Direction.UP)
+    result = BistController(
+        compile_march(test, Direction.UP), memory()
+    ).run()
+    assert result.passed == (not reference.detected)
+    assert [
+        (f.address, f.expected, f.observed) for f in result.fails
+    ] == [
+        (m.address, m.expected, m.observed) for m in reference.mismatches
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(consistent_march_tests())
+def test_compile_decompile_identity_after_resolution(test):
+    """decompile(compile(t)) == t once ⇕ is resolved."""
+    program = compile_march(test, Direction.DOWN)
+    recovered = decompile(program)
+    assert len(recovered.march_elements) == len(test.march_elements)
+    for original, back in zip(test.march_elements, recovered.march_elements):
+        assert back.ops == original.ops
+        expected = (
+            Direction.DOWN if original.direction is Direction.EITHER
+            else original.direction
+        )
+        assert back.direction is expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(consistent_march_tests())
+def test_fault_free_bist_always_passes(test):
+    memory = FaultyMemory(Topology(3, 2))
+    assert BistController(compile_march(test), memory).run().passed

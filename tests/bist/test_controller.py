@@ -1,0 +1,107 @@
+"""Tests for the BIST controller FSM."""
+
+import pytest
+
+from repro.bist.controller import BistController
+from repro.bist.microcode import compile_march
+from repro.core.fault_primitives import parse_fp
+from repro.march.library import IFA_13, MARCH_C_MINUS, MARCH_PF_PLUS, MATS_PLUS
+from repro.march.notation import parse_march
+from repro.march.simulator import run_march
+from repro.memory.array import Topology
+from repro.memory.fault_machine import BehavioralFault, DataRetentionFault
+from repro.memory.simulator import FaultyMemory
+
+TOPO = Topology(4, 2)
+
+
+def fresh(fp_text=None, node_value=None, victim=0):
+    if fp_text is None:
+        return FaultyMemory(TOPO)
+    fault = BehavioralFault.from_fp(
+        parse_fp(fp_text), victim, TOPO, node_value=node_value
+    )
+    return FaultyMemory(TOPO, fault)
+
+
+class TestBasics:
+    def test_fault_free_passes(self):
+        result = BistController(compile_march(MATS_PLUS), fresh()).run()
+        assert result.passed
+        assert result.cycles == MATS_PLUS.operation_count(TOPO.size)
+
+    def test_detects_partial_fault(self):
+        memory = fresh("<1v [w0BL] r1v/0/0>", node_value=1)
+        result = BistController(compile_march(MARCH_PF_PLUS), memory).run()
+        assert not result.passed
+        assert result.first_fail is not None
+
+    def test_stop_at_first(self):
+        memory = fresh("<1v [w0BL] r1v/0/0>", node_value=1)
+        controller = BistController(
+            compile_march(MARCH_PF_PLUS), memory, stop_at_first=True
+        )
+        result = controller.run()
+        assert len(result.fails) == 1
+
+    def test_step_by_step(self):
+        controller = BistController(compile_march(MATS_PLUS), fresh())
+        steps = 0
+        while controller.step() is not None:
+            steps += 1
+        assert steps == MATS_PLUS.operation_count(TOPO.size)
+        assert controller.done
+
+    def test_pause_instruction_forwards(self):
+        fault = DataRetentionFault(3, TOPO, retention_time=0.05)
+        memory = FaultyMemory(TOPO, fault)
+        result = BistController(compile_march(IFA_13), memory).run()
+        assert not result.passed
+
+    def test_cycle_budget_guard(self):
+        controller = BistController(compile_march(MATS_PLUS), fresh())
+        with pytest.raises(RuntimeError):
+            controller.run(max_cycles=3)
+
+    def test_single_cell_memory(self):
+        memory = FaultyMemory(Topology(1, 1))
+        result = BistController(compile_march(MARCH_C_MINUS), memory).run()
+        assert result.passed
+
+    def test_empty_memory_rejected(self):
+        class Empty:
+            size = 0
+        with pytest.raises(ValueError):
+            BistController(compile_march(MATS_PLUS), Empty())
+
+
+class TestEquivalence:
+    """The controller and the software march runner must agree exactly."""
+
+    @pytest.mark.parametrize("fp_text,node_value", [
+        ("<1v [w0BL] r1v/0/0>", 0),
+        ("<1v [w0BL] r1v/0/0>", 1),
+        ("<0v [w1BL] r0v/0/1>", 1),
+        ("<1v [w1BL] w0v/1/->", 0),
+        ("<[w1 w0] r0/1/1>", None),
+    ])
+    @pytest.mark.parametrize("test", [MATS_PLUS, MARCH_C_MINUS, MARCH_PF_PLUS],
+                             ids=lambda t: t.name)
+    def test_same_fails(self, test, fp_text, node_value):
+        for victim in range(TOPO.size):
+            reference = run_march(test, fresh(fp_text, node_value, victim))
+            result = BistController(
+                compile_march(test), fresh(fp_text, node_value, victim)
+            ).run()
+            assert result.passed == (not reference.detected)
+            assert (
+                [(f.address, f.expected, f.observed) for f in result.fails]
+                == [(m.address, m.expected, m.observed)
+                    for m in reference.mismatches]
+            )
+
+    def test_down_elements_agree(self):
+        test = parse_march("{⇓(w1); ⇓(r1,w0); ⇑(r0)}", "down test")
+        reference = run_march(test, fresh())
+        result = BistController(compile_march(test), fresh()).run()
+        assert result.passed and not reference.detected

@@ -1,0 +1,95 @@
+"""Tests for march microcode compilation."""
+
+import pytest
+
+from repro.bist.microcode import (
+    MicroInstruction,
+    MicroProgram,
+    compile_march,
+    decompile,
+)
+from repro.march.library import ALL_TESTS, IFA_13, MARCH_PF_PLUS, MATS_PLUS
+from repro.march.notation import Direction, parse_march
+
+
+class TestMicroInstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroInstruction("x", 0)
+        with pytest.raises(ValueError):
+            MicroInstruction("w", 2)
+        with pytest.raises(ValueError):
+            MicroInstruction("p")  # pause needs a duration
+
+    def test_encode_decode_roundtrip(self):
+        for word in range(16):
+            assert MicroInstruction.decode(word).encode() == word
+
+    def test_encode_fields(self):
+        instr = MicroInstruction("r", 1, last=True, up=False)
+        word = instr.encode()
+        assert word & 0b1 == 1          # data
+        assert word & 0b10              # read
+        assert word & 0b100             # last
+        assert not word & 0b1000        # down
+
+    def test_pause_has_no_encoding(self):
+        with pytest.raises(ValueError):
+            MicroInstruction("p", seconds=0.1).encode()
+
+    def test_decode_range(self):
+        with pytest.raises(ValueError):
+            MicroInstruction.decode(16)
+
+
+class TestMicroProgram:
+    def test_requires_instructions(self):
+        with pytest.raises(ValueError):
+            MicroProgram("x", ())
+
+    def test_final_op_must_close_element(self):
+        with pytest.raises(ValueError):
+            MicroProgram("x", (MicroInstruction("w", 0, last=False),))
+
+    def test_element_count(self):
+        program = compile_march(MATS_PLUS)
+        assert program.n_elements == 3
+
+    def test_store_size(self):
+        program = compile_march(MATS_PLUS)  # 5 operations
+        assert program.store_size_bits() == 20
+
+
+class TestCompileDecompile:
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+    def test_roundtrip_preserves_operations(self, test):
+        recovered = decompile(compile_march(test))
+        assert len(recovered.march_elements) == len(test.march_elements)
+        for original, back in zip(test.march_elements,
+                                  recovered.march_elements):
+            assert back.ops == original.ops
+
+    def test_either_resolution(self):
+        test = parse_march("{⇕(w0); ⇕(r0)}")
+        up = decompile(compile_march(test, Direction.UP))
+        down = decompile(compile_march(test, Direction.DOWN))
+        assert all(e.direction is Direction.UP for e in up.march_elements)
+        assert all(e.direction is Direction.DOWN for e in down.march_elements)
+
+    def test_explicit_directions_preserved(self):
+        test = parse_march("{⇑(w0); ⇓(r0,w1)}")
+        recovered = decompile(compile_march(test))
+        assert [e.direction for e in recovered.march_elements] == [
+            Direction.UP, Direction.DOWN,
+        ]
+
+    def test_pauses_survive(self):
+        program = compile_march(IFA_13)
+        recovered = decompile(program)
+        assert len(recovered.pauses) == 2
+        assert recovered.pauses[0].seconds == pytest.approx(0.1)
+
+    def test_march_pf_plus_store_budget(self):
+        """March PF+ fits in a realistically small microcode ROM."""
+        program = compile_march(MARCH_PF_PLUS)
+        assert program.store_size_bits() <= 256

@@ -1,0 +1,100 @@
+"""Tests for the redundancy-allocation algorithm."""
+
+import pytest
+
+from repro.bist.repair import allocate_repair
+from repro.memory.array import Topology
+
+TOPO = Topology(4, 4)
+
+
+def addr(row, col):
+    return TOPO.address_of(row, col)
+
+
+class TestMustRepair:
+    def test_full_row_forces_spare_row(self):
+        fails = [addr(1, c) for c in range(4)]
+        solution = allocate_repair(TOPO, fails, spare_rows=1, spare_cols=1)
+        assert solution.repairable
+        assert solution.spare_rows_used == (1,)
+        assert solution.spare_cols_used == ()
+
+    def test_full_column_forces_spare_col(self):
+        fails = [addr(r, 2) for r in range(4)]
+        solution = allocate_repair(TOPO, fails, spare_rows=1, spare_cols=1)
+        assert solution.repairable
+        assert solution.spare_cols_used == (2,)
+
+    def test_cascading_must_repair(self):
+        # Row 0 fully bad (needs the spare row); column 1 then has three
+        # more fails with no spare rows left (needs the spare column).
+        fails = [addr(0, c) for c in range(4)]
+        fails += [addr(r, 1) for r in (1, 2, 3)]
+        solution = allocate_repair(TOPO, fails, spare_rows=1, spare_cols=1)
+        assert solution.repairable
+        assert solution.spare_rows_used == (0,)
+        assert solution.spare_cols_used == (1,)
+
+
+class TestGreedy:
+    def test_single_fail_uses_one_spare(self):
+        solution = allocate_repair(TOPO, [addr(2, 3)], 1, 1)
+        assert solution.repairable
+        assert solution.spares_used == 1
+
+    def test_no_fails_uses_nothing(self):
+        solution = allocate_repair(TOPO, [], 2, 2)
+        assert solution.repairable
+        assert solution.spares_used == 0
+
+    def test_diagonal_exceeds_spares(self):
+        fails = [addr(i, i) for i in range(3)]
+        solution = allocate_repair(TOPO, fails, 1, 1)
+        assert not solution.repairable
+        assert len(solution.uncovered) == 1
+
+    def test_diagonal_fits_with_enough_spares(self):
+        fails = [addr(i, i) for i in range(3)]
+        solution = allocate_repair(TOPO, fails, 2, 1)
+        assert solution.repairable
+
+    def test_prefers_line_covering_more_fails(self):
+        fails = [addr(1, 0), addr(1, 2), addr(3, 3)]
+        solution = allocate_repair(TOPO, fails, 1, 1)
+        assert solution.repairable
+        assert solution.spare_rows_used == (1,)
+
+    def test_zero_spares_with_fails(self):
+        solution = allocate_repair(TOPO, [addr(0, 0)], 0, 0)
+        assert not solution.repairable
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_repair(TOPO, [], -1, 0)
+
+
+class TestProperties:
+    def test_solution_covers_everything_when_repairable(self):
+        import itertools
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            fails = {
+                TOPO.address_of(rng.randrange(4), rng.randrange(4))
+                for _ in range(rng.randrange(6))
+            }
+            spare_rows, spare_cols = rng.randrange(3), rng.randrange(3)
+            solution = allocate_repair(TOPO, fails, spare_rows, spare_cols)
+            assert len(solution.spare_rows_used) <= spare_rows
+            assert len(solution.spare_cols_used) <= spare_cols
+            if solution.repairable:
+                for address in fails:
+                    row, col = TOPO.row_of(address), TOPO.column_of(address)
+                    assert (
+                        row in solution.spare_rows_used
+                        or col in solution.spare_cols_used
+                    )
+            else:
+                assert solution.uncovered

@@ -1,0 +1,91 @@
+"""Tests for the multi-column electrical array."""
+
+import pytest
+
+from repro.circuit.array import ElectricalArray
+from repro.circuit.defects import FloatingNode, OpenDefect, OpenLocation
+from repro.march.library import MARCH_PF_PLUS, SCAN
+from repro.march.simulator import run_march
+from repro.memory.array import Topology
+
+TOPO = Topology(n_rows=3, n_cols=2)
+
+
+class TestFaultFree:
+    def test_reads_writes_route_by_address(self):
+        array = ElectricalArray(TOPO)
+        for address in TOPO.addresses():
+            array.write(address, address % 2)
+        for address in TOPO.addresses():
+            assert array.read(address) == address % 2
+
+    def test_columns_are_independent(self):
+        array = ElectricalArray(TOPO)
+        array.write(0, 1)           # row 0, column 0
+        assert array.read(1) == 0   # row 0, column 1 untouched
+
+    def test_march_passes(self):
+        array = ElectricalArray(TOPO)
+        assert not run_march(SCAN, array).detected
+
+    def test_size(self):
+        assert ElectricalArray(TOPO).size == 6
+
+
+class TestWithDefect:
+    def make(self, column=1):
+        array = ElectricalArray(
+            TOPO,
+            defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e6),
+            defect_column=column,
+        )
+        return array
+
+    def test_defect_lands_in_chosen_column(self):
+        array = self.make(column=1)
+        assert array.columns[1].defect is not None
+        assert array.columns[0].defect is None
+
+    def test_partial_fault_is_column_local(self):
+        array = self.make(column=1)
+        array.set_floating_voltages(0.0)
+        # Column 0 cells are healthy regardless of the neighbour's defect.
+        array.write(0, 1)
+        assert array.read(0) == 1
+
+    def test_march_pf_plus_detects_in_either_column(self):
+        for column in (0, 1):
+            array = self.make(column=column)
+            array.set_floating_voltages(0.0)
+            result = run_march(MARCH_PF_PLUS, array, stop_at_first=True)
+            assert result.detected
+            flagged = result.mismatches[0].address
+            assert TOPO.column_of(flagged) == column
+
+    def test_completing_ops_cross_addresses_on_same_column(self):
+        """The arming write at address k-n_cols sensitizes the victim at k."""
+        array = self.make(column=0)
+        array.set_floating_voltages(0.0)
+        array.write(0, 1)   # victim row 0, col 0
+        array.write(4, 1)   # row 2, col 0: drives the BL high
+        assert array.read(0) == 1      # masked
+        array.write(2, 0)   # row 1, col 0: completing w0 on the column
+        assert array.read(0) == 0      # sensitized (RDF1)
+
+    def test_other_column_writes_do_not_arm(self):
+        array = self.make(column=0)
+        array.set_floating_voltages(3.3)
+        array.write(0, 1)
+        array.write(3, 0)   # row 1, col 1: different bit line
+        assert array.read(0) == 1      # still masked
+
+    def test_defect_column_bounds(self):
+        with pytest.raises(IndexError):
+            ElectricalArray(TOPO, defect_column=2)
+
+    def test_floating_override(self):
+        array = self.make()
+        array.set_floating_voltages(
+            0.0, nodes={FloatingNode.OUTPUT_BUFFER: 3.3}
+        )
+        assert array.defective_column.buffer_voltage() == pytest.approx(3.3)

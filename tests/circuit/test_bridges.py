@@ -1,0 +1,82 @@
+"""Unit tests for bridge defects in the column model."""
+
+import pytest
+
+from repro.circuit.bridges import BridgeDefect, BridgeLocation
+from repro.circuit.column import DRAMColumn
+
+
+class TestBridgeDefect:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BridgeDefect(BridgeLocation.CELL_CELL, 0.0)
+        with pytest.raises(ValueError):
+            BridgeDefect(BridgeLocation.CELL_CELL, 1e3, row=-1)
+
+    def test_partner_row(self):
+        bridge = BridgeDefect(BridgeLocation.CELL_CELL, 1e3, row=1)
+        assert bridge.partner_row == 2
+
+    def test_partner_only_for_cell_cell(self):
+        bridge = BridgeDefect(BridgeLocation.CELL_BITLINE, 1e3)
+        with pytest.raises(ValueError):
+            bridge.partner_row
+
+    def test_with_resistance(self):
+        bridge = BridgeDefect(BridgeLocation.CELL_CELL, 1e3)
+        assert bridge.with_resistance(2e3).resistance == 2e3
+
+    def test_str(self):
+        text = str(BridgeDefect(BridgeLocation.CELL_CELL, 5e3, row=1))
+        assert "cell-cell" in text and "row 1" in text
+
+
+class TestColumnWithBridge:
+    def test_partner_must_fit(self):
+        with pytest.raises(ValueError):
+            DRAMColumn(
+                n_rows=2,
+                defect=BridgeDefect(BridgeLocation.CELL_CELL, 1e3, row=1),
+            )
+
+    def test_bridge_does_not_split_bitline(self):
+        col = DRAMColumn(
+            n_rows=3, defect=BridgeDefect(BridgeLocation.CELL_CELL, 1e3)
+        )
+        assert col._bt_nodes == ["bt"]
+
+    def test_cell_cell_bridge_equalizes_over_time(self):
+        col = DRAMColumn(
+            n_rows=3, defect=BridgeDefect(BridgeLocation.CELL_CELL, 1e5)
+        )
+        col.reset({0: 1, 1: 0})
+        for _ in range(4):
+            col.precharge_cycle()
+        v0, v1 = col.cell_voltage(0), col.cell_voltage(1)
+        assert abs(v0 - v1) < 0.3
+        assert 0.5 < v0 < 2.8
+
+    def test_weak_bridge_is_benign(self):
+        col = DRAMColumn(
+            n_rows=3, defect=BridgeDefect(BridgeLocation.CELL_CELL, 1e12)
+        )
+        col.reset({0: 1, 1: 0})
+        col.precharge_cycle()
+        assert col.read(0) == 1
+        assert col.read(1) == 0
+
+    def test_cell_bitline_bridge_leaks_to_precharge(self):
+        col = DRAMColumn(
+            n_rows=3, defect=BridgeDefect(BridgeLocation.CELL_BITLINE, 1e5)
+        )
+        col.reset({0: 0})
+        col.precharge_cycle()
+        assert col.cell_voltage(0) > 0.5  # pulled toward v_precharge
+
+    def test_strong_bridge_disturbs_during_neighbour_ops(self):
+        col = DRAMColumn(
+            n_rows=3, defect=BridgeDefect(BridgeLocation.CELL_BITLINE, 1e4)
+        )
+        col.reset({0: 1, 1: 0})
+        col.read(1)   # drives the BL to 0 during restore
+        assert col.cell_voltage(0) < 1.5

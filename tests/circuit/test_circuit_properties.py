@@ -1,0 +1,85 @@
+"""Property-based tests on the electrical substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.circuit.column import DRAMColumn
+from repro.circuit.network import Network
+from repro.memory.array import MemoryArray, Topology
+
+ops = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 2), st.sampled_from((0, 1))),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops)
+def test_fault_free_column_is_an_ideal_memory(script):
+    """Random op sequences on the defect-free column match a bit array.
+
+    Reads of never-written cells are excluded (they default to 0 in both
+    models here because reset establishes 0, so they are checked too).
+    """
+    column = DRAMColumn(n_rows=3)
+    model = MemoryArray(Topology(3, 1))
+    for is_write, row, value in script:
+        if is_write:
+            column.write(row, value)
+            model.write(row, value)
+        else:
+            assert column.read(row) == model.read(row)
+    for row in range(3):
+        assert column.logical_state(row) == model.read(row)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops)
+def test_voltages_stay_within_rails(script):
+    column = DRAMColumn(n_rows=3)
+    vdd = column.tech.vdd
+    for is_write, row, value in script:
+        if is_write:
+            column.write(row, value)
+        else:
+            column.read(row)
+        for name, voltage in column.net.voltages().items():
+            assert -0.01 <= voltage <= vdd + 0.01, (name, voltage)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 3.3), min_size=2, max_size=5),
+    st.floats(1e2, 1e7),
+    st.floats(1e-10, 1e-7),
+)
+def test_isolated_network_conserves_charge(voltages, resistance, duration):
+    """Resistor-coupled capacitors without drivers keep total charge."""
+    net = Network()
+    caps = [(i + 1) * 20e-15 for i in range(len(voltages))]
+    for i, (c, v) in enumerate(zip(caps, voltages)):
+        net.add_node(f"n{i}", c, v=v)
+    for i in range(len(voltages) - 1):
+        net.connect(f"n{i}", f"n{i+1}", resistance)
+    q0 = sum(c * v for c, v in zip(caps, voltages))
+    net.run(duration)
+    q1 = sum(
+        c * net.voltage(f"n{i}") for i, c in enumerate(caps)
+    )
+    assert abs(q1 - q0) <= 1e-9 * max(abs(q0), 1e-15) + 1e-20
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(0.0, 3.3), st.floats(0.0, 3.3),
+    st.floats(1e2, 1e6), st.floats(1e-10, 1e-7),
+)
+def test_driven_node_moves_monotonically_toward_source(v0, v_drive, r, t):
+    net = Network()
+    net.add_node("n", 50e-15, v=v0)
+    net.drive("n", v_drive, r)
+    net.run(t)
+    v1 = net.voltage("n")
+    low, high = min(v0, v_drive), max(v0, v_drive)
+    assert low - 1e-9 <= v1 <= high + 1e-9

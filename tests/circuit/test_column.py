@@ -1,0 +1,239 @@
+"""Unit and behaviour tests for the DRAM column model."""
+
+import pytest
+
+from repro.circuit.column import DRAMColumn
+from repro.circuit.defects import FloatingNode, OpenDefect, OpenLocation
+from repro.circuit.technology import default_technology
+
+
+@pytest.fixture()
+def column():
+    return DRAMColumn(n_rows=3)
+
+
+class TestFaultFree:
+    def test_write_then_read_both_values(self, column):
+        column.write(0, 1)
+        column.write(1, 0)
+        assert column.read(0) == 1
+        assert column.read(1) == 0
+
+    def test_cells_reach_full_levels(self, column):
+        column.write(0, 1)
+        assert column.cell_voltage(0) == pytest.approx(3.3, abs=0.05)
+        column.write(0, 0)
+        assert column.cell_voltage(0) == pytest.approx(0.0, abs=0.05)
+
+    def test_reads_are_restorative(self, column):
+        column.write(0, 1)
+        for _ in range(5):
+            assert column.read(0) == 1
+        assert column.cell_voltage(0) == pytest.approx(3.3, abs=0.05)
+
+    def test_neighbours_undisturbed(self, column):
+        column.write(0, 1)
+        column.write(1, 0)
+        for _ in range(4):
+            column.read(0)
+        assert column.read(1) == 0
+
+    def test_preload_via_reset(self, column):
+        column.reset({0: 1, 2: 1})
+        assert column.read(0) == 1
+        assert column.read(1) == 0
+        assert column.read(2) == 1
+
+    def test_logical_state_threshold(self, column):
+        assert column.logical_state(0) == 0
+        column.write(0, 1)
+        assert column.logical_state(0) == 1
+        assert 0.0 < column.state_threshold < column.tech.vdd
+
+    def test_history_records_operations(self, column):
+        column.write(0, 1)
+        column.read(0)
+        kinds = [record.kind for record in column.history]
+        assert kinds == ["w", "r"]
+        assert column.history[-1].read_result == 1
+
+    def test_precharge_cycle_is_harmless(self, column):
+        column.write(0, 1)
+        column.precharge_cycle()
+        assert column.read(0) == 1
+
+    def test_invalid_row_rejected(self, column):
+        with pytest.raises(ValueError):
+            column.read(5)
+        with pytest.raises(ValueError):
+            column.write(-1, 0)
+
+    def test_invalid_value_rejected(self, column):
+        with pytest.raises(ValueError):
+            column.write(0, 2)
+
+    def test_needs_one_row(self):
+        with pytest.raises(ValueError):
+            DRAMColumn(n_rows=0)
+
+
+class TestConstruction:
+    def test_no_defect_single_bt_node(self, column):
+        assert column._bt_nodes == ["bt"]
+
+    @pytest.mark.parametrize(
+        "location", [
+            OpenLocation.BL_PRECHARGE_CELLS,
+            OpenLocation.BL_CELLS_REFERENCE,
+            OpenLocation.BL_REFERENCE_SENSEAMP,
+            OpenLocation.BL_SENSEAMP_IO,
+        ],
+    )
+    def test_bitline_opens_split_bt(self, location):
+        col = DRAMColumn(defect=OpenDefect(location, 1e5))
+        assert col._bt_nodes == ["bt0", "bt1"]
+
+    def test_device_opens_do_not_split(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.CELL, 1e5))
+        assert col._bt_nodes == ["bt"]
+
+    def test_complementary_defect_rejected(self):
+        defect = OpenDefect(OpenLocation.CELL, 1e5).complementary()
+        with pytest.raises(ValueError):
+            DRAMColumn(defect=defect)
+
+    def test_defect_row_must_exist(self):
+        with pytest.raises(ValueError):
+            DRAMColumn(n_rows=2, defect=OpenDefect(OpenLocation.CELL, 1e5, row=5))
+
+    def test_total_bitline_capacitance_preserved(self):
+        tech = default_technology()
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.BL_CELLS_REFERENCE, 1e5))
+        caps = sum(col.net._caps[col.net.node_index(n)] for n in col._bt_nodes)
+        assert caps == pytest.approx(tech.c_bl_total)
+
+
+class TestFloatingVoltages:
+    def test_bitline_float_targets_cut_section(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e7))
+        col.set_floating_voltage(FloatingNode.BIT_LINE, 0.42)
+        assert col.bitline_voltage("cells") == pytest.approx(0.42)
+        assert col.bitline_voltage("pre") != pytest.approx(0.42)
+
+    def test_bitline_float_whole_line_without_defect(self, column):
+        column.set_floating_voltage(FloatingNode.BIT_LINE, 0.42)
+        assert column.bitline_voltage("pre") == pytest.approx(0.42)
+        assert column.bitline_voltage("io") == pytest.approx(0.42)
+
+    def test_cell_float(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.CELL, 1e5, row=1),
+                         n_rows=3)
+        col.set_floating_voltage(FloatingNode.CELL, 1.1)
+        assert col.cell_voltage(1) == pytest.approx(1.1)
+
+    def test_buffer_and_reference_floats(self, column):
+        column.set_floating_voltage(FloatingNode.OUTPUT_BUFFER, 2.0)
+        column.set_floating_voltage(FloatingNode.REFERENCE_CELL, 0.3)
+        assert column.buffer_voltage() == pytest.approx(2.0)
+        assert column.reference_voltage() == pytest.approx(0.3)
+
+    def test_word_line_float(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.WORD_LINE, 1e9))
+        col.set_floating_voltage(FloatingNode.WORD_LINE, 3.0)
+        assert col.gate_voltage(0) == pytest.approx(3.0)
+
+
+class TestOpen4MotivatingExample:
+    """The paper's Fig. 1 story, end to end on the electrical model."""
+
+    R_DEF = 1e7
+
+    def make(self, u_bl):
+        col = DRAMColumn(
+            n_rows=3,
+            defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, self.R_DEF),
+        )
+        col.reset({0: 1})
+        col.set_floating_voltage(FloatingNode.BIT_LINE, u_bl)
+        return col
+
+    def test_low_bl_read_destroys_stored_one(self):
+        col = self.make(0.0)
+        assert col.read(0) == 0          # RDF1: reads 0 ...
+        assert col.logical_state(0) == 0  # ... and the 1 is destroyed
+
+    def test_high_bl_read_works(self):
+        col = self.make(3.3)
+        assert col.read(0) == 1
+
+    def test_w1_r1_march_misses_the_fault(self):
+        col = self.make(0.0)
+        col.write(0, 1)                   # preconditions the BL high
+        assert col.read(0) == 1           # fault masked
+
+    def test_completing_w0_sensitizes(self):
+        col = self.make(0.0)
+        col.write(0, 1)
+        col.write(1, 0)                   # completing w0 on a BL neighbour
+        assert col.read(0) == 0           # fault sensitized
+
+
+class TestOpen9WordLine:
+    def test_floating_high_gate_charges_stored_zero(self):
+        """The paper's SF0: precharge charges the cell through the open."""
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.WORD_LINE, 1e9))
+        col.reset({0: 0})
+        col.set_floating_voltage(FloatingNode.WORD_LINE, 3.3)
+        col.precharge_cycle()
+        assert col.logical_state(0) == 1
+
+    def test_floating_low_gate_cell_unreachable(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.WORD_LINE, 1e9))
+        col.reset({0: 0})
+        col.set_floating_voltage(FloatingNode.WORD_LINE, 0.0)
+        assert col.read(0) == 1           # no signal reads 1 (IRF0) ...
+        assert col.logical_state(0) == 0  # ... while the cell keeps its 0
+
+    def test_healthy_word_line_unaffected(self):
+        col = DRAMColumn()
+        col.reset({0: 0})
+        col.precharge_cycle()
+        assert col.logical_state(0) == 0
+
+
+class TestOpen8Buffer:
+    def test_stale_buffer_read(self):
+        """IRF0 through the forwarding open: r0 returns the stale buffer."""
+        col = DRAMColumn(
+            n_rows=3, defect=OpenDefect(OpenLocation.BL_SENSEAMP_IO, 1e9)
+        )
+        col.reset({0: 0})
+        col.set_floating_voltage(FloatingNode.BIT_LINE, 3.3)
+        col.set_floating_voltage(FloatingNode.OUTPUT_BUFFER, 3.3)
+        assert col.read(0) == 1
+        assert col.logical_state(0) == 0
+
+    def test_writes_arm_the_buffer(self):
+        col = DRAMColumn(
+            n_rows=3, defect=OpenDefect(OpenLocation.BL_SENSEAMP_IO, 1e9)
+        )
+        col.reset({0: 0})
+        col.write(1, 1)                   # drives the IO side and the buffer
+        assert col.buffer_voltage() > col.tech.vdd / 2
+        assert col.read(0) == 1           # completed IRF0
+
+
+class TestOpen1Cell:
+    def test_weak_write_leaves_cell_midlevel(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.CELL, 5e5))
+        col.reset({})
+        col.set_floating_voltage(FloatingNode.CELL, 3.3)
+        col.write(0, 0)
+        assert col.cell_voltage(0) > 1.0  # the w0 failed to discharge fully
+
+    def test_healthy_resistance_writes_fine(self):
+        col = DRAMColumn(defect=OpenDefect(OpenLocation.CELL, 1e3))
+        col.reset({})
+        col.set_floating_voltage(FloatingNode.CELL, 3.3)
+        col.write(0, 0)
+        assert col.read(0) == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the open-defect catalogue."""
+
+import pytest
+
+from repro.circuit.defects import (
+    FloatingNode,
+    OpenDefect,
+    OpenLocation,
+    floating_nodes,
+)
+
+
+class TestOpenLocation:
+    def test_nine_locations(self):
+        assert len(OpenLocation) == 9
+
+    def test_numbers_match_the_paper(self):
+        assert OpenLocation.CELL.number == 1
+        assert OpenLocation.REFERENCE_CELL.number == 2
+        assert OpenLocation.PRECHARGE.number == 3
+        assert OpenLocation.BL_PRECHARGE_CELLS.number == 4
+        assert OpenLocation.BL_CELLS_REFERENCE.number == 5
+        assert OpenLocation.BL_REFERENCE_SENSEAMP.number == 6
+        assert OpenLocation.SENSE_AMPLIFIER.number == 7
+        assert OpenLocation.BL_SENSEAMP_IO.number == 8
+        assert OpenLocation.WORD_LINE.number == 9
+
+    def test_str(self):
+        assert str(OpenLocation.CELL) == "Open 1"
+
+
+class TestFloatingNodes:
+    """The Section 2 rules: which voltages float per defect."""
+
+    def test_cell_open(self):
+        assert floating_nodes(OpenLocation.CELL) == (FloatingNode.CELL,)
+
+    def test_reference_open(self):
+        assert floating_nodes(OpenLocation.REFERENCE_CELL) == (
+            FloatingNode.REFERENCE_CELL,
+        )
+
+    @pytest.mark.parametrize(
+        "location", [
+            OpenLocation.PRECHARGE,
+            OpenLocation.BL_PRECHARGE_CELLS,
+            OpenLocation.BL_CELLS_REFERENCE,
+            OpenLocation.BL_REFERENCE_SENSEAMP,
+        ],
+    )
+    def test_bitline_opens(self, location):
+        assert floating_nodes(location) == (FloatingNode.BIT_LINE,)
+
+    def test_sense_amp_open(self):
+        assert floating_nodes(OpenLocation.SENSE_AMPLIFIER) == (
+            FloatingNode.REFERENCE_CELL,
+            FloatingNode.OUTPUT_BUFFER,
+        )
+
+    def test_forwarding_open(self):
+        assert floating_nodes(OpenLocation.BL_SENSEAMP_IO) == (
+            FloatingNode.BIT_LINE,
+            FloatingNode.OUTPUT_BUFFER,
+        )
+
+    def test_word_line_open(self):
+        assert floating_nodes(OpenLocation.WORD_LINE) == (
+            FloatingNode.WORD_LINE,
+        )
+
+
+class TestOpenDefect:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            OpenDefect(OpenLocation.CELL, -1.0)
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ValueError):
+            OpenDefect(OpenLocation.CELL, 1e5, row=-1)
+
+    def test_complementary_is_involution(self):
+        defect = OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e5)
+        assert defect.complementary().complementary() == defect
+
+    def test_complementary_flips_line(self):
+        defect = OpenDefect(OpenLocation.CELL, 1e5)
+        assert defect.on_true_line
+        assert not defect.complementary().on_true_line
+
+    def test_with_resistance(self):
+        defect = OpenDefect(OpenLocation.CELL, 1e5)
+        assert defect.with_resistance(2e5).resistance == 2e5
+        assert defect.with_resistance(2e5).location is OpenLocation.CELL
+
+    def test_floating_nodes_property(self):
+        defect = OpenDefect(OpenLocation.WORD_LINE, 1e8)
+        assert defect.floating_nodes == (FloatingNode.WORD_LINE,)
+
+    def test_str_mentions_number_and_resistance(self):
+        text = str(OpenDefect(OpenLocation.CELL, 1.5e5))
+        assert "Open 1" in text and "1.5e+05" in text

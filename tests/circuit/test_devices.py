@@ -1,0 +1,120 @@
+"""Unit tests for the sense amplifier, word-line gate and technology."""
+
+import math
+
+import pytest
+
+from repro.circuit.senseamp import SenseAmplifier
+from repro.circuit.technology import Technology, default_technology
+from repro.circuit.wordline import WordLineGate
+
+
+class TestSenseAmplifier:
+    def test_fires_on_positive_differential(self):
+        sa = SenseAmplifier(offset=0.01)
+        assert sa.sense(1.70, 1.60)
+        assert sa.fired and sa.value == 1
+
+    def test_fires_on_negative_differential(self):
+        sa = SenseAmplifier(offset=0.01)
+        assert sa.sense(1.55, 1.60)
+        assert sa.value == 0
+
+    def test_dead_zone(self):
+        sa = SenseAmplifier(offset=0.01)
+        assert not sa.sense(1.651, 1.65)
+        assert not sa.fired and sa.value is None
+        assert sa.rail(3.3) is None
+
+    def test_rails(self):
+        sa = SenseAmplifier(offset=0.01)
+        sa.sense(2.0, 1.0)
+        assert sa.rail(3.3) == 3.3
+        sa.sense(1.0, 2.0)
+        assert sa.rail(3.3) == 0.0
+
+    def test_reset(self):
+        sa = SenseAmplifier(offset=0.01)
+        sa.sense(2.0, 1.0)
+        sa.reset()
+        assert not sa.fired and sa.value is None
+
+    def test_flip_when_crossed(self):
+        sa = SenseAmplifier(offset=0.01)
+        sa.sense(2.0, 1.0)
+        sa.maybe_flip(0.5, 2.5)
+        assert sa.value == 0
+
+    def test_no_flip_when_holding(self):
+        sa = SenseAmplifier(offset=0.01)
+        sa.sense(2.0, 1.0)
+        sa.maybe_flip(3.0, 0.3)
+        assert sa.value == 1
+
+    def test_late_fire_during_write(self):
+        sa = SenseAmplifier(offset=0.01)
+        sa.sense(1.65, 1.65)  # dead zone
+        sa.maybe_flip(3.0, 0.3)
+        assert sa.fired and sa.value == 1
+
+
+class TestWordLineGate:
+    def test_instant_without_open(self):
+        gate = WordLineGate(capacitance=5e-15, resistance=0.0)
+        mean = gate.advance(3.3, 1e-9)
+        assert mean == 3.3
+        assert gate.voltage == 3.3
+
+    def test_exponential_with_open(self):
+        r, c, t = 1e9, 5e-15, 5e-9
+        gate = WordLineGate(capacitance=c, resistance=r, voltage=0.0)
+        gate.advance(3.3, t)
+        expected = 3.3 * (1 - math.exp(-t / (r * c)))
+        assert gate.voltage == pytest.approx(expected, rel=1e-9)
+
+    def test_mean_between_start_and_end(self):
+        gate = WordLineGate(capacitance=5e-15, resistance=1e8, voltage=0.0)
+        mean = gate.advance(3.3, 1e-9)
+        assert 0.0 < mean < gate.voltage
+
+    def test_zero_duration_keeps_state(self):
+        gate = WordLineGate(capacitance=5e-15, resistance=1e8, voltage=1.0)
+        assert gate.advance(3.3, 0.0) == 1.0
+        assert gate.voltage == 1.0
+
+    def test_conduction_clamps(self):
+        gate = WordLineGate(capacitance=5e-15)
+        assert gate.conduction(0.0, 0.7, 3.3) == 0.0
+        assert gate.conduction(3.3, 0.7, 3.3) == 1.0
+        assert 0.0 < gate.conduction(2.0, 0.7, 3.3) < 1.0
+
+    def test_conduction_validates_levels(self):
+        gate = WordLineGate(capacitance=5e-15)
+        with pytest.raises(ValueError):
+            gate.conduction(1.0, 3.3, 0.7)
+
+
+class TestTechnology:
+    def test_total_bitline_capacitance(self):
+        tech = default_technology()
+        assert tech.c_bl_total == pytest.approx(300e-15)
+
+    def test_transfer_ratio(self):
+        tech = default_technology()
+        assert tech.transfer_ratio == pytest.approx(30 / 330)
+
+    def test_read_signal_sign(self):
+        tech = default_technology()
+        assert tech.read_signal(tech.vdd) > 0
+        assert tech.read_signal(0.0) < 0
+        assert tech.read_signal(tech.v_precharge) == 0
+
+    def test_scaled_override(self):
+        tech = default_technology().scaled(c_cell=60e-15)
+        assert tech.c_cell == 60e-15
+        assert tech.vdd == default_technology().vdd
+
+    def test_frozen(self):
+        tech = default_technology()
+        with pytest.raises(Exception):
+            tech.vdd = 5.0

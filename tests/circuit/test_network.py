@@ -1,0 +1,146 @@
+"""Unit tests for the lumped-RC network solver."""
+
+import math
+
+import pytest
+
+from repro.circuit.network import Network, OPEN
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node("a", 1e-15)
+        with pytest.raises(ValueError):
+            net.add_node("a", 1e-15)
+
+    def test_nonpositive_capacitance_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.add_node("a", 0.0)
+
+    def test_self_connection_rejected(self):
+        net = Network()
+        net.add_node("a", 1e-15)
+        with pytest.raises(ValueError):
+            net.connect("a", "a", 1e3)
+
+    def test_open_edge_is_noop(self):
+        net = Network()
+        net.add_node("a", 1e-15, v=1.0)
+        net.add_node("b", 1e-15, v=0.0)
+        net.connect("a", "b", OPEN)
+        net.run(1e-6)
+        assert net.voltage("a") == pytest.approx(1.0)
+        assert net.voltage("b") == pytest.approx(0.0)
+
+    def test_node_lookup_by_name_and_index(self):
+        net = Network()
+        idx = net.add_node("a", 1e-15, v=0.5)
+        assert net.voltage("a") == net.voltage(idx) == 0.5
+        assert net.node_names == ("a",)
+
+
+class TestTransients:
+    def test_driven_rc_charging_matches_analytic(self):
+        c, r, v_drive, t = 100e-15, 1e3, 3.3, 2e-10
+        net = Network()
+        net.add_node("n", c, v=0.0)
+        net.drive("n", v_drive, r)
+        net.run(t)
+        expected = v_drive * (1 - math.exp(-t / (r * c)))
+        assert net.voltage("n") == pytest.approx(expected, rel=1e-6)
+
+    def test_two_capacitor_charge_sharing(self):
+        c1, c2 = 300e-15, 30e-15
+        net = Network()
+        net.add_node("bl", c1, v=1.65)
+        net.add_node("cell", c2, v=3.3)
+        net.connect("bl", "cell", 8e3)
+        net.run(1e-7)  # long enough to equilibrate
+        common = (c1 * 1.65 + c2 * 3.3) / (c1 + c2)
+        assert net.voltage("bl") == pytest.approx(common, rel=1e-6)
+        assert net.voltage("cell") == pytest.approx(common, rel=1e-6)
+
+    def test_charge_conservation_without_drivers(self):
+        net = Network()
+        net.add_node("a", 100e-15, v=2.0)
+        net.add_node("b", 50e-15, v=0.5)
+        net.connect("a", "b", 5e3)
+        q0 = 100e-15 * 2.0 + 50e-15 * 0.5
+        net.run(3e-9)
+        q1 = 100e-15 * net.voltage("a") + 50e-15 * net.voltage("b")
+        assert q1 == pytest.approx(q0, rel=1e-9)
+
+    def test_floating_node_holds_charge(self):
+        net = Network()
+        net.add_node("float", 30e-15, v=2.2)
+        net.add_node("driven", 30e-15, v=0.0)
+        net.drive("driven", 3.3, 1e3)
+        net.run(1e-6)
+        assert net.voltage("float") == pytest.approx(2.2)
+        assert net.voltage("driven") == pytest.approx(3.3, rel=1e-6)
+
+    def test_partial_relaxation_midway(self):
+        c, r = 100e-15, 1e4
+        tau = r * c
+        net = Network()
+        net.add_node("n", c, v=0.0)
+        net.drive("n", 1.0, r)
+        net.run(tau)
+        assert net.voltage("n") == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_two_drivers_divider(self):
+        net = Network()
+        net.add_node("n", 10e-15)
+        net.drive("n", 3.3, 1e3)
+        net.drive("n", 0.0, 2e3)
+        net.run(1e-6)
+        expected = 3.3 * (1 / 1e3) / (1 / 1e3 + 1 / 2e3)
+        assert net.voltage("n") == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_duration_is_noop(self):
+        net = Network()
+        net.add_node("n", 1e-15, v=1.0)
+        net.drive("n", 0.0, 1e3)
+        assert net.run(0.0)["n"] == 1.0
+
+    def test_negative_duration_rejected(self):
+        net = Network()
+        net.add_node("n", 1e-15)
+        with pytest.raises(ValueError):
+            net.run(-1.0)
+
+    def test_clear_phase_keeps_voltages(self):
+        net = Network()
+        net.add_node("n", 1e-15, v=0.0)
+        net.drive("n", 3.3, 1e3)
+        net.run(1e-6)
+        net.clear_phase()
+        net.run(1e-6)
+        assert net.voltage("n") == pytest.approx(3.3, rel=1e-6)
+
+    def test_stiff_system_stays_stable(self):
+        """A very fast edge next to a slow one must not blow up."""
+        net = Network()
+        net.add_node("a", 10e-15, v=3.3)
+        net.add_node("b", 300e-15, v=0.0)
+        net.connect("a", "b", 1.0)        # tau ~ 1e-14
+        net.drive("b", 1.65, 1e7)         # tau ~ 3e-6
+        net.run(5e-9)
+        assert 0.0 <= net.voltage("a") <= 3.3
+        assert abs(net.voltage("a") - net.voltage("b")) < 1e-3
+
+
+class TestSetVoltage:
+    def test_set_voltage(self):
+        net = Network()
+        net.add_node("n", 1e-15)
+        net.set_voltage("n", 2.5)
+        assert net.voltage("n") == 2.5
+
+    def test_voltages_dict(self):
+        net = Network()
+        net.add_node("a", 1e-15, v=1.0)
+        net.add_node("b", 1e-15, v=2.0)
+        assert net.voltages() == {"a": 1.0, "b": 2.0}

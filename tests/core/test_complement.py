@@ -1,0 +1,46 @@
+"""Unit tests for the complementary-defect transform."""
+
+import pytest
+
+from repro.core.complement import complement
+from repro.core.fault_primitives import Init, Op, OpKind, parse_fp, parse_sos
+from repro.core.ffm import FFM
+
+
+class TestComplement:
+    def test_bits(self):
+        assert complement(0) == 1
+        assert complement(1) == 0
+
+    def test_none_passthrough(self):
+        assert complement(None) is None
+
+    def test_init(self):
+        assert complement(Init(0, "v")) == Init(1, "v")
+
+    def test_op(self):
+        assert complement(Op(OpKind.READ, 1)) == Op(OpKind.READ, 0)
+
+    def test_sos(self):
+        assert complement(parse_sos("1v [w0BL] r1v")) == parse_sos(
+            "0v [w1BL] r0v"
+        )
+
+    def test_fp_table1_pair(self):
+        """The paper's Com. column: RDF1's completed FP complements to RDF0's."""
+        rdf1 = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert complement(rdf1) == parse_fp("<0v [w1BL] r0v/1/1>")
+
+    def test_ffm(self):
+        assert complement(FFM.RDF0) is FFM.RDF1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            complement("not a fault object")
+        with pytest.raises(TypeError):
+            complement(2)
+
+    def test_involution_on_examples(self):
+        for text in ("<1r1/0/0>", "<0w1/0/->", "<[w1 w0] r0/1/1>"):
+            fp = parse_fp(text)
+            assert complement(complement(fp)) == fp

@@ -1,0 +1,100 @@
+"""Unit tests for the completing-operation search."""
+
+import pytest
+
+from repro.circuit.defects import FloatingNode, OpenLocation
+from repro.core.analysis import ColumnFaultAnalyzer, SweepGrid
+from repro.core.completion import candidate_completions, complete_fault
+from repro.core.fault_primitives import BITLINE_NEIGHBOR, VICTIM, parse_sos
+from repro.core.ffm import FFM
+
+
+class TestCandidates:
+    def test_ordered_by_length(self):
+        lengths = [c.n_ops for c in candidate_completions(parse_sos("1r1"), 2)]
+        assert lengths == sorted(lengths)
+
+    def test_bitline_candidates_first_of_each_length(self):
+        first = next(iter(candidate_completions(parse_sos("1r1"), 1)))
+        assert first.ops[0].cell == BITLINE_NEIGHBOR
+        assert first.ops[0].completing
+
+    def test_victim_candidates_drop_inits(self):
+        candidates = list(candidate_completions(parse_sos("0r0"), 2))
+        victim_ones = [
+            c for c in candidates
+            if any(op.cell == VICTIM and op.completing for op in c.ops)
+        ]
+        assert victim_ones
+        assert all(c.inits == () for c in victim_ones)
+
+    def test_victim_prefix_ends_with_init_value(self):
+        for c in candidate_completions(parse_sos("0r0"), 3):
+            victim_completing = [
+                op for op in c.completing_ops if op.cell == VICTIM
+            ]
+            if victim_completing:
+                assert victim_completing[-1].value == 0
+
+    def test_no_victim_candidates_without_init(self):
+        candidates = list(candidate_completions(parse_sos("[w1 w0] r0"), 2))
+        # The probe SOS has no victim init left, so only BL prefixes appear.
+        new_victims = [
+            c for c in candidates
+            if len([o for o in c.completing_ops if o.cell == VICTIM]) > 2
+        ]
+        assert not new_victims
+
+    def test_counts(self):
+        # Lengths 1..2 of BL prefixes: 2 + 4; victim prefixes: 1 + 2.
+        n = sum(1 for _ in candidate_completions(parse_sos("1r1"), 2))
+        assert n == 9
+
+    def test_zero_budget_yields_nothing(self):
+        assert list(candidate_completions(parse_sos("1r1"), 0)) == []
+
+
+@pytest.fixture(scope="module")
+def open4():
+    return ColumnFaultAnalyzer(
+        OpenLocation.BL_PRECHARGE_CELLS,
+        grid=SweepGrid.make(r_min=1e4, r_max=1e7, n_r=6, n_u=5),
+    )
+
+
+class TestCompleteFault:
+    def test_open4_rdf1_completes_with_w0bl(self, open4):
+        finding = next(
+            f for f in open4.survey(FloatingNode.BIT_LINE, probes=("1r1",))
+            if f.ffm is FFM.RDF1
+        )
+        outcome = complete_fault(open4, finding, max_extra_ops=1)
+        assert outcome.possible
+        assert outcome.describe() == "<1v [w0BL] r1v/0/0>"
+        assert outcome.r_complete is not None
+        assert outcome.completed_region is not None
+        assert not outcome.completed_region.is_partial_label(FFM.RDF1)
+
+    def test_completed_fp_classifies_like_partial(self, open4):
+        finding = next(
+            f for f in open4.survey(FloatingNode.BIT_LINE, probes=("1r1",))
+            if f.ffm is FFM.RDF1
+        )
+        outcome = complete_fault(open4, finding, max_extra_ops=1)
+        from repro.core.ffm import classify_fp
+
+        assert classify_fp(outcome.completed_fp) is FFM.RDF1
+
+    def test_word_line_faults_not_possible(self):
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.WORD_LINE,
+            grid=SweepGrid.make(r_min=1e7, r_max=1e9, n_r=4, n_u=4),
+        )
+        findings = [
+            f for f in analyzer.survey(probes=("0",)) if f.is_partial
+        ]
+        assert findings
+        outcome = complete_fault(analyzer, findings[0], max_extra_ops=2)
+        assert not outcome.possible
+        assert outcome.describe() == "Not possible"
+        assert outcome.candidates_tried > 0

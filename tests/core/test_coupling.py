@@ -1,0 +1,81 @@
+"""Unit tests for the two-cell coupling-fault taxonomy."""
+
+import pytest
+
+from repro.core.coupling import (
+    AGGRESSOR,
+    CouplingFFM,
+    canonical_coupling_fp,
+    classify_two_cell_fp,
+    two_cell_state_probes,
+)
+from repro.core.fault_primitives import FaultPrimitive, parse_fp, parse_sos
+
+
+class TestTaxonomy:
+    def test_twelve_ffms(self):
+        assert len(CouplingFFM) == 12
+
+    def test_canonical_fps_are_faulty(self):
+        for ffm in CouplingFFM:
+            assert canonical_coupling_fp(ffm).is_faulty()
+
+    def test_canonical_fps_distinct(self):
+        fps = {canonical_coupling_fp(f) for f in CouplingFFM}
+        assert len(fps) == 12
+
+    def test_complement_is_involution(self):
+        for ffm in CouplingFFM:
+            assert ffm.complement().complement() is ffm
+
+    def test_complement_flips_both_cells(self):
+        assert CouplingFFM.CFST_01.complement() is CouplingFFM.CFST_10
+        assert CouplingFFM.CFID_UP_0.complement() is CouplingFFM.CFID_DOWN_1
+
+
+class TestClassification:
+    @pytest.mark.parametrize("ffm", list(CouplingFFM))
+    def test_canonical_classifies_to_itself(self, ffm):
+        assert classify_two_cell_fp(canonical_coupling_fp(ffm)) is ffm
+
+    def test_cfst_from_string(self):
+        fp = parse_fp("<1a 0v/1/->")
+        assert classify_two_cell_fp(fp) is CouplingFFM.CFST_10
+
+    def test_cfid_from_string(self):
+        fp = parse_fp("<0a 1v w1a/0/->")
+        assert classify_two_cell_fp(fp) is CouplingFFM.CFID_UP_1
+
+    def test_cfrd_from_string(self):
+        fp = parse_fp("<1a 0v r0v/1/0>")
+        assert classify_two_cell_fp(fp) is CouplingFFM.CFRD_10
+
+    def test_single_cell_fp_not_classified(self):
+        assert classify_two_cell_fp(parse_fp("<1r1/0/0>")) is None
+
+    def test_non_flip_not_classified(self):
+        fp = parse_fp("<1a 0v r0v/0/1>")  # read lies but no flip
+        assert classify_two_cell_fp(fp) is None
+
+    def test_non_faulty_not_classified(self):
+        fp = FaultPrimitive(parse_sos("1a 0v r0v"), 0, 0)
+        assert classify_two_cell_fp(fp) is None
+
+    def test_classification_commutes_with_complement(self):
+        for ffm in CouplingFFM:
+            fp = canonical_coupling_fp(ffm)
+            assert classify_two_cell_fp(fp.complement()) is ffm.complement()
+
+
+class TestProbes:
+    def test_probe_count(self):
+        # 4 state pairs x (state, aggressor write, victim read).
+        assert len(two_cell_state_probes()) == 12
+
+    def test_probes_reference_both_cells(self):
+        for sos in two_cell_state_probes():
+            assert sos.init_value(AGGRESSOR) is not None
+            assert sos.init_value("v") is not None
+
+    def test_probes_are_consistent(self):
+        assert all(sos.is_consistent() for sos in two_cell_state_probes())

@@ -1,0 +1,319 @@
+"""Unit tests for the fault-primitive notation layer."""
+
+import pytest
+
+from repro.core.fault_primitives import (
+    BITLINE_NEIGHBOR,
+    FaultPrimitive,
+    Init,
+    NotationError,
+    Op,
+    OpKind,
+    SOS,
+    VICTIM,
+    cumulative_single_cell_fp_count,
+    enumerate_single_cell_fps,
+    enumerate_single_cell_sos,
+    parse_fp,
+    parse_sos,
+    single_cell_fp_count,
+)
+
+
+class TestOpAndInit:
+    def test_op_requires_binary_value(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.WRITE, 2)
+
+    def test_init_requires_binary_value(self):
+        with pytest.raises(ValueError):
+            Init(3)
+
+    def test_op_complement_flips_value(self):
+        assert Op(OpKind.WRITE, 1).complement() == Op(OpKind.WRITE, 0)
+
+    def test_op_complement_preserves_cell_and_flag(self):
+        op = Op(OpKind.READ, 0, BITLINE_NEIGHBOR, completing=True)
+        comp = op.complement()
+        assert comp.cell == BITLINE_NEIGHBOR
+        assert comp.completing
+        assert comp.value == 1
+
+    def test_op_string_victim_implicit(self):
+        assert str(Op(OpKind.WRITE, 1)) == "w1"
+
+    def test_op_string_with_subscript(self):
+        assert str(Op(OpKind.WRITE, 0, "BL")) == "w0BL"
+
+    def test_init_string(self):
+        assert str(Init(0)) == "0"
+        assert str(Init(1, "a")) == "1a"
+
+    def test_empty_cell_label_rejected(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.READ, 0, "")
+
+    def test_as_completing(self):
+        op = Op(OpKind.WRITE, 1)
+        assert op.as_completing().completing
+        assert not op.as_completing(False).completing
+
+
+class TestSOSParsing:
+    def test_compact_read(self):
+        sos = parse_sos("1r1")
+        assert sos.inits == (Init(1),)
+        assert sos.ops == (Op(OpKind.READ, 1),)
+
+    def test_compact_write(self):
+        sos = parse_sos("0w1")
+        assert sos.inits == (Init(0),)
+        assert sos.ops == (Op(OpKind.WRITE, 1),)
+
+    def test_state_only(self):
+        sos = parse_sos("0")
+        assert sos.inits == (Init(0),)
+        assert sos.ops == ()
+
+    def test_empty(self):
+        assert parse_sos("") == SOS()
+
+    def test_completing_brackets(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert sos.inits == (Init(1, VICTIM),)
+        assert sos.ops == (
+            Op(OpKind.WRITE, 0, BITLINE_NEIGHBOR, completing=True),
+            Op(OpKind.READ, 1, VICTIM),
+        )
+
+    def test_victim_completing_prefix(self):
+        sos = parse_sos("[w1 w1 w0] r0")
+        assert sos.inits == ()
+        assert [op.completing for op in sos.ops] == [True, True, True, False]
+
+    def test_underscore_subscripts(self):
+        sos = parse_sos("1_v [w0_BL] r1_v")
+        assert sos == parse_sos("1v [w0BL] r1v")
+
+    def test_multi_cell_example(self):
+        sos = parse_sos("0a 0v w1a r1a r0v")
+        assert sos.n_cells == 2
+        assert sos.n_ops == 3
+
+    def test_nested_brackets_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("[[w0] w1] r1")
+
+    def test_unbalanced_brackets_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("[w0 r1")
+        with pytest.raises(NotationError):
+            parse_sos("w0] r1")
+
+    def test_init_after_operation_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("w1v 0v r1v")
+
+    def test_init_inside_brackets_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("[0 w1] r1")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("xyz")
+
+    def test_compact_missing_value_rejected(self):
+        with pytest.raises(NotationError):
+            parse_sos("0w")
+
+    def test_duplicate_init_rejected(self):
+        with pytest.raises(ValueError):
+            SOS((Init(0), Init(1)), ())
+
+
+class TestSOSSemantics:
+    def test_metrics_single_cell(self):
+        sos = parse_sos("1r1")
+        assert sos.n_cells == 1
+        assert sos.n_ops == 1
+
+    def test_metrics_count_completing_ops(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert sos.n_cells == 2
+        assert sos.n_ops == 2
+
+    def test_metrics_victim_completion(self):
+        sos = parse_sos("[w1 w1 w0] r0")
+        assert sos.n_cells == 1
+        assert sos.n_ops == 4
+
+    def test_expected_final_state_tracks_writes(self):
+        assert parse_sos("0w1").expected_final_state() == 1
+        assert parse_sos("1w0").expected_final_state() == 0
+        assert parse_sos("1r1").expected_final_state() == 1
+
+    def test_expected_state_from_completing_prefix(self):
+        assert parse_sos("[w1 w1 w0] r0").expected_final_state() == 0
+
+    def test_ends_in_read(self):
+        assert parse_sos("1r1").ends_in_read
+        assert not parse_sos("0w1").ends_in_read
+        assert not parse_sos("0").ends_in_read
+
+    def test_ends_in_read_requires_victim(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert sos.ends_in_read
+
+    def test_consistency_accepts_fault_free_reads(self):
+        assert parse_sos("1r1").is_consistent()
+        assert parse_sos("[w1 w1 w0] r0").is_consistent()
+
+    def test_consistency_rejects_wrong_read(self):
+        sos = SOS((Init(0),), (Op(OpKind.READ, 1),))
+        assert not sos.is_consistent()
+
+    def test_complement_is_involution(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert sos.complement().complement() == sos
+
+    def test_without_completing_ops(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert sos.without_completing_ops() == parse_sos("1r1")
+
+    def test_with_prefix_keeps_inits(self):
+        sos = parse_sos("1r1")
+        extended = sos.with_prefix((Op(OpKind.WRITE, 0, BITLINE_NEIGHBOR),))
+        assert extended.init_value() == 1
+        assert extended.ops[0].completing
+
+    def test_with_prefix_drop_inits(self):
+        sos = parse_sos("0r0")
+        extended = sos.with_prefix(
+            (Op(OpKind.WRITE, 1), Op(OpKind.WRITE, 0)), drop_inits=True
+        )
+        assert extended.inits == ()
+        assert extended.n_ops == 3
+
+    def test_cells_victim_first(self):
+        sos = parse_sos("0a 0v w1a r0v")
+        assert sos.cells[0] == VICTIM
+
+    def test_string_roundtrip_simple(self):
+        for text in ("1r1", "0w1", "0", "1w0"):
+            assert str(parse_sos(text)).replace(" ", "") == text
+
+    def test_string_roundtrip_completed(self):
+        sos = parse_sos("1v [w0BL] r1v")
+        assert parse_sos(str(sos)) == sos
+
+
+class TestFaultPrimitive:
+    def test_parse_simple(self):
+        fp = parse_fp("<1r1/0/0>")
+        assert fp.faulty_value == 0
+        assert fp.read_value == 0
+
+    def test_parse_no_read(self):
+        fp = parse_fp("<0w1/0/->")
+        assert fp.read_value is None
+
+    def test_parse_completed(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert fp.is_completed
+        assert fp.n_cells == 2 and fp.n_ops == 2
+
+    def test_read_value_requires_trailing_read(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(parse_sos("0w1"), 0, read_value=1)
+
+    def test_trailing_read_requires_read_value(self):
+        with pytest.raises(ValueError):
+            FaultPrimitive(parse_sos("1r1"), 0, read_value=None)
+
+    def test_is_faulty_state_deviation(self):
+        assert parse_fp("<0w1/0/->").is_faulty()
+
+    def test_is_faulty_read_deviation(self):
+        assert parse_fp("<0r0/0/1>").is_faulty()
+
+    def test_not_faulty(self):
+        fp = FaultPrimitive(parse_sos("1r1"), 1, 1)
+        assert not fp.is_faulty()
+
+    def test_complement(self):
+        fp = parse_fp("<1r1/0/0>")
+        assert fp.complement() == parse_fp("<0r0/1/1>")
+
+    def test_complement_involution(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert fp.complement().complement() == fp
+
+    def test_partial_counterpart(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert fp.partial_counterpart() == parse_fp("<1r1/0/0>")
+
+    def test_expected_value(self):
+        assert parse_fp("<0w1/0/->").expected_value == 1
+        assert parse_fp("<1r1/0/0>").expected_value == 1
+
+    def test_string_roundtrip(self):
+        for text in ("<1r1/0/0>", "<0w1/0/->", "<1v [w0BL] r1v/0/0>",
+                     "<[w1 w1 w0] r0/1/1>", "<0/1/->"):
+            assert parse_fp(str(parse_fp(text))) == parse_fp(text)
+
+    def test_parse_rejects_missing_brackets(self):
+        with pytest.raises(NotationError):
+            parse_fp("1r1/0/0")
+
+    def test_parse_rejects_bad_faulty_value(self):
+        with pytest.raises(NotationError):
+            parse_fp("<1r1/2/0>")
+
+    def test_parse_rejects_bad_read_value(self):
+        with pytest.raises(NotationError):
+            parse_fp("<1r1/0/x>")
+
+    def test_parse_rejects_inconsistent_r(self):
+        with pytest.raises(NotationError):
+            parse_fp("<0w1/0/1>")
+
+
+class TestEnumeration:
+    def test_sos_count(self):
+        for k in range(4):
+            assert sum(1 for _ in enumerate_single_cell_sos(k)) == 2 * 3 ** k
+
+    def test_sos_are_consistent(self):
+        assert all(s.is_consistent() for s in enumerate_single_cell_sos(3))
+
+    def test_fp_count_formula_matches_enumeration(self):
+        for k in range(4):
+            assert (
+                sum(1 for _ in enumerate_single_cell_fps(k))
+                == single_cell_fp_count(k)
+            )
+
+    def test_state_fault_count(self):
+        assert single_cell_fp_count(0) == 2
+
+    def test_one_op_count(self):
+        assert single_cell_fp_count(1) == 10
+
+    def test_paper_anchor_twelve(self):
+        assert cumulative_single_cell_fp_count(1) == 12
+
+    def test_cumulative_to_four(self):
+        assert cumulative_single_cell_fp_count(4) == 402
+
+    def test_all_enumerated_fps_are_faulty(self):
+        assert all(fp.is_faulty() for fp in enumerate_single_cell_fps(2))
+
+    def test_enumerated_fps_unique(self):
+        fps = list(enumerate_single_cell_fps(2))
+        assert len(fps) == len(set(fps))
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            single_cell_fp_count(-1)
+        with pytest.raises(ValueError):
+            list(enumerate_single_cell_sos(-1))

@@ -1,0 +1,87 @@
+"""Unit tests for the FFM taxonomy and FP classification."""
+
+import pytest
+
+from repro.core.fault_primitives import FaultPrimitive, parse_fp, parse_sos
+from repro.core.ffm import ALL_SINGLE_CELL_FFMS, FFM, canonical_fp, classify_fp
+
+
+class TestTaxonomy:
+    def test_twelve_ffms(self):
+        assert len(ALL_SINGLE_CELL_FFMS) == 12
+
+    def test_canonical_fps_are_faulty(self):
+        for ffm in FFM:
+            assert canonical_fp(ffm).is_faulty()
+
+    def test_canonical_fps_distinct(self):
+        fps = {canonical_fp(ffm) for ffm in FFM}
+        assert len(fps) == 12
+
+    def test_complement_pairs(self):
+        assert FFM.RDF0.complement() is FFM.RDF1
+        assert FFM.TF_UP.complement() is FFM.TF_DOWN
+        assert FFM.SF1.complement() is FFM.SF0
+        assert FFM.WDF0.complement() is FFM.WDF1
+        assert FFM.DRDF1.complement() is FFM.DRDF0
+        assert FFM.IRF0.complement() is FFM.IRF1
+
+    def test_complement_is_involution(self):
+        for ffm in FFM:
+            assert ffm.complement().complement() is ffm
+
+
+class TestClassification:
+    @pytest.mark.parametrize("ffm", list(FFM))
+    def test_canonical_classifies_to_itself(self, ffm):
+        assert classify_fp(canonical_fp(ffm)) is ffm
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("<1r1/0/0>", FFM.RDF1),
+            ("<0r0/1/1>", FFM.RDF0),
+            ("<0r0/1/0>", FFM.DRDF0),
+            ("<1r1/0/1>", FFM.DRDF1),
+            ("<0r0/0/1>", FFM.IRF0),
+            ("<1r1/1/0>", FFM.IRF1),
+            ("<0w1/0/->", FFM.TF_UP),
+            ("<1w0/1/->", FFM.TF_DOWN),
+            ("<0w0/1/->", FFM.WDF0),
+            ("<1w1/0/->", FFM.WDF1),
+            ("<0/1/->", FFM.SF0),
+            ("<1/0/->", FFM.SF1),
+        ],
+    )
+    def test_simple_fps(self, text, expected):
+        assert classify_fp(parse_fp(text)) is expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("<1v [w0BL] r1v/0/0>", FFM.RDF1),
+            ("<0v [w1BL] r0v/1/1>", FFM.RDF0),
+            ("<1v [w0BL] r1v/1/0>", FFM.IRF1),
+            ("<0v [w1BL] r0v/0/1>", FFM.IRF0),
+            ("<1v [w1BL] w0v/1/->", FFM.TF_DOWN),
+            ("<0v [w1BL] w0v/1/->", FFM.WDF0),
+            ("<[w1 w1 w0] r0/1/1>", FFM.RDF0),
+            ("<[w1 w0] r0/1/1>", FFM.RDF0),
+            ("<[w0 w1] r1/0/0>", FFM.RDF1),
+        ],
+    )
+    def test_completed_fps_classify_by_victim_behaviour(self, text, expected):
+        assert classify_fp(parse_fp(text)) is expected
+
+    def test_non_faulty_classifies_none(self):
+        fp = FaultPrimitive(parse_sos("1r1"), 1, 1)
+        assert classify_fp(fp) is None
+
+    def test_multi_op_victim_sos_not_classified(self):
+        fp = parse_fp("<0w1 r1/0/0>")
+        assert classify_fp(fp) is None
+
+    def test_complement_consistency(self):
+        for ffm in FFM:
+            fp = canonical_fp(ffm)
+            assert classify_fp(fp.complement()) is ffm.complement()

@@ -1,0 +1,80 @@
+"""Unit tests for the #C/#O metrics and the partial-completed relations."""
+
+import pytest
+
+from repro.core.fault_primitives import parse_fp, parse_sos
+from repro.core.metrics import (
+    SOSMetrics,
+    check_completion_relations,
+    metrics_of,
+    satisfied_relations,
+)
+
+
+class TestMetrics:
+    def test_paper_worked_example(self):
+        """S = 0_a 0_v w1_a r1_a r0_v: #C = 2, #O = 3 (Section 4)."""
+        m = metrics_of(parse_sos("0a 0v w1a r1a r0v"))
+        assert m == SOSMetrics(n_cells=2, n_ops=3)
+
+    def test_single_cell_read(self):
+        assert metrics_of(parse_sos("1r1")) == SOSMetrics(1, 1)
+
+    def test_state_only(self):
+        assert metrics_of(parse_sos("0")) == SOSMetrics(1, 0)
+
+    def test_completing_ops_count(self):
+        assert metrics_of(parse_sos("1v [w0BL] r1v")) == SOSMetrics(2, 2)
+
+    def test_victim_completion_counts_cells_once(self):
+        assert metrics_of(parse_sos("[w1 w1 w0] r0")) == SOSMetrics(1, 4)
+
+    def test_accepts_fault_primitives(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert metrics_of(fp) == SOSMetrics(2, 2)
+
+    def test_metrics_ordering(self):
+        assert SOSMetrics(1, 1) < SOSMetrics(2, 2)
+
+    def test_str(self):
+        assert str(SOSMetrics(2, 3)) == "#C=2, #O=3"
+
+
+class TestRelations:
+    def test_open4_example_satisfies_all(self):
+        """Paper: RDF1 (#C=1,#O=1) -> completed (#C=2,#O=2): relation 3."""
+        partial = parse_fp("<1r1/0/0>")
+        completed = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert satisfied_relations(partial, completed) == (1, 2, 3)
+
+    def test_cell_open_completion(self):
+        partial = parse_fp("<0r0/1/1>")
+        completed = parse_fp("<[w1 w1 w0] r0/1/1>")
+        relations = satisfied_relations(partial, completed)
+        assert 2 in relations  # #O grows 1 -> 4
+        assert 3 in relations  # #C equal, #O grows
+
+    def test_relation_one_only(self):
+        more_cells = parse_sos("0a 0v r0v")
+        fewer_ops = parse_sos("0v w1v r1v")
+        assert satisfied_relations(fewer_ops, more_cells) == (1,)
+
+    def test_relation_two_only(self):
+        partial = parse_sos("0a 0v r0v")       # C=2, O=1
+        completed = parse_sos("w1 w0 r0")      # C=1, O=3
+        assert satisfied_relations(partial, completed) == (2,)
+
+    def test_no_relation(self):
+        big = parse_sos("0a 0v w1a r0v")       # C=2, O=2
+        small = parse_sos("0")                 # C=1, O=0
+        assert satisfied_relations(big, small) == ()
+        assert not check_completion_relations(big, small)
+
+    def test_check_completion_relations_true(self):
+        partial = parse_fp("<1r1/0/0>")
+        completed = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert check_completion_relations(partial, completed)
+
+    def test_equal_metrics_satisfy_everything(self):
+        sos = parse_sos("1r1")
+        assert satisfied_relations(sos, sos) == (1, 2, 3)

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) on the fault-model core."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.complement import complement
+from repro.core.fault_primitives import (
+    BITLINE_NEIGHBOR,
+    FaultPrimitive,
+    Init,
+    Op,
+    OpKind,
+    SOS,
+    VICTIM,
+    enumerate_single_cell_fps,
+    parse_fp,
+    parse_sos,
+    single_cell_fp_count,
+)
+from repro.core.ffm import classify_fp
+from repro.core.metrics import check_completion_relations, metrics_of
+
+bits = st.sampled_from((0, 1))
+cells = st.sampled_from((VICTIM, BITLINE_NEIGHBOR, "a"))
+op_kinds = st.sampled_from((OpKind.READ, OpKind.WRITE))
+
+
+@st.composite
+def operations(draw, completing=st.booleans()):
+    return Op(draw(op_kinds), draw(bits), draw(cells), draw(completing))
+
+
+@st.composite
+def soses(draw):
+    """Random well-formed SOSes (unique init cells, ops in any order)."""
+    init_cells = draw(st.lists(cells, unique=True, max_size=3))
+    inits = tuple(Init(draw(bits), c) for c in init_cells)
+    n_ops = draw(st.integers(0, 5))
+    ops = tuple(draw(operations()) for _ in range(n_ops))
+    return SOS(inits, ops)
+
+
+@st.composite
+def fault_primitives(draw):
+    sos = draw(soses())
+    faulty = draw(bits)
+    read = draw(bits) if sos.ends_in_read else None
+    return FaultPrimitive(sos, faulty, read)
+
+
+@given(soses())
+def test_sos_string_roundtrip(sos):
+    assert parse_sos(sos.to_string()) == sos
+
+
+@given(fault_primitives())
+def test_fp_string_roundtrip(fp):
+    assert parse_fp(fp.to_string()) == fp
+
+
+@given(fault_primitives())
+def test_complement_is_involution(fp):
+    assert complement(complement(fp)) == fp
+
+
+@given(fault_primitives())
+def test_complement_preserves_metrics(fp):
+    assert metrics_of(fp) == metrics_of(fp.complement())
+
+
+@given(fault_primitives())
+def test_complement_preserves_faultiness(fp):
+    assert fp.is_faulty() == fp.complement().is_faulty()
+
+
+@given(soses())
+def test_metrics_bounds(sos):
+    m = metrics_of(sos)
+    assert 0 <= m.n_cells <= 3
+    assert m.n_ops == len(sos.ops)
+
+
+@given(soses())
+def test_without_completing_ops_never_grows(sos):
+    stripped = sos.without_completing_ops()
+    assert stripped.n_ops <= sos.n_ops
+    assert stripped.n_cells <= sos.n_cells
+
+
+@given(soses(), st.lists(st.tuples(bits), min_size=1, max_size=3))
+def test_with_prefix_satisfies_relations(sos, values):
+    """Adding completing operations always satisfies relations 1-3."""
+    prefix = tuple(Op(OpKind.WRITE, v[0], BITLINE_NEIGHBOR) for v in values)
+    extended = sos.with_prefix(prefix)
+    assert check_completion_relations(sos, extended)
+
+
+@given(st.integers(0, 5))
+def test_fp_count_closed_form(k):
+    expected = 2 if k == 0 else 10 * 3 ** (k - 1)
+    assert single_cell_fp_count(k) == expected
+
+
+@settings(max_examples=20)
+@given(st.integers(0, 3))
+def test_enumeration_matches_formula(k):
+    assert sum(1 for _ in enumerate_single_cell_fps(k)) == single_cell_fp_count(k)
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 1))
+def test_classification_total_on_taxonomy_space(k):
+    """Every FP with #O <= 1 classifies into exactly one FFM."""
+    for fp in enumerate_single_cell_fps(k):
+        assert classify_fp(fp) is not None
+
+
+@given(fault_primitives())
+def test_classification_commutes_with_complement(fp):
+    ffm = classify_fp(fp)
+    comp = classify_fp(fp.complement())
+    if ffm is None:
+        assert comp is None
+    else:
+        assert comp is ffm.complement()

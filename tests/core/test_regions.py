@@ -1,0 +1,117 @@
+"""Unit tests for FP region maps and the partial-fault rule."""
+
+import pytest
+
+from repro.core.regions import FPRegionMap
+
+
+def make_map(labels, r=None, u=None):
+    r = r or tuple(float(10 ** (3 + i)) for i in range(len(labels)))
+    u = u or tuple(float(i) for i in range(len(labels[0])))
+    return FPRegionMap(r, u, tuple(tuple(row) for row in labels))
+
+
+class TestConstruction:
+    def test_from_function(self):
+        m = FPRegionMap.from_function(
+            (1.0, 2.0), (0.0, 1.0), lambda r, v: "F" if r > 1.5 else None
+        )
+        assert m.labels == ((None, None), ("F", "F"))
+
+    def test_rejects_unsorted_r(self):
+        with pytest.raises(ValueError):
+            FPRegionMap((2.0, 1.0), (0.0,), ((None,), (None,)))
+
+    def test_rejects_unsorted_u(self):
+        with pytest.raises(ValueError):
+            FPRegionMap((1.0,), (1.0, 0.0), ((None, None),))
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            FPRegionMap((1.0, 2.0), (0.0,), ((None,),))
+        with pytest.raises(ValueError):
+            FPRegionMap((1.0,), (0.0, 1.0), ((None,),))
+
+    def test_label_at_snaps_to_grid(self):
+        m = make_map([["A", None], [None, "B"]])
+        assert m.label_at(1e3, 0.1) == "A"
+        assert m.label_at(1e4, 0.9) == "B"
+
+
+class TestQueries:
+    def test_observed_labels_in_order(self):
+        m = make_map([["A", None], ["B", "A"]])
+        assert m.observed_labels == ("A", "B")
+
+    def test_fault_fraction(self):
+        m = make_map([["A", None], ["A", "A"]])
+        assert m.fault_fraction() == pytest.approx(0.75)
+        assert m.fault_fraction("A") == pytest.approx(0.75)
+        assert m.fault_fraction("B") == 0.0
+
+    def test_u_extent(self):
+        m = make_map([[None, "A", None], [None, "A", "A"]])
+        assert m.u_extent("A") == (1.0, 2.0)
+        assert m.u_extent("B") is None
+
+    def test_max_fault_voltage(self):
+        m = make_map([["A", "A", None], ["A", None, None]])
+        assert m.max_fault_voltage("A") == 1.0
+
+
+class TestPartialRule:
+    def test_partial_when_u_subset(self):
+        m = make_map([["A", None], ["A", None]])
+        assert m.is_partial_label("A")
+
+    def test_not_partial_when_full_rows(self):
+        m = make_map([[None, None], ["A", "A"]])
+        assert not m.is_partial_label("A")
+
+    def test_mixed_rows_is_partial(self):
+        m = make_map([["A", None], ["A", "A"]])
+        assert m.is_partial_label("A")
+
+    def test_unknown_label_raises(self):
+        m = make_map([[None, None], [None, None]])
+        with pytest.raises(ValueError):
+            m.is_partial_label("A")
+
+    def test_u_independent(self):
+        m = make_map([[None, None], ["A", "A"]])
+        assert m.is_u_independent("A")
+
+    def test_not_u_independent(self):
+        m = make_map([["A", None], ["A", None]])
+        assert not m.is_u_independent("A")
+
+
+class TestThresholds:
+    def test_threshold_resistance(self):
+        m = make_map([[None, None], ["A", None], ["A", "A"]])
+        assert m.threshold_resistance("A", 0.0) == 1e4
+        assert m.threshold_resistance("A", 1.0) == 1e5
+
+    def test_threshold_none_when_absent(self):
+        m = make_map([[None, None], [None, None]])
+        assert m.threshold_resistance("A", 0.0) is None
+
+    def test_threshold_curve(self):
+        m = make_map([["A", None], ["A", "A"]])
+        curve = m.threshold_curve("A")
+        assert curve[0.0] == 1e3
+        assert curve[1.0] == 1e4
+
+
+class TestRendering:
+    def test_render_contains_legend_and_grid(self):
+        m = make_map([["A", None], ["A", "A"]])
+        text = m.render_ascii({"A": "X"})
+        assert "X=A" in text
+        assert "XX" in text
+        assert "U: 0 .. 1" in text
+
+    def test_render_assigns_letters(self):
+        m = make_map([["x", "y"], [None, None]])
+        text = m.render_ascii()
+        assert "A=x" in text and "B=y" in text

@@ -1,0 +1,29 @@
+"""Tests for the ablation experiment (coarse grids)."""
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ablation(n_r=8, n_u=6)
+
+
+class TestAblation:
+    def test_all_claims_hold(self, result):
+        assert result.report.all_hold, result.report.render()
+
+    def test_all_four_knobs_swept(self, result):
+        assert set(result.rows) == {
+            "capacitance", "t_share", "sa_offset", "depth"
+        }
+
+    def test_depth_one_completes_fig3(self, result):
+        assert result.rows["depth"]
+        assert result.rows["depth"][0][2] != "Not possible"
+
+    def test_candidate_counts_grow(self, result):
+        counts = [row[1] for row in result.rows["depth"]]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]

@@ -1,0 +1,60 @@
+"""Tests for the bridge experiment (coarse grids) and the bridge analyzer."""
+
+import pytest
+
+from repro.circuit.bridges import BridgeLocation
+from repro.circuit.defects import FloatingNode
+from repro.core.analysis import SweepGrid
+from repro.core.bridge_analysis import BridgeFaultAnalyzer, default_bridge_grid
+from repro.core.fault_primitives import parse_sos
+from repro.experiments.bridges import run_bridges
+
+
+class TestBridgeAnalyzer:
+    @pytest.fixture(scope="class")
+    def analyzer(self):
+        return BridgeFaultAnalyzer(
+            BridgeLocation.CELL_CELL,
+            grid=SweepGrid.make(r_min=1e3, r_max=1e8, n_r=6, n_u=4),
+        )
+
+    def test_strong_bridge_couples_states(self, analyzer):
+        label = analyzer.observe(
+            parse_sos("1a 0v"), 1e4, 0.0, FloatingNode.BIT_LINE
+        )
+        assert label is not None
+        assert str(label).startswith("CFst")
+
+    def test_weak_bridge_is_benign(self, analyzer):
+        label = analyzer.observe(
+            parse_sos("1a 0v"), 1e8, 0.0, FloatingNode.BIT_LINE
+        )
+        assert label is None
+
+    def test_survey_finds_coupling(self, analyzer):
+        findings = analyzer.survey(FloatingNode.BIT_LINE)
+        names = {str(f.ffm) for f in findings}
+        assert any(n.startswith("CF") for n in names)
+
+    def test_fault_regions_not_partial(self, analyzer):
+        for finding in analyzer.survey(FloatingNode.BIT_LINE):
+            assert finding.region.partial_area_fraction() <= 0.35
+
+    def test_aggressor_maps_to_partner_row(self, analyzer):
+        assert analyzer._row_of("a") == analyzer.victim_row + 1
+
+    def test_needs_partner_row(self):
+        with pytest.raises(ValueError):
+            BridgeFaultAnalyzer(BridgeLocation.CELL_CELL, n_rows=1)
+
+    def test_default_grid(self):
+        grid = default_bridge_grid(n_r=5, n_u=4)
+        assert len(grid.r_values) == 5
+
+
+@pytest.mark.slow
+class TestBridgeExperiment:
+    def test_all_claims_hold(self):
+        result = run_bridges(n_r=8, n_u=5)
+        assert result.report.all_hold, result.report.render()
+        assert result.open_partial_fraction > result.max_bridge_partial_fraction

@@ -1,0 +1,17 @@
+"""Tests for the Section 4 numbers experiment."""
+
+from repro.experiments.fp_space import run_fp_space
+
+
+class TestFPSpace:
+    def test_all_claims_hold(self):
+        result = run_fp_space(max_ops=3)
+        assert result.report.all_hold, result.report.render()
+
+    def test_counts(self):
+        result = run_fp_space(max_ops=4)
+        assert result.counts == {0: 2, 1: 10, 2: 30, 3: 90, 4: 270}
+
+    def test_report_mentions_anchor(self):
+        result = run_fp_space(max_ops=2)
+        assert "12" in result.report.render()

@@ -1,0 +1,60 @@
+"""Tests for the march-test experiment harness."""
+
+import pytest
+
+from repro.circuit.defects import OpenLocation
+from repro.experiments.march_pf import (
+    completed_fault_set,
+    electrical_detection,
+    run_march_pf,
+)
+from repro.march.library import MARCH_PF_PLUS, MATS_PLUS, SCAN
+from repro.memory.array import Topology
+
+
+class TestCompletedFaultSet:
+    def test_sim_plus_com(self):
+        faults = completed_fault_set()
+        assert len(faults) == 18
+
+    def test_contains_both_polarities(self):
+        texts = {fp.to_string() for fp in completed_fault_set()}
+        assert "<1v [w0BL] r1v/0/0>" in texts
+        assert "<0v [w1BL] r0v/1/1>" in texts
+
+
+class TestBehaviouralComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_march_pf(
+            tests=(SCAN, MATS_PLUS, MARCH_PF_PLUS),
+            topology=Topology(3, 2),
+            with_generator=False,
+            with_electrical=False,
+        )
+
+    def test_march_pf_plus_covers_all(self, result):
+        assert result.matrix.covers_all(MARCH_PF_PLUS)
+
+    def test_baselines_miss(self, result):
+        assert not result.matrix.covers_all(SCAN)
+        assert not result.matrix.covers_all(MATS_PLUS)
+
+    def test_report_renders(self, result):
+        text = result.report.render()
+        assert "March PF+" in text
+
+
+class TestElectricalCrossValidation:
+    def test_march_pf_plus_flags_open4(self):
+        results = electrical_detection(
+            MARCH_PF_PLUS,
+            points=((OpenLocation.BL_PRECHARGE_CELLS, 3e5),),
+        )
+        assert all(results.values())
+
+    def test_simple_test_misses_open4(self):
+        results = electrical_detection(
+            SCAN, points=((OpenLocation.BL_PRECHARGE_CELLS, 3e5),),
+        )
+        assert not all(results.values())

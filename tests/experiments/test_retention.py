@@ -1,0 +1,101 @@
+"""Tests for the retention extension."""
+
+import math
+
+import pytest
+
+from repro.circuit.bridges import BridgeDefect, BridgeLocation
+from repro.circuit.column import DRAMColumn
+from repro.circuit.technology import default_technology
+from repro.experiments.retention import measure_retention_time, run_retention
+from repro.march.library import IFA_13, MARCH_C_MINUS
+from repro.march.simulator import run_march
+from repro.memory.array import Topology
+from repro.memory.fault_machine import DataRetentionFault
+from repro.memory.simulator import FaultyMemory
+
+
+class TestLeakagePhysics:
+    def test_healthy_cell_holds_through_short_idle(self):
+        column = DRAMColumn(n_rows=2)
+        column.write(0, 1)
+        column.idle(0.05)
+        assert column.read(0) == 1
+
+    def test_leaky_cell_loses_its_one(self):
+        column = DRAMColumn(
+            n_rows=2, defect=BridgeDefect(BridgeLocation.CELL_GROUND, 1e9)
+        )
+        column.write(0, 1)
+        column.idle(0.05)
+        assert column.read(0) == 0
+
+    def test_zero_never_degrades(self):
+        column = DRAMColumn(
+            n_rows=2, defect=BridgeDefect(BridgeLocation.CELL_GROUND, 1e9)
+        )
+        column.write(0, 0)
+        column.idle(1.0)
+        assert column.read(0) == 0
+
+    def test_temperature_accelerates_loss(self):
+        hot = default_technology().at_temperature(85)
+        cold = default_technology()
+        assert hot.effective_cell_leak < cold.effective_cell_leak
+        assert hot.nominal_retention_tau < cold.nominal_retention_tau
+
+    def test_measure_retention_monotone_in_leak(self):
+        weak = measure_retention_time(leak_resistance=1e11, resolution=12)
+        strong = measure_retention_time(leak_resistance=1e9, resolution=12)
+        assert strong < weak
+
+    def test_negative_idle_rejected(self):
+        column = DRAMColumn(n_rows=2)
+        with pytest.raises(ValueError):
+            column.idle(-1.0)
+
+
+class TestDRFMachine:
+    TOPO = Topology(3, 2)
+
+    def test_loses_one_after_retention_time(self):
+        fault = DataRetentionFault(0, self.TOPO, retention_time=0.04)
+        fault.on_write(0, 1)
+        fault.pause(0.05)
+        assert fault.state == 0 and fault.triggered
+
+    def test_refresh_resets_the_clock(self):
+        fault = DataRetentionFault(0, self.TOPO, retention_time=0.04)
+        fault.on_write(0, 1)
+        fault.pause(0.03)
+        fault.on_read(0, 1)          # restore refreshes
+        fault.pause(0.03)
+        assert fault.state == 1
+
+    def test_zero_is_safe(self):
+        fault = DataRetentionFault(0, self.TOPO, retention_time=0.01)
+        fault.on_write(0, 0)
+        fault.pause(1.0)
+        assert fault.state == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, self.TOPO, retention_time=0.0)
+        with pytest.raises(ValueError):
+            DataRetentionFault(0, self.TOPO, lost_value=2)
+
+
+class TestDetection:
+    def test_ifa13_detects_march_c_misses(self):
+        topo = Topology(3, 2)
+        for test, expected in ((MARCH_C_MINUS, False), (IFA_13, True)):
+            fault = DataRetentionFault(2, topo, retention_time=0.05)
+            memory = FaultyMemory(topo, fault)
+            assert run_march(test, memory).detected is expected
+
+
+@pytest.mark.slow
+class TestExperiment:
+    def test_all_claims_hold(self):
+        result = run_retention()
+        assert result.report.all_hold, result.report.render()

@@ -1,0 +1,68 @@
+"""Tests for the Table 1 experiment (subset of opens; coarse grid)."""
+
+import pytest
+
+from repro.circuit.defects import OpenLocation
+from repro.core.fault_primitives import parse_fp
+from repro.core.ffm import FFM
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    REFERENCE_COMPLETED_FPS,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return run_table1(
+        opens=(OpenLocation.BL_PRECHARGE_CELLS, OpenLocation.WORD_LINE),
+        n_r=10, n_u=6, max_extra_ops=2,
+    )
+
+
+class TestPaperTable:
+    def test_fifteen_rows(self):
+        assert len(PAPER_TABLE1) == 15
+
+    def test_not_possible_rows(self):
+        impossible = [r for r in PAPER_TABLE1 if r.completed is None]
+        assert len(impossible) == 4
+        assert all(9 in r.opens or 1 in r.opens for r in impossible)
+
+    def test_completed_rows_parse(self):
+        for row in PAPER_TABLE1:
+            if row.completed is not None:
+                parse_fp(row.completed)
+
+    def test_reference_fps_parse_and_complete(self):
+        for text in REFERENCE_COMPLETED_FPS:
+            fp = parse_fp(text)
+            assert fp.is_completed
+            assert fp.is_faulty()
+
+
+class TestSubsetRun:
+    def test_open4_rdf1_row_exact(self, subset):
+        rows = [
+            r for r in subset.rows
+            if r.open_number == 4 and r.ffm_sim is FFM.RDF1
+        ]
+        assert rows
+        assert rows[0].completed_text == "<1v [w0BL] r1v/0/0>"
+        assert rows[0].ffm_com is FFM.RDF0
+
+    def test_open9_all_not_possible(self, subset):
+        rows = [r for r in subset.rows if r.open_number == 9]
+        assert rows
+        assert all(r.completed is None for r in rows)
+
+    def test_claims_hold(self, subset):
+        assert subset.report.all_hold, subset.report.render()
+
+    def test_grades_present(self, subset):
+        assert subset.matches["exact"] >= 1
+
+    def test_report_renders_table(self, subset):
+        text = subset.report.render()
+        assert "Completed FP" in text
+        assert "Open 4" in text

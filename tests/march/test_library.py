@@ -1,0 +1,75 @@
+"""Tests for the march-test library."""
+
+import pytest
+
+from repro.march.library import (
+    ALL_TESTS,
+    BASELINE_TESTS,
+    MARCH_B,
+    MARCH_C_MINUS,
+    MARCH_PF,
+    MARCH_PF_PLUS,
+    MARCH_SS,
+    MATS_PLUS,
+    SCAN,
+    get_test,
+)
+from repro.march.notation import Direction
+from repro.march.simulator import run_march
+from repro.memory.array import Topology
+from repro.memory.simulator import FaultyMemory
+
+
+class TestComplexities:
+    """Operation counts as published for the classic tests."""
+
+    @pytest.mark.parametrize(
+        "test,expected",
+        [
+            (SCAN, 4), (MATS_PLUS, 5), (MARCH_C_MINUS, 10),
+            (MARCH_B, 17), (MARCH_SS, 22), (MARCH_PF, 16),
+        ],
+    )
+    def test_ops_per_address(self, test, expected):
+        assert test.ops_per_address == expected
+
+    def test_march_pf_matches_paper_text(self):
+        assert MARCH_PF.to_string() == (
+            "{⇕(w0,w1); ⇕(r1,w1,w0,w0,w1,r1); ⇕(w1,w0); "
+            "⇕(r0,w0,w1,w1,w0,r0)}"
+        )
+
+
+class TestSoundness:
+    """Every library test must pass on a fault-free memory."""
+
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+    @pytest.mark.parametrize("direction", [Direction.UP, Direction.DOWN])
+    def test_fault_free_passes(self, test, direction):
+        memory = FaultyMemory(Topology(4, 2))
+        result = run_march(test, memory, either_as=direction)
+        assert not result.detected
+
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+    def test_single_cell_memory(self, test):
+        memory = FaultyMemory(Topology(1, 1))
+        assert not run_march(test, memory).detected
+
+
+class TestLookup:
+    def test_get_test_case_insensitive(self):
+        assert get_test("march pf+") is MARCH_PF_PLUS
+        assert get_test("MATS+") is MATS_PLUS
+
+    def test_get_test_unknown(self):
+        with pytest.raises(KeyError):
+            get_test("march zz")
+
+    def test_all_tests_unique_names(self):
+        names = [t.name for t in ALL_TESTS]
+        assert len(names) == len(set(names))
+
+    def test_baselines_exclude_pf_tests(self):
+        names = {t.name for t in BASELINE_TESTS}
+        assert "March PF" not in names
+        assert "March PF+" not in names

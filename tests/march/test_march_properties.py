@@ -1,0 +1,91 @@
+"""Property-based tests on the march engine."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.march.library import ALL_TESTS
+from repro.march.notation import Direction, MarchElement, MarchOp, MarchTest
+from repro.march.simulator import run_march
+from repro.memory.array import MemoryArray, Topology
+from repro.memory.simulator import FaultyMemory
+
+topologies = st.builds(
+    Topology,
+    st.integers(1, 5),
+    st.integers(1, 3),
+)
+
+
+@st.composite
+def consistent_march_tests(draw):
+    """March tests whose reads always expect the marched-in state.
+
+    Built by tracking the per-address background state: each element's
+    reads expect the current state, writes update it.  Such a test is
+    sound on any fault-free memory by construction.
+    """
+    n_elements = draw(st.integers(1, 4))
+    state = draw(st.sampled_from((0, 1)))
+    elements = [
+        MarchElement(Direction.EITHER, (MarchOp("w", state),))
+    ]
+    for _ in range(n_elements):
+        direction = draw(st.sampled_from(list(Direction)))
+        n_ops = draw(st.integers(1, 4))
+        ops = []
+        for _ in range(n_ops):
+            if draw(st.booleans()):
+                ops.append(MarchOp("r", state))
+            else:
+                state = draw(st.sampled_from((0, 1)))
+                ops.append(MarchOp("w", state))
+        elements.append(MarchElement(direction, tuple(ops)))
+    return MarchTest("generated", tuple(elements))
+
+
+@settings(max_examples=60)
+@given(consistent_march_tests(), topologies,
+       st.sampled_from((Direction.UP, Direction.DOWN)))
+def test_consistent_tests_are_sound(test, topology, either_as):
+    memory = FaultyMemory(topology)
+    assert not run_march(test, memory, either_as=either_as).detected
+
+
+@settings(max_examples=30)
+@given(consistent_march_tests(), topologies)
+def test_complemented_tests_are_sound(test, topology):
+    memory = FaultyMemory(topology)
+    assert not run_march(test.complement(), memory).detected
+
+
+@settings(max_examples=30)
+@given(consistent_march_tests(), topologies)
+def test_operation_count(test, topology):
+    memory = FaultyMemory(topology)
+    result = run_march(test, memory)
+    assert result.operations == test.operation_count(topology.size)
+
+
+@settings(max_examples=20)
+@given(topologies, st.lists(
+    st.tuples(st.booleans(), st.integers(0, 24), st.sampled_from((0, 1))),
+    max_size=30,
+))
+def test_fault_free_memory_is_an_array(topology, script):
+    """FaultyMemory without a fault is observationally a plain array."""
+    memory = FaultyMemory(topology)
+    model = MemoryArray(topology)
+    for is_write, raw_addr, value in script:
+        address = raw_addr % topology.size
+        if is_write:
+            memory.write(address, value)
+            model.write(address, value)
+        else:
+            assert memory.read(address) == model.read(address)
+
+
+def test_library_round_trips_through_notation():
+    from repro.march.notation import parse_march
+
+    for test in ALL_TESTS:
+        assert parse_march(test.to_string(), test.name).elements == test.elements

@@ -1,0 +1,169 @@
+"""Unit tests for march-test notation."""
+
+import pytest
+
+from repro.march.notation import (
+    Direction,
+    MarchElement,
+    MarchOp,
+    MarchTest,
+    parse_march,
+)
+
+
+class TestMarchOp:
+    def test_valid(self):
+        assert str(MarchOp("r", 0)) == "r0"
+        assert str(MarchOp("w", 1)) == "w1"
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            MarchOp("x", 0)
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            MarchOp("r", 2)
+
+    def test_predicates(self):
+        assert MarchOp("r", 0).is_read
+        assert MarchOp("w", 0).is_write
+
+    def test_complement(self):
+        assert MarchOp("r", 0).complement() == MarchOp("r", 1)
+
+
+class TestMarchElement:
+    def test_requires_ops(self):
+        with pytest.raises(ValueError):
+            MarchElement(Direction.UP, ())
+
+    def test_addresses_up(self):
+        e = MarchElement(Direction.UP, (MarchOp("r", 0),))
+        assert list(e.addresses(3)) == [0, 1, 2]
+
+    def test_addresses_down(self):
+        e = MarchElement(Direction.DOWN, (MarchOp("r", 0),))
+        assert list(e.addresses(3)) == [2, 1, 0]
+
+    def test_addresses_either_resolution(self):
+        e = MarchElement(Direction.EITHER, (MarchOp("r", 0),))
+        assert list(e.addresses(2, Direction.DOWN)) == [1, 0]
+        assert list(e.addresses(2)) == [0, 1]
+
+    def test_str(self):
+        e = MarchElement(Direction.UP, (MarchOp("r", 0), MarchOp("w", 1)))
+        assert str(e) == "⇑(r0,w1)"
+
+    def test_complement(self):
+        e = MarchElement(Direction.UP, (MarchOp("r", 0), MarchOp("w", 1)))
+        assert str(e.complement()) == "⇑(r1,w0)"
+
+
+class TestParsing:
+    def test_unicode_directions(self):
+        test = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1)}")
+        assert [e.direction for e in test.elements] == [
+            Direction.EITHER, Direction.UP, Direction.DOWN,
+        ]
+
+    def test_ascii_aliases(self):
+        test = parse_march("{UD(w0); U(r0,w1); D(r1)}")
+        assert [e.direction for e in test.elements] == [
+            Direction.EITHER, Direction.UP, Direction.DOWN,
+        ]
+        test2 = parse_march("{any(w0); up(r0); down(r1)}")
+        assert [e.direction for e in test2.elements] == [
+            Direction.EITHER, Direction.UP, Direction.DOWN,
+        ]
+
+    def test_bare_parentheses_mean_either(self):
+        test = parse_march("{(w0); (r0)}")
+        assert all(e.direction is Direction.EITHER for e in test.elements)
+
+    def test_roundtrip(self):
+        text = "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}"
+        test = parse_march(text)
+        assert parse_march(test.to_string()).elements == test.elements
+
+    def test_whitespace_tolerant(self):
+        test = parse_march("{ ⇑( r0 , w1 ) ;  ⇓(r1) }")
+        assert test.elements[0].ops == (MarchOp("r", 0), MarchOp("w", 1))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_march("{nonsense}")
+        with pytest.raises(ValueError):
+            parse_march("{⇑(r0) junk ⇓(r1)}")
+        with pytest.raises(ValueError):
+            parse_march("{sideways(r0)}")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_march("{}")
+
+    def test_rejects_bad_ops(self):
+        with pytest.raises(ValueError):
+            parse_march("{⇑(x0)}")
+
+
+class TestMarchTest:
+    def test_requires_elements(self):
+        with pytest.raises(ValueError):
+            MarchTest("empty", ())
+
+    def test_ops_per_address(self):
+        test = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}")
+        assert test.ops_per_address == 6
+        assert test.operation_count(10) == 60
+
+    def test_complement(self):
+        test = parse_march("{⇕(w0); ⇑(r0,w1)}", "t")
+        comp = test.complement()
+        assert comp.to_string() == "{⇕(w1); ⇑(r1,w0)}"
+        assert comp.name == "t-complement"
+
+    def test_str(self):
+        test = parse_march("{⇕(w0)}")
+        assert str(test) == "{⇕(w0)}"
+
+
+class TestMarchPause:
+    def test_parse_default_delay(self):
+        from repro.march.notation import MarchPause, parse_march
+
+        test = parse_march("{⇕(w0); Del; ⇕(r0)}")
+        assert test.pauses == (MarchPause(),)
+        assert test.ops_per_address == 2
+
+    def test_parse_explicit_duration(self):
+        from repro.march.notation import parse_march
+
+        test = parse_march("{⇕(w0); Del(0.05); ⇕(r0)}")
+        assert test.pauses[0].seconds == pytest.approx(0.05)
+
+    def test_roundtrip(self):
+        from repro.march.notation import parse_march
+
+        text = "{⇕(w1); Del; ⇕(r1); Del(0.05); ⇕(r1)}"
+        test = parse_march(text)
+        assert parse_march(test.to_string()).elements == test.elements
+
+    def test_pause_validation(self):
+        from repro.march.notation import MarchPause
+
+        with pytest.raises(ValueError):
+            MarchPause(0.0)
+
+    def test_complement_keeps_pauses(self):
+        from repro.march.notation import parse_march
+
+        test = parse_march("{⇕(w0); Del; ⇕(r0)}")
+        comp = test.complement()
+        assert len(comp.pauses) == 1
+        assert comp.march_elements[0].ops[0].value == 1
+
+    def test_ifa13_shape(self):
+        from repro.march.library import IFA_13
+
+        assert IFA_13.ops_per_address == 8
+        assert len(IFA_13.pauses) == 2

@@ -1,0 +1,101 @@
+"""Tests for march execution and detection qualification."""
+
+import pytest
+
+from repro.core.fault_primitives import parse_fp
+from repro.march.library import MARCH_PF_PLUS, MATS_PLUS, SCAN
+from repro.march.notation import Direction, parse_march
+from repro.march.simulator import detects, escape_cases, run_march
+from repro.memory.array import Topology
+from repro.memory.fault_machine import BehavioralFault
+from repro.memory.simulator import FaultyMemory
+
+TOPO = Topology(4, 2)
+
+
+def faulty(text, victim=0, node_value=None):
+    fault = BehavioralFault.from_fp(
+        parse_fp(text), victim, TOPO, node_value=node_value
+    )
+    return FaultyMemory(TOPO, fault)
+
+
+class TestRunMarch:
+    def test_counts_operations(self):
+        memory = FaultyMemory(TOPO)
+        result = run_march(MATS_PLUS, memory)
+        assert result.operations == MATS_PLUS.operation_count(TOPO.size)
+
+    def test_active_static_fault_detected_by_scan(self):
+        memory = faulty("<0r0/0/1>", node_value=1)  # active IRF0
+        result = run_march(SCAN, memory)
+        assert result.detected
+
+    def test_scan_write_disarms_bitline_fault(self):
+        """SCAN's w0 sweep drives the bit line low before every r0, so the
+        [w1_BL]-armed fault never triggers — the paper's escape mechanism."""
+        memory = faulty("<0v [w1BL] r0v/1/1>", node_value=1)
+        result = run_march(SCAN, memory)
+        assert not result.detected
+
+    def test_mismatch_records_location(self):
+        memory = faulty("<0r0/0/1>", node_value=1)
+        result = run_march(SCAN, memory)
+        first = result.mismatches[0]
+        assert first.expected != first.observed
+        assert 0 <= first.address < TOPO.size
+
+    def test_stop_at_first(self):
+        memory = faulty("<0r0/0/1>", node_value=1)
+        result = run_march(SCAN, memory, stop_at_first=True)
+        assert len(result.mismatches) == 1
+
+    def test_either_resolution_changes_order(self):
+        test = parse_march("{⇕(w1); ⇕(r1)}")
+        memory = FaultyMemory(TOPO)
+        up = run_march(test, memory, either_as=Direction.UP)
+        memory2 = FaultyMemory(TOPO)
+        down = run_march(test, memory2, either_as=Direction.DOWN)
+        assert not up.detected and not down.detected
+
+    def test_explicit_size(self):
+        memory = FaultyMemory(TOPO)
+        result = run_march(MATS_PLUS, memory, size=4)
+        assert result.operations == MATS_PLUS.ops_per_address * 4
+
+
+class TestDetects:
+    def test_march_pf_plus_detects_rdf1_completed(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert detects(MARCH_PF_PLUS, fp, TOPO)
+
+    def test_simple_test_misses_rdf1_completed(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        simple = parse_march("{⇕(w1); ⇕(r1)}", "w1r1")
+        assert not detects(simple, fp, TOPO)
+
+    def test_escape_cases_name_the_scenarios(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        simple = parse_march("{⇕(w1); ⇕(r1)}", "w1r1")
+        escapes = escape_cases(simple, fp, TOPO)
+        assert escapes
+        victims = {victim for victim, _, _ in escapes}
+        assert victims  # every victim escapes under some floating value
+
+    def test_detection_requires_all_node_values(self):
+        """A test catching the fault only when armed-by-luck must fail."""
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        single = Topology(1, 1)
+        # A bare read: triggers only if the node happened to float low.
+        lucky = parse_march("{⇕(r1)}", "lucky")
+        assert detects(lucky, fp, single, node_values=(0,))
+        assert not detects(lucky, fp, single, node_values=(0, 1))
+
+    def test_static_fault_active_only_qualification(self):
+        fp = parse_fp("<0r0/0/1>")
+        assert detects(SCAN, fp, TOPO, node_values=(1,))
+        assert not detects(SCAN, fp, TOPO, node_values=(0, 1))
+
+    def test_default_topology(self):
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        assert detects(MARCH_PF_PLUS, fp)

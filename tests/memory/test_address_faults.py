@@ -1,0 +1,108 @@
+"""Address-decoder fault machines and the classical MATS+ theorem."""
+
+import pytest
+
+from repro.march.library import MARCH_C_MINUS, MARCH_PF_PLUS, MATS, MATS_PLUS, SCAN
+from repro.march.notation import Direction
+from repro.march.simulator import run_march
+from repro.memory.address_faults import AddressFaultKind, AddressFaultMemory
+from repro.memory.array import Topology
+
+TOPO = Topology(4, 2)
+
+
+def scenarios(kind):
+    for a in TOPO.addresses():
+        if kind is AddressFaultKind.NO_CELL:
+            yield a, None
+        else:
+            for b in TOPO.addresses():
+                if b != a:
+                    yield a, b
+
+
+def detects_all(test, kind):
+    for a, b in scenarios(kind):
+        for direction in (Direction.UP, Direction.DOWN):
+            memory = AddressFaultMemory(TOPO, kind, a, b)
+            if not run_march(test, memory, either_as=direction,
+                             stop_at_first=True).detected:
+                return False
+    return True
+
+
+class TestSemantics:
+    def test_no_cell_loses_writes(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.NO_CELL, 3)
+        memory.write(3, 1)
+        memory.write(0, 0)
+        memory.read(0)
+        assert memory.read(3) == 0          # stale data line, not the 1
+
+    def test_no_cell_reads_stale_line(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.NO_CELL, 3)
+        memory.write(0, 1)
+        memory.read(0)
+        assert memory.read(3) == 1          # whatever the line last carried
+
+    def test_no_address_lands_on_partner(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.NO_ADDRESS, 2, 5)
+        memory.write(2, 1)
+        assert memory.array.read(5) == 1    # landed on the partner
+        assert memory.array.read(2) == 0    # the orphan cell never written
+        assert memory.read(2) == 1          # reads follow the mapping
+
+    def test_multi_cell_disturbs_partner(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.MULTI_CELL, 1, 6)
+        memory.write(6, 0)
+        memory.write(1, 1)
+        assert memory.read(6) == 1          # the partner got overwritten
+
+    def test_multi_cell_read_is_wired_and(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.MULTI_CELL, 1, 6)
+        memory.write(1, 1)                   # writes both cells 1
+        memory.array.write(6, 0)             # partner flips underneath
+        assert memory.read(1) == 0           # conflicting cells read 0
+
+    def test_multi_address_aliases(self):
+        memory = AddressFaultMemory(TOPO, AddressFaultKind.MULTI_ADDRESS, 0, 4)
+        memory.write(4, 1)                   # address 4 decodes onto cell 0
+        assert memory.read(0) == 1
+        assert memory.read(4) == 1
+        memory.write(0, 0)
+        assert memory.read(4) == 0
+
+    def test_unrelated_addresses_untouched(self):
+        for kind in AddressFaultKind:
+            partner = None if kind is AddressFaultKind.NO_CELL else 5
+            memory = AddressFaultMemory(TOPO, kind, 2, partner)
+            memory.write(7, 1)
+            assert memory.read(7) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressFaultMemory(TOPO, AddressFaultKind.NO_CELL, 0, 1)
+        with pytest.raises(ValueError):
+            AddressFaultMemory(TOPO, AddressFaultKind.MULTI_CELL, 0)
+        with pytest.raises(ValueError):
+            AddressFaultMemory(TOPO, AddressFaultKind.MULTI_CELL, 0, 0)
+
+
+class TestClassicalTheorem:
+    """MATS+ is the minimal march test detecting all AFs."""
+
+    @pytest.mark.parametrize("kind", list(AddressFaultKind))
+    def test_mats_plus_detects_all(self, kind):
+        assert detects_all(MATS_PLUS, kind)
+
+    @pytest.mark.parametrize("test", [MARCH_C_MINUS, MARCH_PF_PLUS],
+                             ids=lambda t: t.name)
+    @pytest.mark.parametrize("kind", list(AddressFaultKind))
+    def test_stronger_tests_detect_all(self, test, kind):
+        assert detects_all(test, kind)
+
+    def test_scan_misses_af_a(self):
+        assert not detects_all(SCAN, AddressFaultKind.NO_CELL)
+
+    def test_mats_misses_af_a(self):
+        assert not detects_all(MATS, AddressFaultKind.NO_CELL)

@@ -1,0 +1,90 @@
+"""Unit tests for the array topology and the plain memory array."""
+
+import pytest
+
+from repro.memory.array import MemoryArray, Topology
+
+
+class TestTopology:
+    def test_size(self):
+        assert Topology(4, 2).size == 8
+
+    def test_row_major_addressing(self):
+        topo = Topology(3, 4)
+        assert topo.row_of(0) == 0 and topo.column_of(0) == 0
+        assert topo.row_of(5) == 1 and topo.column_of(5) == 1
+        assert topo.address_of(1, 1) == 5
+
+    def test_address_roundtrip(self):
+        topo = Topology(3, 4)
+        for addr in topo.addresses():
+            assert topo.address_of(topo.row_of(addr), topo.column_of(addr)) == addr
+
+    def test_same_column(self):
+        topo = Topology(3, 2)
+        assert topo.same_column(0, 2)
+        assert topo.same_column(1, 5)
+        assert not topo.same_column(0, 1)
+
+    def test_column_addresses(self):
+        topo = Topology(3, 2)
+        assert topo.column_addresses(0) == (0, 2, 4)
+        assert topo.column_addresses(1) == (1, 3, 5)
+
+    def test_bitline_neighbours_exclude_self(self):
+        topo = Topology(3, 2)
+        assert topo.bitline_neighbours(2) == (0, 4)
+
+    def test_single_column(self):
+        topo = Topology(4, 1)
+        assert topo.column_addresses(0) == (0, 1, 2, 3)
+        assert topo.same_column(0, 3)
+
+    def test_bounds_checks(self):
+        topo = Topology(2, 2)
+        with pytest.raises(IndexError):
+            topo.row_of(4)
+        with pytest.raises(IndexError):
+            topo.address_of(2, 0)
+        with pytest.raises(IndexError):
+            topo.column_addresses(2)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, 1)
+        with pytest.raises(ValueError):
+            Topology(1, 0)
+
+
+class TestMemoryArray:
+    def test_fill_default_zero(self):
+        array = MemoryArray(Topology(2, 2))
+        assert array.dump() == (0, 0, 0, 0)
+
+    def test_write_read(self):
+        array = MemoryArray(Topology(2, 2))
+        array.write(3, 1)
+        assert array.read(3) == 1
+        assert array.read(0) == 0
+
+    def test_fill(self):
+        array = MemoryArray(Topology(2, 2))
+        array.fill(1)
+        assert array.dump() == (1, 1, 1, 1)
+
+    def test_len(self):
+        assert len(MemoryArray(Topology(3, 2))) == 6
+
+    def test_invalid_values_rejected(self):
+        array = MemoryArray(Topology(2, 1))
+        with pytest.raises(ValueError):
+            array.write(0, 2)
+        with pytest.raises(ValueError):
+            array.fill(7)
+        with pytest.raises(ValueError):
+            MemoryArray(Topology(2, 1), fill=9)
+
+    def test_out_of_range_address(self):
+        array = MemoryArray(Topology(2, 1))
+        with pytest.raises(IndexError):
+            array.read(2)

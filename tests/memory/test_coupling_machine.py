@@ -1,0 +1,122 @@
+"""Behavioural semantics of the coupling-fault machines."""
+
+import pytest
+
+from repro.core.coupling import CouplingFFM
+from repro.memory.array import Topology
+from repro.memory.coupling_machine import CouplingFault
+from repro.memory.simulator import FaultyMemory
+
+TOPO = Topology(4, 2)
+AGG, VIC = 2, 0  # same column
+
+
+def machine(ffm):
+    return CouplingFault(ffm, AGG, VIC, TOPO)
+
+
+class TestCFst:
+    def test_flips_when_condition_met(self):
+        m = machine(CouplingFFM.CFST_11)
+        m.on_write(AGG, 1)
+        m.on_write(VIC, 1)
+        assert m.state == 0 and m.triggered
+
+    def test_no_flip_when_aggressor_differs(self):
+        m = machine(CouplingFFM.CFST_11)
+        m.on_write(AGG, 0)
+        m.on_write(VIC, 1)
+        assert m.state == 1
+
+    def test_condition_established_by_aggressor_write(self):
+        m = machine(CouplingFFM.CFST_11)
+        m.on_write(VIC, 1)
+        assert m.state == 1
+        m.on_write(AGG, 1)
+        assert m.state == 0
+
+    def test_initial_zero_condition_applies_immediately(self):
+        m = machine(CouplingFFM.CFST_00)
+        # Both cells start 0: aggressor holds 0, victim cannot hold 0.
+        assert m.state == 1 and m.triggered
+
+    def test_tick_applies_state_coupling(self):
+        m = machine(CouplingFFM.CFST_10)
+        m.on_write(AGG, 1)
+        m.on_write(VIC, 1)   # not sensitive
+        m.on_write(VIC, 0)   # sensitive -> flips at once
+        assert m.state == 1
+
+
+class TestCFid:
+    def test_transition_write_flips_victim(self):
+        m = machine(CouplingFFM.CFID_UP_1)
+        m.on_write(VIC, 1)
+        m.on_write(AGG, 0)
+        m.on_write(AGG, 1)   # the up-transition
+        assert m.state == 0 and m.triggered
+
+    def test_non_transition_write_is_harmless(self):
+        m = machine(CouplingFFM.CFID_UP_1)
+        m.on_write(VIC, 1)
+        m.on_write(AGG, 0)   # 0 -> 0, no transition
+        assert m.state == 1
+
+    def test_wrong_direction_is_harmless(self):
+        m = machine(CouplingFFM.CFID_UP_1)
+        m.on_write(AGG, 1)   # up-transition while victim not sensitive
+        m.on_write(VIC, 1)
+        m.on_write(AGG, 0)   # down transition: wrong direction
+        assert m.state == 1
+
+    def test_victim_not_sensitive(self):
+        m = machine(CouplingFFM.CFID_UP_1)
+        m.on_write(VIC, 0)
+        m.on_write(AGG, 0)
+        m.on_write(AGG, 1)
+        assert m.state == 0
+
+
+class TestCFrd:
+    def test_deceptive_read(self):
+        m = machine(CouplingFFM.CFRD_11)
+        m.on_write(AGG, 1)
+        m.on_write(VIC, 1)
+        assert m.on_read(VIC, 1) == 1    # deceptively correct
+        assert m.state == 0              # but the cell flipped
+        assert m.on_read(VIC, 0) == 0
+
+    def test_no_disturb_when_aggressor_differs(self):
+        m = machine(CouplingFFM.CFRD_11)
+        m.on_write(AGG, 0)
+        m.on_write(VIC, 1)
+        m.on_read(VIC, 1)
+        assert m.state == 1
+
+
+class TestIntegration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CouplingFault(CouplingFFM.CFST_00, 0, 0, TOPO)
+        with pytest.raises(IndexError):
+            CouplingFault(CouplingFFM.CFST_00, 0, 99, TOPO)
+
+    def test_faulty_memory_integration(self):
+        fault = machine(CouplingFFM.CFID_UP_1)
+        memory = FaultyMemory(TOPO, fault)
+        memory.write(VIC, 1)
+        memory.write(AGG, 0)
+        memory.write(AGG, 1)
+        assert memory.read(VIC) == 0
+
+    def test_aggressor_reads_track_state(self):
+        fault = machine(CouplingFFM.CFST_11)
+        memory = FaultyMemory(TOPO, fault)
+        memory.write(AGG, 1)
+        assert memory.read(AGG) == 1
+
+    def test_unrelated_cells_untouched(self):
+        fault = machine(CouplingFFM.CFST_11)
+        memory = FaultyMemory(TOPO, fault)
+        memory.write(5, 1)
+        assert memory.read(5) == 1

@@ -1,0 +1,158 @@
+"""Word-oriented memories, data backgrounds and the intra-word CF theorem."""
+
+import pytest
+
+from repro.core.coupling import CouplingFFM
+from repro.core.fault_primitives import parse_fp
+from repro.march.library import MARCH_C_MINUS, MATS_PLUS
+from repro.memory.array import Topology
+from repro.memory.coupling_machine import CouplingFault
+from repro.memory.fault_machine import BehavioralFault
+from repro.memory.simulator import FaultyMemory
+from repro.memory.word_memory import (
+    WordMemory,
+    detects_word_fault,
+    run_word_march,
+    standard_backgrounds,
+)
+
+
+class TestBackgrounds:
+    @pytest.mark.parametrize("width,expected", [
+        (1, 1), (2, 2), (4, 3), (8, 4), (16, 5),
+    ])
+    def test_log2_plus_one(self, width, expected):
+        assert len(standard_backgrounds(width)) == expected
+
+    def test_solid_first(self):
+        assert standard_backgrounds(4)[0] == (0, 0, 0, 0)
+
+    def test_standard_set_for_width_4(self):
+        assert standard_backgrounds(4) == (
+            (0, 0, 0, 0), (0, 1, 0, 1), (0, 0, 1, 1)
+        )
+
+    def test_every_bit_pair_separated(self):
+        """For any two positions, some background drives them apart."""
+        for width in (2, 3, 4, 8):
+            backgrounds = standard_backgrounds(width)
+            for i in range(width):
+                for j in range(i + 1, width):
+                    assert any(b[i] != b[j] for b in backgrounds), (i, j)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            standard_backgrounds(0)
+
+
+class TestWordMemory:
+    def test_read_write_words(self):
+        memory = WordMemory(n_words=3, width=4)
+        memory.write_word(1, (1, 0, 1, 1))
+        assert memory.read_word(1) == (1, 0, 1, 1)
+        assert memory.read_word(0) == (0, 0, 0, 0)
+
+    def test_width_checked(self):
+        memory = WordMemory(2, 4)
+        with pytest.raises(ValueError):
+            memory.write_word(0, (1, 0))
+
+    def test_topology_checked(self):
+        with pytest.raises(ValueError):
+            WordMemory(2, 4, FaultyMemory(Topology(3, 3)))
+
+    def test_bit_fault_visible_through_words(self):
+        topo = Topology(3, 4)
+        fault = BehavioralFault.from_fp(
+            parse_fp("<0r0/0/1>"), topo.address_of(1, 2), topo, node_value=1
+        )
+        memory = WordMemory(3, 4, FaultyMemory(topo, fault))
+        memory.write_word(1, (0, 0, 0, 0))
+        assert memory.read_word(1) == (0, 0, 1, 0)
+
+
+class TestWordMarch:
+    def test_fault_free_passes_all_backgrounds(self):
+        for background in standard_backgrounds(4):
+            memory = WordMemory(3, 4)
+            result = run_word_march(MATS_PLUS, memory, background)
+            assert not result.detected
+
+    def test_background_width_checked(self):
+        with pytest.raises(ValueError):
+            run_word_march(MATS_PLUS, WordMemory(2, 4), (0, 1))
+
+    def test_operation_count_is_word_based(self):
+        memory = WordMemory(3, 4)
+        result = run_word_march(MATS_PLUS, memory, (0, 0, 0, 0))
+        assert result.operations == MATS_PLUS.ops_per_address * 3
+
+
+class TestIntraWordCouplingTheorem:
+    """Intra-word CFs need the background set; solid alone is blind."""
+
+    WORDS, WIDTH = 3, 4
+    TOPO = Topology(3, 4)
+
+    def make(self, ffm, word=1, agg_bit=1, vic_bit=2):
+        def factory():
+            fault = CouplingFault(
+                ffm,
+                self.TOPO.address_of(word, agg_bit),
+                self.TOPO.address_of(word, vic_bit),
+                self.TOPO,
+            )
+            return FaultyMemory(self.TOPO, fault)
+        return factory
+
+    def test_solid_background_misses_cfst01(self):
+        """CFst<0;1> needs aggressor 0 / victim 1 — solid never does that."""
+        factory = self.make(CouplingFFM.CFST_01)
+        assert not detects_word_fault(
+            MARCH_C_MINUS, factory, self.WORDS, self.WIDTH,
+            backgrounds=[(0, 0, 0, 0)],
+        )
+
+    def test_standard_backgrounds_catch_it(self):
+        factory = self.make(CouplingFFM.CFST_01)
+        assert detects_word_fault(
+            MARCH_C_MINUS, factory, self.WORDS, self.WIDTH
+        )
+
+    @pytest.mark.parametrize("ffm", [
+        CouplingFFM.CFST_00, CouplingFFM.CFST_01,
+        CouplingFFM.CFST_10, CouplingFFM.CFST_11,
+    ])
+    def test_all_state_intra_word_cfs(self, ffm):
+        factory = self.make(ffm)
+        assert detects_word_fault(
+            MARCH_C_MINUS, factory, self.WORDS, self.WIDTH
+        )
+
+    def test_intra_word_cfid_masked_when_victim_written_after(self):
+        """A word write rewrites the victim right after the aggressor's
+        transition disturbed it, erasing the evidence — intra-word CFid
+        with victim bit index above the aggressor's is undetectable by
+        write-based sensitization (the classical word-oriented caveat)."""
+        factory = self.make(CouplingFFM.CFID_UP_0, agg_bit=1, vic_bit=2)
+        assert not detects_word_fault(
+            MARCH_C_MINUS, factory, self.WORDS, self.WIDTH
+        )
+
+    def test_intra_word_cfid_caught_when_victim_written_first(self):
+        factory = self.make(CouplingFFM.CFID_UP_0, agg_bit=2, vic_bit=1)
+        assert detects_word_fault(
+            MARCH_C_MINUS, factory, self.WORDS, self.WIDTH
+        )
+
+    def test_adjacent_bit_pairs_all_covered(self):
+        for vic_bit in range(self.WIDTH):
+            for agg_bit in range(self.WIDTH):
+                if agg_bit == vic_bit:
+                    continue
+                factory = self.make(
+                    CouplingFFM.CFST_10, agg_bit=agg_bit, vic_bit=vic_bit
+                )
+                assert detects_word_fault(
+                    MARCH_C_MINUS, factory, self.WORDS, self.WIDTH
+                ), (agg_bit, vic_bit)

@@ -1,0 +1,160 @@
+"""End-to-end integration tests: the paper's story across all layers.
+
+These tests run the complete pipeline — electrical defect injection,
+(R_def, U)-plane analysis, partial-fault identification, completion
+search, behavioural modelling and march-test qualification — and assert
+the paper's headline narrative at each hand-off.
+"""
+
+import pytest
+
+from repro import (
+    ColumnFaultAnalyzer,
+    FFM,
+    FloatingNode,
+    MARCH_PF_PLUS,
+    OpenDefect,
+    OpenLocation,
+    SweepGrid,
+    Topology,
+    classify_fp,
+    complete_fault,
+    detects,
+    parse_march,
+    parse_sos,
+    run_march,
+)
+from repro.memory.simulator import ElectricalMemory
+
+
+@pytest.fixture(scope="module")
+def open4_analyzer():
+    return ColumnFaultAnalyzer(
+        OpenLocation.BL_PRECHARGE_CELLS,
+        grid=SweepGrid.make(r_min=3e3, r_max=1e7, n_r=8, n_u=6),
+    )
+
+
+class TestPaperStoryEndToEnd:
+    """Fig. 1 -> Fig. 3 -> Table 1 -> March test, in one flow."""
+
+    def test_full_pipeline(self, open4_analyzer):
+        # 1. The fault analysis finds the partial RDF1 of Fig. 3(a).
+        findings = open4_analyzer.survey(
+            FloatingNode.BIT_LINE, probes=("1r1",)
+        )
+        rdf1 = next(f for f in findings if f.ffm is FFM.RDF1)
+        assert rdf1.is_partial
+
+        # 2. The completion search derives the paper's completed FP.
+        outcome = complete_fault(open4_analyzer, rdf1, max_extra_ops=1)
+        assert outcome.describe() == "<1v [w0BL] r1v/0/0>"
+        assert classify_fp(outcome.completed_fp) is FFM.RDF1
+
+        # 3. The conventional test of the paper's introduction misses it...
+        w1r1 = parse_march("{⇕(w1); ⇕(r1)}", "w1r1")
+        assert not detects(w1r1, outcome.completed_fp, Topology(4, 2))
+
+        # 4. ...while March PF+ guarantees detection, behaviourally...
+        assert detects(MARCH_PF_PLUS, outcome.completed_fp, Topology(4, 2))
+
+        # 5. ...and electrically, for any floating preset.
+        for preset in (0.0, 3.3):
+            memory = ElectricalMemory.with_defect(
+                defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e6),
+                n_rows=3,
+                floating={FloatingNode.BIT_LINE: preset},
+            )
+            assert run_march(MARCH_PF_PLUS, memory, stop_at_first=True).detected
+            memory2 = ElectricalMemory.with_defect(
+                defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e6),
+                n_rows=3,
+                floating={FloatingNode.BIT_LINE: preset},
+            )
+            assert not run_march(w1r1, memory2).detected
+
+
+class TestBehaviouralElectricalAgreement:
+    """The fault machine must mirror what the circuit actually does."""
+
+    def test_rdf1_trigger_sequence_agrees(self, open4_analyzer):
+        from repro.core.fault_primitives import parse_fp
+        from repro.memory.fault_machine import BehavioralFault
+        from repro.memory.simulator import FaultyMemory
+
+        fp = parse_fp("<1v [w0BL] r1v/0/0>")
+        topo = Topology(3, 1)
+        fault = BehavioralFault.from_fp(fp, 0, topo, node_value=None)
+        behavioural = FaultyMemory(topo, fault)
+        electrical = ElectricalMemory.with_defect(
+            defect=OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e7), n_rows=3
+        )
+        script = [
+            ("w", 0, 1), ("w", 1, 0), ("r", 0, None),  # arm + trigger
+            ("r", 0, None),                             # destroyed state
+        ]
+        for kind, addr, value in script:
+            if kind == "w":
+                behavioural.write(addr, value)
+                electrical.write(addr, value)
+            else:
+                assert behavioural.read(addr) == electrical.read(addr)
+
+    def test_fault_free_sequences_agree(self):
+        electrical = ElectricalMemory.with_defect(n_rows=3)
+        from repro.memory.simulator import FaultyMemory
+
+        behavioural = FaultyMemory(Topology(3, 1))
+        script = [
+            ("w", 0, 1), ("w", 1, 0), ("w", 2, 1),
+            ("r", 0, None), ("r", 1, None), ("r", 2, None),
+            ("w", 0, 0), ("r", 0, None), ("r", 2, None),
+        ]
+        for kind, addr, value in script:
+            if kind == "w":
+                behavioural.write(addr, value)
+                electrical.write(addr, value)
+            else:
+                assert behavioural.read(addr) == electrical.read(addr)
+
+
+class TestCellOpenStory:
+    """The Fig. 4 family end to end."""
+
+    def test_cell_open_completion_and_detection(self):
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.CELL,
+            grid=SweepGrid.make(r_min=3e4, r_max=1e6, n_r=8, n_u=6),
+        )
+        findings = analyzer.survey(FloatingNode.CELL, probes=("0r0",))
+        rdf0 = next(f for f in findings if f.ffm is FFM.RDF0)
+        assert rdf0.is_partial
+        outcome = complete_fault(analyzer, rdf0, max_extra_ops=3)
+        assert outcome.possible
+        # Victim-targeted completion with dropped initialization.
+        assert outcome.completed_fp.sos.inits == ()
+        assert detects(MARCH_PF_PLUS, outcome.completed_fp, Topology(4, 2))
+
+
+class TestWordLineStory:
+    """Open 9: partial faults that cannot be completed."""
+
+    def test_not_possible_and_march_escape(self):
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.WORD_LINE,
+            grid=SweepGrid.make(r_min=1e7, r_max=1e9, n_r=5, n_u=5),
+        )
+        findings = [f for f in analyzer.survey(probes=("0", "0r0"))
+                    if f.is_partial]
+        assert findings
+        for finding in findings:
+            outcome = complete_fault(analyzer, finding, max_extra_ops=2)
+            assert not outcome.possible
+        # Whenever the fault manifests (floating WL in the active range),
+        # March PF+ still flags the memory.
+        memory = ElectricalMemory.with_defect(
+            defect=OpenDefect(OpenLocation.WORD_LINE, 1e9),
+            n_rows=3,
+            floating={FloatingNode.WORD_LINE: 3.3},
+        )
+        assert run_march(MARCH_PF_PLUS, memory, stop_at_first=True).detected

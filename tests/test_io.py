@@ -1,0 +1,100 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import json
+
+import pytest
+
+from repro.circuit.defects import OpenDefect, OpenLocation
+from repro.core.coupling import CouplingFFM
+from repro.core.fault_primitives import parse_fp
+from repro.core.ffm import FFM
+from repro.core.regions import FPRegionMap
+from repro.io import (
+    dump_fp,
+    dump_march,
+    dump_region_map,
+    dump_signature_database,
+    dumps_march,
+    load_fp,
+    load_march,
+    load_region_map,
+    load_signature_database,
+    loads_march,
+)
+from repro.march.library import ALL_TESTS, IFA_13, MARCH_PF_PLUS
+
+
+class TestMarchRoundTrip:
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+    def test_all_library_tests(self, test):
+        recovered = load_march(dump_march(test))
+        assert recovered.name == test.name
+        assert recovered.elements == test.elements
+
+    def test_string_roundtrip(self):
+        assert loads_march(dumps_march(IFA_13)).elements == IFA_13.elements
+
+    def test_json_serializable(self):
+        json.dumps(dump_march(MARCH_PF_PLUS))
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            load_fp(dump_march(MARCH_PF_PLUS))
+
+    def test_format_guard(self):
+        data = dump_march(MARCH_PF_PLUS)
+        data["format"] = "other"
+        with pytest.raises(ValueError):
+            load_march(data)
+
+
+class TestFaultPrimitiveRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "<1r1/0/0>", "<0w1/0/->", "<1v [w0BL] r1v/0/0>",
+        "<[w1 w0] r0/1/1>", "<0/1/->",
+    ])
+    def test_roundtrip(self, text):
+        fp = parse_fp(text)
+        assert load_fp(dump_fp(fp)) == fp
+
+
+class TestRegionMapRoundTrip:
+    def test_mixed_labels(self):
+        region = FPRegionMap(
+            (1e3, 1e4),
+            (0.0, 1.0),
+            (
+                (FFM.RDF1, None),
+                (CouplingFFM.CFST_01, parse_fp("<1r1/0/0>")),
+            ),
+        )
+        recovered = load_region_map(dump_region_map(region))
+        assert recovered == region
+
+    def test_string_labels(self):
+        region = FPRegionMap((1.0,), (0.0,), (("weird",),))
+        assert load_region_map(dump_region_map(region)) == region
+
+    def test_json_serializable(self):
+        region = FPRegionMap((1.0,), (0.0,), ((FFM.SF0,),))
+        json.dumps(dump_region_map(region))
+
+
+class TestSignatureDatabaseRoundTrip:
+    def test_roundtrip_preserves_diagnosis(self):
+        from repro.core.diagnosis import SignatureDatabase
+
+        database = SignatureDatabase(
+            points_per_decade=1,
+            locations=(OpenLocation.BL_PRECHARGE_CELLS, OpenLocation.CELL),
+        )
+        data = json.loads(json.dumps(dump_signature_database(database)))
+        recovered = load_signature_database(data)
+        assert recovered.size == database.size
+        defect = OpenDefect(OpenLocation.BL_PRECHARGE_CELLS, 1e6)
+        original = database.diagnose_defect(defect)
+        # The loaded DB diagnoses from a freshly collected signature.
+        loaded = recovered.diagnose(database.signature_of(defect))
+        assert [c.location for c in loaded.candidates] == [
+            c.location for c in original.candidates
+        ]

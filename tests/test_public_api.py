@@ -1,0 +1,44 @@
+"""The public API surface: everything advertised must resolve and work."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_quickstart_docstring_flow():
+    """The flow shown in the package docstring must actually run."""
+    from repro import (
+        FFM,
+        ColumnFaultAnalyzer,
+        FloatingNode,
+        MARCH_PF_PLUS,
+        OpenLocation,
+        SweepGrid,
+        Topology,
+        complete_fault,
+        detects,
+    )
+
+    analyzer = ColumnFaultAnalyzer(
+        OpenLocation.BL_PRECHARGE_CELLS,
+        grid=SweepGrid.make(r_min=1e4, r_max=1e7, n_r=6, n_u=5),
+    )
+    findings = analyzer.survey(FloatingNode.BIT_LINE, probes=("1r1",))
+    partial = next(f for f in findings if f.is_partial and f.ffm is FFM.RDF1)
+    outcome = complete_fault(analyzer, partial, max_extra_ops=1)
+    assert outcome.describe() == "<1v [w0BL] r1v/0/0>"
+    assert detects(MARCH_PF_PLUS, outcome.completed_fp, Topology(4, 2))
+
+
+def test_library_lookup_is_complete():
+    from repro import ALL_TESTS, get_test
+
+    for test in ALL_TESTS:
+        assert get_test(test.name) is test
