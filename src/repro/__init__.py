@@ -104,6 +104,8 @@ from .memory.word_memory import (
 )
 from .memory.simulator import ElectricalMemory, FaultyMemory
 
+from . import telemetry
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -161,6 +163,7 @@ __all__ = [
     "SOSMetrics",
     "SweepGrid",
     "Technology",
+    "telemetry",
     "Topology",
     "WordMemory",
     "detects_word_fault",

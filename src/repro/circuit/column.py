@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from .bridges import BridgeDefect, BridgeLocation
 from .defects import FloatingNode, OpenDefect, OpenLocation
 from .network import Network
@@ -259,6 +260,7 @@ class DRAMColumn:
         precharge even though no operation addresses it (the paper's SF0
         mechanism for Open 9).
         """
+        telemetry.count("column.precharge_cycles")
         self.sa.reset()
         self._phase(self.tech.t_precharge, active_row=None, precharge=True)
         self._phase(self.tech.t_wl_off, active_row=None)
@@ -304,6 +306,7 @@ class DRAMColumn:
     def _operation(self, kind: str, row: int, value: Optional[int]) -> Optional[int]:
         if not 0 <= row < self.n_rows:
             raise ValueError(f"row {row} outside 0..{self.n_rows - 1}")
+        telemetry.count("column.reads" if kind == "r" else "column.writes")
         t = self.tech
         self.sa.reset()
         self._phase(t.t_precharge, active_row=None, precharge=True)

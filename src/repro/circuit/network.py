@@ -32,6 +32,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = ["OPEN", "Network"]
 
 #: Sentinel resistance meaning "no connection".
@@ -148,6 +150,9 @@ class Network:
         n = len(self._names)
         if n == 0 or duration == 0:
             return self.voltages()
+        if telemetry.enabled():
+            telemetry.count("solver.settles")
+            telemetry.observe("solver.nodes", n)
         g = np.zeros((n, n))
         s = np.zeros(n)
         for ia, ib, r in self._edges:

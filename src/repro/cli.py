@@ -13,18 +13,40 @@ Installed as ``repro-partial-faults``::
     repro-partial-faults escapes       # Monte-Carlo test-escape analysis
     repro-partial-faults diagnosis     # fault-dictionary diagnosis
     repro-partial-faults all           # everything
+
+Observability flags (any of them switches telemetry on for the run; see
+``docs/OBSERVABILITY.md`` for metric names and formats)::
+
+    --trace FILE         write the span trace as JSONL (one span per line)
+    --metrics-json FILE  dump the metrics registry as JSON, including
+                         derived ratios (analyzer cache hit ratio)
+    --profile            run the experiments under cProfile and print the
+                         hottest functions afterwards
+
+With a telemetry flag set, a one-line ``[telemetry]`` timing summary is
+printed after each experiment.  ``repro-partial-faults all`` always
+records telemetry, ends with a summary table (experiment, claims held,
+wall time) built from the experiment spans, and on failure prints a
+one-line diagnosis naming the failing experiment(s) before exiting
+non-zero.  Runs without any telemetry flag print exactly the same report
+output as before these flags existed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, List
 
+from . import telemetry
 from .experiments import (
     ablation, bridges, diagnosis, escapes, fig3, fig4, fp_space, march_pf,
     retention, table1,
 )
+from .experiments.reporting import format_table
+from .telemetry import profiled
 
 _EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig3": lambda: fig3.run_fig3().report,
@@ -40,6 +62,28 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
+def _derived_metrics(registry: telemetry.MetricsRegistry) -> Dict[str, object]:
+    """Ratios that only make sense once the raw counters are final."""
+    hits = registry.counter_value("analyzer.cache_hits")
+    misses = registry.counter_value("analyzer.cache_misses")
+    total = hits + misses
+    return {
+        "analyzer.cache_hit_ratio": (hits / total) if total else None,
+    }
+
+
+def _summary_table() -> str:
+    """The ``all``-mode closing table, built from the experiment spans."""
+    rows = []
+    for span in telemetry.get_tracer().spans_named("experiment"):
+        attrs = span.attrs
+        name = attrs.get("experiment", span.name)
+        held = f"{attrs.get('claims_held', '?')}/{attrs.get('claims', '?')}"
+        wall = f"{span.duration:.2f} s" if span.duration is not None else "?"
+        rows.append((name, held, wall))
+    return format_table(("experiment", "claims held", "wall time"), rows)
+
+
 def main(argv=None) -> int:
     """Entry point for the ``repro-partial-faults`` console script."""
     parser = argparse.ArgumentParser(
@@ -51,15 +95,85 @@ def main(argv=None) -> int:
         choices=sorted(_EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the telemetry span trace to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        default=None,
+        help="write the telemetry metrics snapshot to FILE as JSON",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
     args = parser.parse_args(argv)
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    ok = True
-    for name in names:
-        report = _EXPERIMENTS[name]()
-        print(report.render())
-        print()
-        ok = ok and report.all_hold
-    return 0 if ok else 1
+    # Fail on unwritable output paths now, not after minutes of simulation.
+    for path in (args.trace, args.metrics_json):
+        if path:
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+    run_all = args.experiment == "all"
+    names = sorted(_EXPERIMENTS) if run_all else [args.experiment]
+    telemetry_flags = bool(args.trace or args.metrics_json or args.profile)
+    use_telemetry = telemetry_flags or run_all
+    if use_telemetry:
+        telemetry.reset()
+        telemetry.enable()
+    failed: List[str] = []
+
+    def run_experiments() -> None:
+        for name in names:
+            start = time.perf_counter()
+            report = _EXPERIMENTS[name]()
+            elapsed = time.perf_counter() - start
+            print(report.render())
+            print()
+            if telemetry_flags:
+                print(
+                    f"[telemetry] {name}: {elapsed:.3f} s, "
+                    f"{report.holding}/{len(report.claims)} claims held"
+                )
+                print()
+            if not report.all_hold:
+                failed.append(name)
+
+    try:
+        if args.profile:
+            with profiled() as prof:
+                run_experiments()
+            print(prof.report())
+            print()
+        else:
+            run_experiments()
+    finally:
+        if use_telemetry:
+            telemetry.disable()
+    if args.trace:
+        n_spans = telemetry.get_tracer().export_jsonl(args.trace)
+        print(f"[telemetry] wrote {n_spans} spans to {args.trace}")
+    if args.metrics_json:
+        registry = telemetry.get_metrics()
+        payload = registry.snapshot()
+        payload["derived"] = _derived_metrics(registry)
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"[telemetry] wrote metrics to {args.metrics_json}")
+    if run_all:
+        print(_summary_table())
+        if failed:
+            print(
+                "FAILED: claims do not hold in: " + ", ".join(sorted(failed))
+            )
+    return 0 if not failed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

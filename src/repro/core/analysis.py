@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..circuit.column import DRAMColumn
 from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation, floating_nodes
 from ..circuit.technology import Technology, default_technology
@@ -44,6 +45,7 @@ __all__ = [
     "SweepGrid",
     "Observation",
     "PartialFaultFinding",
+    "CacheInfo",
     "ColumnFaultAnalyzer",
     "PROBE_SOSES",
     "default_grid_for",
@@ -86,6 +88,14 @@ _R_RANGES: Dict[OpenLocation, Tuple[float, float]] = {
 }
 
 
+def _subsample(values: Tuple[float, ...], every: int) -> Tuple[float, ...]:
+    """Every ``every``-th value, padded back to >= 2 points when possible."""
+    picked = values[::every]
+    if len(picked) >= 2 or len(values) < 2:
+        return picked
+    return (values[0], values[-1])
+
+
 def _as_nodes(floating) -> Tuple[FloatingNode, ...]:
     if isinstance(floating, FloatingNode):
         return (floating,)
@@ -93,11 +103,17 @@ def _as_nodes(floating) -> Tuple[FloatingNode, ...]:
 
 
 def default_grid_for(
-    location: OpenLocation, n_r: int = 16, n_u: int = 12, vdd: float = 3.3
+    location: OpenLocation,
+    n_r: int = 16,
+    n_u: int = 12,
+    vdd: float = 3.3,
+    u_min: float = 0.0,
 ) -> SweepGrid:
     """The default ``(R_def, U)`` sweep window for one open location."""
     r_min, r_max = _R_RANGES[location]
-    return SweepGrid.make(r_min=r_min, r_max=r_max, n_r=n_r, u_max=vdd, n_u=n_u)
+    return SweepGrid.make(
+        r_min=r_min, r_max=r_max, n_r=n_r, u_min=u_min, u_max=vdd, n_u=n_u
+    )
 
 
 @dataclass(frozen=True)
@@ -121,8 +137,17 @@ class SweepGrid:
         return cls(_log_space(r_min, r_max, n_r), _lin_space(u_min, u_max, n_u))
 
     def coarser(self, every_r: int = 2, every_u: int = 2) -> "SweepGrid":
-        """Subsampled grid (for the inner loop of the completion search)."""
-        return SweepGrid(self.r_values[::every_r], self.u_values[::every_u])
+        """Subsampled grid (for the inner loop of the completion search).
+
+        Each axis keeps at least two points (first and last of the
+        original axis) whenever the original axis had two, so coarsening
+        can never degenerate the partial-fault rule — a single-``U``
+        column would make every fault look ``U``-independent.
+        """
+        return SweepGrid(
+            _subsample(self.r_values, every_r),
+            _subsample(self.u_values, every_u),
+        )
 
 
 @dataclass(frozen=True)
@@ -170,8 +195,25 @@ class PartialFaultFinding:
         return canonical_fp(self.ffm)
 
 
+class CacheInfo(NamedTuple):
+    """Observation-cache statistics (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    maxsize: Optional[int]
+    currsize: int
+
+
 class ColumnFaultAnalyzer:
-    """Sweeps one open-defect location over the ``(R_def, U)`` plane."""
+    """Sweeps one open-defect location over the ``(R_def, U)`` plane.
+
+    ``max_cache_entries`` bounds the per-analyzer observation cache; when
+    the bound is hit the oldest entry is evicted (FIFO).  The default
+    (``None``) keeps every observation, which is safe for single-defect
+    surveys but grows without bound when one analyzer is reused across
+    many grids — :meth:`cache_info` reports the size, :meth:`cache_clear`
+    drops it.
+    """
 
     def __init__(
         self,
@@ -180,9 +222,12 @@ class ColumnFaultAnalyzer:
         n_rows: int = 3,
         victim_row: int = 0,
         grid: Optional[SweepGrid] = None,
+        max_cache_entries: Optional[int] = None,
     ) -> None:
         if n_rows < 2:
             raise ValueError("the analyzer needs a bit-line neighbour row")
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive or None")
         self.location = location
         self.technology = technology or default_technology()
         self.n_rows = n_rows
@@ -190,7 +235,27 @@ class ColumnFaultAnalyzer:
         self.grid = grid or default_grid_for(
             location, vdd=self.technology.vdd
         )
+        self.max_cache_entries = max_cache_entries
         self._cache: Dict[Tuple, Observation] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- observation cache ----------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size statistics of the observation cache."""
+        return CacheInfo(
+            self._cache_hits,
+            self._cache_misses,
+            self.max_cache_entries,
+            len(self._cache),
+        )
+
+    def cache_clear(self) -> None:
+        """Drop every cached observation and zero the statistics."""
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- plumbing -------------------------------------------------------------
 
@@ -238,10 +303,16 @@ class ColumnFaultAnalyzer:
         initialized to the same ``U``).
         """
         floating = _as_nodes(floating)
+        telemetry.count("analyzer.observe_calls")
         key = (sos, r_def, u, floating)
         hit = self._cache.get(key)
         if hit is not None:
+            self._cache_hits += 1
+            telemetry.count("analyzer.cache_hits")
             return hit
+        self._cache_misses += 1
+        telemetry.count("analyzer.cache_misses")
+        telemetry.count("analyzer.sos_executions")
         column = self.make_column(r_def)
         # When the floating voltage *is* the victim's storage node, the
         # swept U is the cell voltage before initialization: the victim's
@@ -284,7 +355,13 @@ class ColumnFaultAnalyzer:
             obs = Observation(None, None, faulty_value, read_value)
         else:
             obs = Observation(fp, classify_fp(fp), faulty_value, read_value)
+        if (
+            self.max_cache_entries is not None
+            and len(self._cache) >= self.max_cache_entries
+        ):
+            self._cache.pop(next(iter(self._cache)))
         self._cache[key] = obs
+        telemetry.gauge("analyzer.cache_size", len(self._cache))
         return obs
 
     # -- region maps (Figs. 3 and 4) ---------------------------------------------
@@ -306,6 +383,7 @@ class ColumnFaultAnalyzer:
         grid = grid or self.grid
 
         def classify(r: float, u: float):
+            telemetry.count("analyzer.grid_points")
             obs = self.observe(sos, r, u, floating)
             if obs.fp is None:
                 return None
@@ -336,16 +414,23 @@ class ColumnFaultAnalyzer:
             plans = self.sweep_plans()
         probe_list = tuple(probes) if probes is not None else PROBE_SOSES
         findings: List[PartialFaultFinding] = []
-        for plan in plans:
-            for text in probe_list:
-                sos = parse_sos(text) if isinstance(text, str) else text
-                region = self.region_map(sos, plan, grid=grid)
-                for observed in region.observed_labels:
-                    if not isinstance(observed, FFM):
-                        continue
-                    findings.append(
-                        PartialFaultFinding(
-                            self.location, plan, sos, observed, region
+        with telemetry.span(
+            "analyzer.survey",
+            location=self.location.name,
+            plans=len(plans),
+            probes=len(probe_list),
+        ) as sp:
+            for plan in plans:
+                for text in probe_list:
+                    sos = parse_sos(text) if isinstance(text, str) else text
+                    region = self.region_map(sos, plan, grid=grid)
+                    for observed in region.observed_labels:
+                        if not isinstance(observed, FFM):
+                            continue
+                        findings.append(
+                            PartialFaultFinding(
+                                self.location, plan, sos, observed, region
+                            )
                         )
-                    )
+            sp.set(findings=len(findings))
         return findings

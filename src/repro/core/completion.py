@@ -32,6 +32,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+from .. import telemetry
 from ..circuit.defects import FloatingNode
 from .analysis import ColumnFaultAnalyzer, PartialFaultFinding, SweepGrid
 from .fault_primitives import (
@@ -167,6 +168,7 @@ def complete_fault(
         ):
             continue
         tried += 1
+        telemetry.count("completion.candidates_tried")
         region = analyzer.region_map(candidate_sos, finding.floating, grid=grid)
         if target not in region.observed_labels:
             continue

@@ -24,7 +24,7 @@ from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.completion import candidate_completions, complete_fault
 from ..core.fault_primitives import parse_sos
 from ..core.ffm import FFM
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = ["AblationResult", "run_ablation"]
 
@@ -63,6 +63,7 @@ def _fig4_threshold(tech: Technology, n_r: int, n_u: int) -> Optional[float]:
     return min(thresholds) if thresholds else None
 
 
+@instrumented("ablation")
 def run_ablation(n_r: int = 12, n_u: int = 8) -> AblationResult:
     """Sweep the design knobs; report boundary movements."""
     base = default_technology()

@@ -34,7 +34,7 @@ from ..core.ffm import FFM
 from ..march.library import MARCH_C_MINUS, MARCH_PF_PLUS
 from ..march.simulator import run_march
 from ..memory.simulator import ElectricalMemory
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = ["BridgeExperimentResult", "run_bridges"]
 
@@ -47,6 +47,7 @@ class BridgeExperimentResult:
     report: ExperimentReport
 
 
+@instrumented("bridges")
 def run_bridges(
     technology: Optional[Technology] = None,
     n_r: int = 12,

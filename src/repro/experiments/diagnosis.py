@@ -26,7 +26,7 @@ from ..circuit.defects import OpenDefect, OpenLocation
 from ..circuit.technology import Technology
 from ..core.analysis import _R_RANGES
 from ..core.diagnosis import SignatureDatabase, equivalence_class
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = ["DiagnosisExperimentResult", "run_diagnosis"]
 
@@ -39,6 +39,7 @@ class DiagnosisExperimentResult:
     report: ExperimentReport
 
 
+@instrumented("diagnosis")
 def run_diagnosis(
     technology: Optional[Technology] = None,
     n_trials: int = 24,

@@ -42,7 +42,7 @@ from ..march.library import (
 from ..march.notation import MarchTest
 from ..march.simulator import run_march
 from ..memory.simulator import ElectricalMemory
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = ["EscapeResult", "run_escapes", "sample_defects"]
 
@@ -89,6 +89,7 @@ class EscapeResult:
     report: ExperimentReport
 
 
+@instrumented("escapes")
 def run_escapes(
     n_defects: int = 120,
     technology: Optional[Technology] = None,

@@ -25,7 +25,7 @@ from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.fault_primitives import parse_fp, parse_sos
 from ..core.ffm import FFM
 from ..core.regions import FPRegionMap
-from .reporting import ExperimentReport
+from .reporting import ExperimentReport, instrumented
 
 __all__ = ["Fig3Result", "run_fig3"]
 
@@ -49,6 +49,7 @@ class Fig3Result:
         return self.partial_map.max_fault_voltage(FFM.RDF1)
 
 
+@instrumented("fig3")
 def run_fig3(
     technology: Optional[Technology] = None,
     n_r: int = 16,

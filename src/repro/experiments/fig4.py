@@ -26,7 +26,7 @@ from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.fault_primitives import parse_fp, parse_sos
 from ..core.ffm import FFM
 from ..core.regions import FPRegionMap
-from .reporting import ExperimentReport
+from .reporting import ExperimentReport, instrumented
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -51,6 +51,7 @@ class Fig4Result:
     r_completed: Optional[float]
 
 
+@instrumented("fig4")
 def run_fig4(
     technology: Optional[Technology] = None,
     n_r: int = 20,

@@ -32,7 +32,7 @@ from ..core.fault_primitives import (
     single_cell_fp_count,
 )
 from ..core.metrics import metrics_of, satisfied_relations
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 from .table1 import REFERENCE_COMPLETED_FPS
 
 __all__ = ["FPSpaceResult", "run_fp_space"]
@@ -44,6 +44,7 @@ class FPSpaceResult:
     report: ExperimentReport
 
 
+@instrumented("fp_space")
 def run_fp_space(max_ops: int = 4) -> FPSpaceResult:
     """Regenerate the Section 4 numbers."""
     report = ExperimentReport("Section 4 — FP-space size, #C/#O relations")

@@ -34,7 +34,7 @@ from ..march.notation import MarchTest
 from ..march.simulator import run_march
 from ..memory.array import Topology
 from ..memory.simulator import ElectricalMemory
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 from .table1 import REFERENCE_COMPLETED_FPS
 
 __all__ = ["MarchPFResult", "run_march_pf", "completed_fault_set",
@@ -105,6 +105,7 @@ def electrical_detection(
     return results
 
 
+@instrumented("march_pf")
 def run_march_pf(
     technology: Optional[Technology] = None,
     tests: Sequence[MarchTest] = ALL_TESTS,

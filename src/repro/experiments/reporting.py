@@ -5,14 +5,24 @@ an :class:`ExperimentReport`: a list of :class:`Claim` rows stating what
 the paper reports, what this reproduction measures, and whether the
 qualitative claim holds.  ``render()`` prints the same information the
 paper's table/figure conveys.
+
+Harness entry points are wrapped in :func:`instrumented`, which opens one
+telemetry span per experiment (``experiment.<name>``) and, when telemetry
+is recording, attaches a timing/metrics block to the report.  With
+telemetry disabled the wrapper leaves the report untouched, so rendered
+output is identical to an uninstrumented run.
 """
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-__all__ = ["Claim", "ExperimentReport", "format_table"]
+from .. import telemetry
+
+__all__ = ["Claim", "ExperimentReport", "format_table", "instrumented"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +46,9 @@ class ExperimentReport:
     title: str
     claims: List[Claim] = field(default_factory=list)
     blocks: List[str] = field(default_factory=list)
+    #: Optional telemetry block (set by :func:`instrumented` when
+    #: telemetry is enabled); rendered only when present.
+    timing: Optional[Dict[str, object]] = None
 
     def claim(self, name: str, paper: str, measured: str, holds: bool) -> None:
         self.claims.append(Claim(name, paper, measured, holds))
@@ -62,7 +75,50 @@ class ExperimentReport:
         lines.append(
             f"-- {self.holding}/{len(self.claims)} claims hold --"
         )
+        if self.timing:
+            pairs = "  ".join(f"{k}={v}" for k, v in self.timing.items())
+            lines.append(f"-- timing: {pairs} --")
         return "\n".join(lines)
+
+
+_RunFn = TypeVar("_RunFn", bound=Callable)
+
+
+def instrumented(name: str) -> Callable[[_RunFn], _RunFn]:
+    """Wrap an experiment entry point in one ``experiment.<name>`` span.
+
+    The span records the claim tally; while telemetry is recording the
+    wall time also lands in the ``experiment.seconds`` histogram and the
+    report gains its timing block.  Disabled, the only cost is one clock
+    read — the report and its rendering are untouched.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with telemetry.span(f"experiment.{name}", experiment=name) as sp:
+                start = time.perf_counter()
+                result = fn(*args, **kwargs)
+                elapsed = time.perf_counter() - start
+                report = getattr(result, "report", None)
+                if report is not None:
+                    sp.set(
+                        claims=len(report.claims),
+                        claims_held=report.holding,
+                        all_hold=report.all_hold,
+                    )
+                    if telemetry.enabled():
+                        telemetry.observe("experiment.seconds", elapsed)
+                        report.timing = {
+                            "experiment": name,
+                            "seconds": round(elapsed, 3),
+                            "claims": len(report.claims),
+                            "claims_held": report.holding,
+                        }
+                return result
+        return wrapper
+
+    return decorate
 
 
 def format_table(

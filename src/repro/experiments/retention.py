@@ -31,7 +31,7 @@ from ..march.simulator import run_march
 from ..memory.array import Topology
 from ..memory.fault_machine import DataRetentionFault
 from ..memory.simulator import ElectricalMemory, FaultyMemory
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = ["RetentionResult", "run_retention", "measure_retention_time"]
 
@@ -74,6 +74,7 @@ class RetentionResult:
     report: ExperimentReport
 
 
+@instrumented("retention")
 def run_retention(
     technology: Optional[Technology] = None,
 ) -> RetentionResult:

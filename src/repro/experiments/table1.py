@@ -26,7 +26,7 @@ from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.completion import complete_fault
 from ..core.fault_primitives import FaultPrimitive
 from ..core.ffm import FFM
-from .reporting import ExperimentReport, format_table
+from .reporting import ExperimentReport, format_table, instrumented
 
 __all__ = [
     "InventoryRow",
@@ -111,6 +111,7 @@ class Table1Result:
     matches: Dict[str, int]
 
 
+@instrumented("table1")
 def run_table1(
     technology: Optional[Technology] = None,
     opens: Optional[Sequence[OpenLocation]] = None,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..core.fault_primitives import FaultPrimitive
 from ..memory.array import Topology
 from ..memory.fault_machine import BehavioralFault, NodeKind
@@ -75,6 +76,7 @@ def run_march(
     tick = getattr(memory, "tick", None)
     pause = getattr(memory, "pause", None)
     for ei, element in enumerate(test.elements):
+        telemetry.count("march.elements_applied")
         if isinstance(element, MarchPause):
             if pause is not None:
                 pause(element.seconds)
@@ -91,11 +93,15 @@ def run_march(
                             Mismatch(ei, address, oi, op.value, observed)
                         )
                         if stop_at_first:
+                            telemetry.count("march.runs")
+                            telemetry.count("march.operations", operations)
                             return MarchResult(
                                 test.name, tuple(mismatches), operations
                             )
         if tick is not None:
             tick()
+    telemetry.count("march.runs")
+    telemetry.count("march.operations", operations)
     return MarchResult(test.name, tuple(mismatches), operations)
 
 

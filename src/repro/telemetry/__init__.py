@@ -1,0 +1,176 @@
+"""Telemetry: process-global metrics, tracing spans, and profiling hooks.
+
+The rest of the package records what it does through this module's
+module-level helpers — :func:`count`, :func:`gauge`, :func:`observe`,
+:func:`span` — which all check one module-level flag *first* and return
+immediately when telemetry is disabled (the default).  The disabled path
+allocates nothing and touches no registry, so instrumenting a hot loop
+costs one function call and one attribute test; a disabled run is
+behaviourally identical to an uninstrumented one (verified by
+``tests/telemetry``).
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    with telemetry.span("experiment.fig3", experiment="fig3") as sp:
+        ...                       # instrumented code runs here
+        sp.set(claims=4)
+    telemetry.get_metrics().snapshot()          # -> JSON-serializable dict
+    telemetry.get_tracer().export_jsonl(path)   # -> one span per line
+
+Metric names and the span taxonomy are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import ProfileSession, profiled
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Span", "Tracer",
+    "ProfileSession", "profiled",
+    "enabled", "enable", "disable", "reset",
+    "get_metrics", "get_tracer",
+    "count", "gauge", "observe", "span", "timer",
+]
+
+#: The process-global enable flag.  Checked (via :func:`enabled` or the
+#: recording helpers) before any telemetry work happens.
+_ENABLED = False
+
+_METRICS = MetricsRegistry()
+_TRACER = Tracer()
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+def enabled() -> bool:
+    """Is telemetry currently recording?"""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn recording on (registry and tracer keep their current state)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn recording off; the no-op fast paths take over immediately."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset() -> None:
+    """Zero the metrics registry and drop all recorded spans."""
+    _METRICS.reset()
+    _TRACER.reset()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+# -- no-op machinery -----------------------------------------------------------
+
+class _NoopSpan:
+    """Stateless stand-in yielded by :func:`span` when telemetry is off.
+
+    It accepts the same calls a real :class:`~repro.telemetry.tracer.Span`
+    does, so instrumented code never needs to branch on the enable flag.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+class _NoopSpanContext:
+    """Reusable, re-entrant context manager around the no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_SPAN_CONTEXT = _NoopSpanContext()
+
+
+# -- recording helpers (the instrumentation API) -------------------------------
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op while disabled)."""
+    if not _ENABLED:
+        return
+    _METRICS.counter(name).inc(n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    if not _ENABLED:
+        return
+    _METRICS.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled)."""
+    if not _ENABLED:
+        return
+    _METRICS.histogram(name).observe(value)
+
+
+def span(name: str, **attrs: Any):
+    """Open a tracing span; a shared no-op context while disabled."""
+    if not _ENABLED:
+        return _NOOP_SPAN_CONTEXT
+    return _TRACER.span(name, **attrs)
+
+
+class _TimerContext:
+    """Times a block into histogram ``name`` (used by :func:`timer`)."""
+
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_TimerContext":
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import time
+
+        assert self._start is not None
+        _METRICS.histogram(self._name).observe(
+            time.perf_counter() - self._start
+        )
+
+
+def timer(name: str):
+    """Time the enclosed block into histogram ``name`` (wall seconds)."""
+    if not _ENABLED:
+        return _NOOP_SPAN_CONTEXT
+    return _TimerContext(name)

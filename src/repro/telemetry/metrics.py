@@ -1,0 +1,158 @@
+"""Process-global metrics: counters, gauges, and histogram timers.
+
+The registry is a flat namespace of dotted metric names (see
+``docs/OBSERVABILITY.md`` for the taxonomy used across the package):
+
+* :class:`Counter` — monotonically increasing event counts
+  (``solver.settles``, ``analyzer.cache_hits``);
+* :class:`Gauge` — last-written values (``analyzer.cache_size``);
+* :class:`Histogram` — streaming summaries (count/sum/min/max/mean) of
+  observed samples, used both for sizes (``solver.nodes``) and for wall
+  times (``experiment.seconds``).
+
+Instruments are created lazily on first use and live for the process
+lifetime; :meth:`MetricsRegistry.reset` zeroes them between runs.  All
+mutation goes through plain attribute arithmetic, so recording a sample
+costs an attribute lookup and an add — cheap enough for the solver's
+inner loop once the module-level enable flag (checked by the helpers in
+:mod:`repro.telemetry`) has let the call through.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A streaming summary of observed samples (no bucket storage)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A process-global, name-indexed collection of instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._counters.setdefault(name, Counter(name))
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._gauges.setdefault(name, Gauge(name))
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._histograms.setdefault(name, Histogram(name))
+        return inst
+
+    # -- read side -------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter (0 if it never fired)."""
+        inst = self._counters.get(name)
+        return inst.value if inst is not None else 0
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        inst = self._gauges.get(name)
+        return inst.value if inst is not None else None
+
+    def is_empty(self) -> bool:
+        """True when no instrument has ever been touched."""
+        return not (self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable dump of every instrument."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self._counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+            "histograms": {
+                n: h.snapshot() for n, h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names are re-created on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

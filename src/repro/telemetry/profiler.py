@@ -1,0 +1,49 @@
+"""Deterministic profiling hooks (stdlib ``cProfile`` only).
+
+The CLI's ``--profile`` flag and ad-hoc scripts use :func:`profiled` to
+wrap a region of work and get a formatted hot-spot table back without
+touching files::
+
+    with profiled() as prof:
+        run_table1()
+    print(prof.report())
+
+Profiling is orthogonal to the metrics/tracing enable flag: it has real
+overhead, so it only ever runs when explicitly requested.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Iterator
+
+from contextlib import contextmanager
+
+__all__ = ["ProfileSession", "profiled"]
+
+
+class ProfileSession:
+    """A finished (or running) cProfile capture with a report formatter."""
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+
+    def report(self, sort: str = "cumulative", limit: int = 25) -> str:
+        """Top-``limit`` functions formatted as a plain-text table."""
+        buf = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buf)
+        stats.strip_dirs().sort_stats(sort).print_stats(limit)
+        return buf.getvalue().rstrip()
+
+
+@contextmanager
+def profiled() -> Iterator[ProfileSession]:
+    """Profile the enclosed block; yields the :class:`ProfileSession`."""
+    session = ProfileSession()
+    session.profile.enable()
+    try:
+        yield session
+    finally:
+        session.profile.disable()

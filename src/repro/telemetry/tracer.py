@@ -1,0 +1,155 @@
+"""Span-based tracing with JSONL export.
+
+A *span* is one named, timed region of work, optionally annotated with
+attributes.  Spans nest: opening a span inside another records the outer
+one as its parent, so a trace of ``experiment.fig3`` contains the
+``analyzer.survey`` spans it ran, which in turn may contain per-plan
+sweeps.  The tracer keeps every *finished* span; :meth:`Tracer.export_jsonl`
+writes them as one JSON object per line (start-ordered), the format
+documented in ``docs/OBSERVABILITY.md``::
+
+    {"span": 1, "parent": null, "depth": 0, "name": "experiment.fig3",
+     "start": 0.0, "duration": 12.3, "attrs": {"claims": 4}}
+
+``start`` is seconds since the tracer's epoch (its creation or last
+:meth:`Tracer.reset`), ``duration`` is wall seconds measured with
+``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region; use :meth:`set` to attach attributes mid-flight."""
+
+    __slots__ = (
+        "span_id", "parent_id", "depth", "name", "attrs", "start", "duration",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        name: str,
+        attrs: Dict[str, Any],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.duration: Optional[float] = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Records nested spans and exports them as JSONL."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._finished: List[Span] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("name", key=val) as sp:``."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            name=name,
+            attrs=dict(attrs),
+            start=time.perf_counter() - self._epoch,
+        )
+        self._next_id += 1
+        self._stack.append(sp)
+        return _SpanContext(self, sp)
+
+    def _finish(self, span: Span) -> None:
+        span.duration = (time.perf_counter() - self._epoch) - span.start
+        # Close any dangling children first (defensive: a span leaked by a
+        # generator that never resumed must not corrupt the stack).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.duration is None:
+                dangling.duration = (
+                    time.perf_counter() - self._epoch
+                ) - dangling.start
+                self._finished.append(dangling)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self._finished.append(span)
+
+    # -- read side -------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans, in start order."""
+        return sorted(self._finished, key=lambda s: (s.start, s.span_id))
+
+    def spans_named(self, prefix: str) -> List[Span]:
+        """Finished spans whose name equals or starts with ``prefix.``."""
+        return [
+            s for s in self.spans
+            if s.name == prefix or s.name.startswith(prefix + ".")
+        ]
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per finished span; return the span count."""
+        spans = self.spans
+        with open(path, "w", encoding="utf-8") as fh:
+            for sp in spans:
+                fh.write(json.dumps(sp.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return len(spans)
+
+    def reset(self) -> None:
+        """Drop all spans and restart the epoch."""
+        self._epoch = time.perf_counter()
+        self._next_id = 1
+        self._stack.clear()
+        self._finished.clear()

@@ -1,0 +1,158 @@
+"""CLI observability flags and the satellite fixes that ride with them."""
+
+import json
+
+import pytest
+
+from repro import cli, telemetry
+from repro.circuit.defects import FloatingNode, OpenLocation
+from repro.core.analysis import (
+    ColumnFaultAnalyzer, SweepGrid, default_grid_for,
+)
+from repro.core.fault_primitives import parse_sos
+from repro.experiments.reporting import ExperimentReport, instrumented
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def small_analyzer(**kwargs) -> ColumnFaultAnalyzer:
+    grid = SweepGrid.make(r_min=3e3, r_max=3e6, n_r=3, n_u=3)
+    return ColumnFaultAnalyzer(
+        OpenLocation.BL_PRECHARGE_CELLS, grid=grid, **kwargs
+    )
+
+
+class TestCLIFlags:
+    def test_no_flags_means_no_telemetry(self, capsys):
+        assert cli.main(["fp-space"]) == 0
+        out = capsys.readouterr().out
+        assert "[telemetry]" not in out
+        assert not telemetry.enabled()
+        assert telemetry.get_metrics().is_empty()
+        assert telemetry.get_tracer().spans == []
+
+    def test_metrics_and_trace_files(self, capsys, tmp_path):
+        metrics_file = tmp_path / "m.json"
+        trace_file = tmp_path / "t.jsonl"
+        code = cli.main([
+            "fp-space",
+            "--metrics-json", str(metrics_file),
+            "--trace", str(trace_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[telemetry] fp-space:" in out
+        assert not telemetry.enabled()  # flag restored after the run
+        metrics = json.loads(metrics_file.read_text())
+        assert "analyzer.cache_hit_ratio" in metrics["derived"]
+        assert metrics["histograms"]["experiment.seconds"]["count"] == 1
+        spans = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        assert any(s["name"] == "experiment.fp_space" for s in spans)
+
+    def test_all_mode_summary_and_failure_diagnosis(self, capsys, monkeypatch):
+        # Two tiny fake experiments, one failing.
+        def make(name, holds):
+            @instrumented(name)
+            def runner():
+                report = ExperimentReport(f"fake {name}")
+                report.claim("c", "p", "m", holds)
+
+                class Result:
+                    pass
+
+                result = Result()
+                result.report = report
+                return result
+
+            return lambda: runner().report
+
+        monkeypatch.setattr(
+            cli, "_EXPERIMENTS",
+            {"good": make("good", True), "bad": make("bad", False)},
+        )
+        code = cli.main(["all"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "experiment" in out and "claims held" in out  # summary table
+        assert "good" in out and "bad" in out
+        assert "FAILED: claims do not hold in: bad" in out
+
+    def test_profile_flag_prints_stats(self, capsys):
+        assert cli.main(["fp-space", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats header
+
+
+class TestCacheSatellite:
+    def test_cache_info_and_clear(self):
+        analyzer = small_analyzer()
+        sos = parse_sos("1r1")
+        analyzer.observe(sos, 1e5, 0.0, FloatingNode.BIT_LINE)
+        analyzer.observe(sos, 1e5, 0.0, FloatingNode.BIT_LINE)
+        info = analyzer.cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.currsize == 1
+        assert info.maxsize is None
+        analyzer.cache_clear()
+        info = analyzer.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_fifo_eviction_caps_cache(self):
+        analyzer = small_analyzer(max_cache_entries=3)
+        sos = parse_sos("1r1")
+        for r in (1e4, 2e4, 3e4, 4e4, 5e4):
+            analyzer.observe(sos, r, 0.0, FloatingNode.BIT_LINE)
+        info = analyzer.cache_info()
+        assert info.currsize == 3
+        assert info.maxsize == 3
+        # The oldest entry (r=1e4) was evicted: observing it again misses.
+        misses_before = analyzer.cache_info().misses
+        analyzer.observe(sos, 1e4, 0.0, FloatingNode.BIT_LINE)
+        assert analyzer.cache_info().misses == misses_before + 1
+        # The newest entry is still cached.
+        hits_before = analyzer.cache_info().hits
+        analyzer.observe(sos, 5e4, 0.0, FloatingNode.BIT_LINE)
+        assert analyzer.cache_info().hits == hits_before + 1
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            small_analyzer(max_cache_entries=0)
+
+
+class TestGridSatellites:
+    def test_default_grid_forwards_u_min(self):
+        grid = default_grid_for(OpenLocation.CELL, n_u=5, u_min=1.1)
+        assert grid.u_values[0] == pytest.approx(1.1)
+        assert grid.u_values[-1] == pytest.approx(3.3)
+
+    def test_default_grid_u_min_defaults_to_zero(self):
+        grid = default_grid_for(OpenLocation.CELL)
+        assert grid.u_values[0] == 0.0
+
+    def test_coarser_keeps_at_least_two_points(self):
+        grid = SweepGrid.make(n_r=3, n_u=3)
+        coarse = grid.coarser(every_r=5, every_u=5)
+        assert coarse.r_values == (grid.r_values[0], grid.r_values[-1])
+        assert coarse.u_values == (grid.u_values[0], grid.u_values[-1])
+
+    def test_coarser_normal_subsampling_unchanged(self):
+        grid = SweepGrid.make(n_r=8, n_u=6)
+        coarse = grid.coarser()
+        assert coarse.r_values == grid.r_values[::2]
+        assert coarse.u_values == grid.u_values[::2]
+
+    def test_coarser_single_point_axis_stays(self):
+        grid = SweepGrid((1e3,), (0.0, 1.0, 2.0))
+        coarse = grid.coarser(every_r=2, every_u=2)
+        assert coarse.r_values == (1e3,)
+        assert len(coarse.u_values) >= 2
