@@ -1,0 +1,109 @@
+"""Sweep-engine acceleration benchmark: before/after the propagator
+cache, batched U-axis execution, and parallel surveys.
+
+Runs the coarse-grid Table 1 survey in three configurations —
+
+1. ``baseline``: propagator cache disabled, scalar per-point execution
+   (the pre-acceleration engine),
+2. ``cache+batch``: both accelerations on, one process (``jobs=1``),
+3. ``jobs2``: same, fanned over two worker processes —
+
+asserts the three inventories are identical, and writes the timings,
+speedups, and cache hit rates to ``benchmarks/BENCH_sweep.json``.  The
+acceptance bar from the issue (cache + batching alone at least 5x over
+the baseline) is asserted with slack for machine noise at 3x; the
+recorded JSON carries the actual number.
+"""
+
+import json
+import os
+import time
+
+from repro.circuit.network import (
+    propagator_cache_clear,
+    propagator_cache_configure,
+)
+from repro.experiments.table1 import run_table1
+
+_OUT = os.path.join(os.path.dirname(__file__), "BENCH_sweep.json")
+
+#: Coarse grid: the same sweep shape as the full run, small enough that
+#: the baseline configuration stays in CI budget.
+_GRID = dict(n_r=8, n_u=6, max_extra_ops=3)
+
+
+def _inventory(result):
+    return [
+        (str(r.ffm_sim), str(r.ffm_com), r.open_number, r.completed_text,
+         r.floating)
+        for r in result.rows
+    ]
+
+
+def _counter(name):
+    from repro import telemetry
+
+    return telemetry.get_metrics().counter_value(name)
+
+
+def _timed(**kwargs):
+    """Time one configuration; cache stats come from the telemetry
+    counters (the bench session enables telemetry), which
+    :func:`repro.parallel.parallel_map` also merges back from worker
+    processes — so the numbers are correct for any ``jobs``."""
+    propagator_cache_clear()
+    before = (_counter("solver.propagator_hits"),
+              _counter("solver.propagator_misses"))
+    start = time.perf_counter()
+    result = run_table1(**_GRID, **kwargs)
+    elapsed = time.perf_counter() - start
+    hits = _counter("solver.propagator_hits") - before[0]
+    misses = _counter("solver.propagator_misses") - before[1]
+    total = hits + misses
+    return _inventory(result), elapsed, {
+        "propagator_hits": hits,
+        "propagator_misses": misses,
+        "propagator_hit_ratio": round(hits / total, 4) if total else None,
+    }
+
+
+def test_bench_sweep(benchmark):
+    # 1. Baseline: no propagator cache, scalar execution.
+    propagator_cache_configure(enabled=False)
+    try:
+        inv_base, t_base, _ = _timed(batch_u=False)
+    finally:
+        propagator_cache_configure(enabled=True)
+
+    # 2. Cache + batching, single process (the >=5x acceptance config).
+    inv_fast, t_fast, cache_fast = _timed()
+
+    # 3. Same plus process fan-out.
+    inv_jobs, t_jobs, cache_jobs = _timed(jobs=2)
+
+    assert inv_fast == inv_base, "acceleration changed the inventory"
+    assert inv_jobs == inv_base, "parallel fan-out changed the inventory"
+    speedup = t_base / t_fast
+    # Issue bar: >=5x from cache+batching alone; assert with noise slack.
+    assert speedup >= 3.0, f"cache+batch speedup collapsed to {speedup:.1f}x"
+
+    payload = {
+        "grid": _GRID,
+        "rows": len(inv_base),
+        "baseline_seconds": round(t_base, 3),
+        "cache_batch_jobs1_seconds": round(t_fast, 3),
+        "jobs2_seconds": round(t_jobs, 3),
+        "speedup_cache_batch_jobs1": round(speedup, 2),
+        "speedup_jobs2": round(t_base / t_jobs, 2),
+        "cache_batch_jobs1": cache_fast,
+        "jobs2": cache_jobs,
+        "inventories_identical": True,
+    }
+    with open(_OUT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    # Give pytest-benchmark a stable (cheap) measurement target: the
+    # accelerated configuration on a warm cache.
+    benchmark.pedantic(
+        run_table1, kwargs=_GRID, rounds=1, iterations=1
+    )

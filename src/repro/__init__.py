@@ -103,6 +103,7 @@ from .memory.word_memory import (
     standard_backgrounds,
 )
 from .memory.simulator import ElectricalMemory, FaultyMemory
+from .parallel import AnalyzerSpec, parallel_map, survey_locations
 
 from . import telemetry
 
@@ -135,6 +136,9 @@ __all__ = [
     "compile_march",
     "decompile",
     "detects_coupling",
+    "AnalyzerSpec",
+    "parallel_map",
+    "survey_locations",
     "ColumnFaultAnalyzer",
     "CompletionOutcome",
     "CoverageMatrix",

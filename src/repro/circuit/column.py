@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .. import telemetry
 from .bridges import BridgeDefect, BridgeLocation
 from .defects import FloatingNode, OpenDefect, OpenLocation
@@ -38,7 +40,7 @@ from .senseamp import SenseAmplifier
 from .technology import Technology, default_technology
 from .wordline import WordLineGate
 
-__all__ = ["DRAMColumn", "OperationRecord"]
+__all__ = ["DRAMColumn", "OperationRecord", "ColumnBatch", "BatchDivergence"]
 
 #: Bit-line segments in physical order along BT.
 _SEGMENTS = ("pre", "cells", "ref", "sa", "io")
@@ -364,6 +366,26 @@ class DRAMColumn:
         sa_drive: bool = False,
         write_value: Optional[int] = None,
     ) -> None:
+        self._configure_phase(duration, active_row, precharge, sa_drive,
+                              write_value)
+        self.net.run(duration)
+
+    def _configure_phase(
+        self,
+        duration: float,
+        active_row: Optional[int],
+        precharge: bool = False,
+        sa_drive: bool = False,
+        write_value: Optional[int] = None,
+    ) -> None:
+        """Declare the resistors and drivers of one phase (without solving).
+
+        This advances the word-line gate dynamics for the phase, so it must
+        be called exactly once per simulated phase.  The resulting
+        configuration depends on the gate voltages and the sense-amp latch
+        state — but *not* on the network node voltages, which is what makes
+        lock-step batching (:class:`ColumnBatch`) possible.
+        """
         t = self.tech
         net = self.net
         net.clear_phase()
@@ -429,4 +451,189 @@ class DRAMColumn:
             rail = t.vdd if write_value else 0.0
             net.drive(self._seg_node["io"], rail, t.r_write_driver)
             net.drive("bc", t.vdd - rail, t.r_write_driver)
-        net.run(duration)
+
+
+class BatchDivergence(Exception):
+    """Lanes of a batched execution need different phase configurations.
+
+    Raised when a data-dependent branch (the sense-amp decision, or a latch
+    flip during a write) resolves differently across the lanes of a
+    :class:`ColumnBatch`: the phase topology is then no longer shared, so
+    the batch cannot proceed in lock-step and the caller must fall back to
+    scalar execution.
+    """
+
+
+class ColumnBatch:
+    """Lock-step execution of one operation sequence over many initial states.
+
+    Within one phase the column is a *linear* network, so the phase map
+    ``V -> Phi V + phi`` is independent of the node voltages: as long as
+    every lane shares the same phase configuration (same word-line gate
+    history, same sense-amp latch state), a whole batch of initial states
+    advances with a single :meth:`Network.run_batch` product.  The analyzer
+    uses this to execute one SOS for all ``U`` values of a grid column at
+    once — the state presets and the operation sequence are identical
+    across the U axis by construction; only the floating-node
+    initialization differs.
+
+    The batch owns its state: node voltages are a ``(n_nodes, n_lanes)``
+    matrix, the sense-amp latch is an array pair, and read results are
+    returned per lane.  The host column's network voltages are never
+    touched; its word-line gates and scalar SA *are* advanced (their
+    trajectories are lane-independent — batching over floating word-line
+    voltages is refused by the analyzer precisely because it would not be).
+
+    When a data-dependent branch diverges across lanes,
+    :class:`BatchDivergence` is raised and the caller re-runs the affected
+    lanes scalar — correctness never depends on the batch succeeding.
+    """
+
+    def __init__(self, column: DRAMColumn, initial_states) -> None:
+        self.column = column
+        self.V = np.array(initial_states, dtype=float)
+        if self.V.ndim != 2:
+            raise ValueError("initial_states must be (n_nodes, n_lanes)")
+        n_nodes = len(column.net.node_names)
+        if self.V.shape[0] != n_nodes:
+            raise ValueError(
+                f"initial_states has {self.V.shape[0]} rows for "
+                f"{n_nodes} network nodes"
+            )
+        self.n_lanes = self.V.shape[1]
+        self._fired = np.zeros(self.n_lanes, dtype=bool)
+        self._value = np.zeros(self.n_lanes, dtype=int)
+        net = column.net
+        self._i_bc = net.node_index("bc")
+        self._i_buf = net.node_index("buf")
+        self._i_sa = net.node_index(column._seg_node["sa"])
+        self._i_io = net.node_index(column._seg_node["io"])
+
+    # -- lane state -----------------------------------------------------------
+
+    def voltages(self, node) -> np.ndarray:
+        """Per-lane voltages of one network node (by index or name)."""
+        return self.V[self.column.net._resolve(node)].copy()
+
+    def logical_states(self, row: int) -> np.ndarray:
+        """Per-lane bit an ideal read of ``cell{row}`` would return."""
+        i_cell = self.column.net.node_index(f"cell{row}")
+        return (self.V[i_cell] > self.column.state_threshold).astype(int)
+
+    # -- sense-amp lanes -------------------------------------------------------
+
+    def _sa_reset(self) -> None:
+        self._fired[:] = False
+        self.column.sa.reset()
+
+    def _sense(self) -> None:
+        dv = self.V[self._i_sa] - self.V[self._i_bc]
+        self._fired = np.abs(dv) >= self.column.sa.offset
+        self._value = (dv > 0).astype(int)
+
+    def _maybe_flip(self) -> None:
+        dv = self.V[self._i_sa] - self.V[self._i_bc]
+        crossed = self._fired & (
+            ((self._value == 1) & (dv < 0)) | ((self._value == 0) & (dv > 0))
+        )
+        self._value[crossed] = 1 - self._value[crossed]
+        late = ~self._fired & (np.abs(dv) >= self.column.sa.offset)
+        self._fired |= late
+        self._value[late] = (dv[late] > 0).astype(int)
+
+    def _sync_sa(self) -> None:
+        """Project the lane SA states onto the host column's scalar latch.
+
+        The phase configuration reads the scalar latch, so a drive phase
+        needs every lane to agree on (fired, value); divergence means the
+        lanes want different drivers and the batch must stop.
+        """
+        sa = self.column.sa
+        if not self._fired.any():
+            sa.fired, sa.value = False, None
+            return
+        if not self._fired.all():
+            raise BatchDivergence("sense-amp firing diverged across lanes")
+        first = int(self._value[0])
+        if not (self._value == first).all():
+            raise BatchDivergence("sense-amp value diverged across lanes")
+        sa.fired, sa.value = True, first
+
+    # -- phase / operation machinery -------------------------------------------
+
+    def _phase(
+        self,
+        duration: float,
+        active_row: Optional[int],
+        precharge: bool = False,
+        sa_drive: bool = False,
+        write_value: Optional[int] = None,
+    ) -> None:
+        if sa_drive:
+            self._sync_sa()
+        self.column._configure_phase(
+            duration, active_row, precharge, sa_drive, write_value
+        )
+        self.V = self.column.net.run_batch(duration, self.V)
+
+    def _update_buffer(self) -> None:
+        t = self.column.tech
+        dv = self.V[self._i_io] - self.V[self._i_bc]
+        latch = np.abs(dv) >= t.io_offset
+        self.V[self._i_buf, latch] = np.where(dv[latch] > 0, t.vdd, 0.0)
+
+    def read(self, row: int) -> np.ndarray:
+        """Apply one read to every lane; return the per-lane buffer values."""
+        result = self._operation("r", row, None)
+        assert result is not None
+        return result
+
+    def write(self, row: int, value: int) -> None:
+        """Apply one write operation to every lane."""
+        if value not in (0, 1):
+            raise ValueError("written value must be 0 or 1")
+        self._operation("w", row, value)
+
+    def precharge_cycle(self) -> None:
+        """Run one precharge/equalize cycle with no cell access (all lanes)."""
+        telemetry.count("column.precharge_cycles", self.n_lanes)
+        self._sa_reset()
+        self._phase(self.column.tech.t_precharge, active_row=None,
+                    precharge=True)
+        self._phase(self.column.tech.t_wl_off, active_row=None)
+
+    def _operation(
+        self, kind: str, row: int, value: Optional[int]
+    ) -> Optional[np.ndarray]:
+        # Mirrors DRAMColumn._operation phase for phase; every scalar
+        # voltage comparison becomes an elementwise one over the lanes.
+        col = self.column
+        if not 0 <= row < col.n_rows:
+            raise ValueError(f"row {row} outside 0..{col.n_rows - 1}")
+        telemetry.count(
+            "column.reads" if kind == "r" else "column.writes", self.n_lanes
+        )
+        t = col.tech
+        self._sa_reset()
+        self._phase(t.t_precharge, active_row=None, precharge=True)
+        self._phase(t.t_share, active_row=row)
+        self._sense()
+        t_strobe = min(t.t_io_sample, t.t_sense)
+        self._phase(t_strobe, active_row=row, sa_drive=True)
+        self._update_buffer()
+        self._phase(t.t_sense - t_strobe, active_row=row, sa_drive=True)
+        read_result: Optional[np.ndarray] = None
+        if kind == "r":
+            read_result = (self.V[self._i_buf] > t.vdd / 2).astype(int)
+        if kind == "w":
+            assert value is not None
+            self._phase(
+                t.t_write / 2, active_row=row, sa_drive=True, write_value=value,
+            )
+            self._maybe_flip()
+            self._phase(
+                t.t_write / 2, active_row=row, sa_drive=True, write_value=value,
+            )
+            self._update_buffer()
+        self._phase(t.t_wl_off, active_row=None)
+        return read_result

@@ -20,6 +20,20 @@ which is robust even when ``G`` is singular (fully floating nodes simply
 hold their charge).  Node counts are tiny (~15), so this is fast enough for
 the thousands of operating points a ``(R_def, U)`` sweep needs.
 
+Because the network is linear, the transient map is *affine in the initial
+state*: ``V(t) = Phi V(0) + phi`` where the propagator ``(Phi, phi)``
+depends only on the phase topology ``(C, G, s, duration)`` — not on the
+voltages it is applied to.  A ``(R_def, U)`` sweep re-enters the same phase
+configurations thousands of times with different initial states, so
+:meth:`Network.run` factors into "build a canonical phase signature → look
+up or compute the propagator → apply it", with the propagators held in a
+process-global LRU (:func:`propagator_cache_info`,
+:func:`propagator_cache_clear`, ``solver.propagator_hits/misses``
+telemetry).  :meth:`Network.run_batch` applies one propagator to many
+initial-state columns as a single matrix-matrix product — the U axis of a
+sweep then costs one solve instead of one per grid point.  See
+``docs/PERFORMANCE.md``.
+
 A resistance of :data:`OPEN` (infinite) removes an edge entirely; ``0`` is
 clamped to a small positive value to keep the system well conditioned.
 """
@@ -27,14 +41,22 @@ clamped to a small positive value to keep the system well conditioned.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from .. import telemetry
 
-__all__ = ["OPEN", "Network"]
+__all__ = [
+    "OPEN",
+    "Network",
+    "PropagatorCacheInfo",
+    "propagator_cache_info",
+    "propagator_cache_clear",
+    "propagator_cache_configure",
+]
 
 #: Sentinel resistance meaning "no connection".
 OPEN = math.inf
@@ -51,6 +73,101 @@ class _Driver:
     node: int
     voltage: float
     resistance: float
+
+
+class PropagatorCacheInfo(NamedTuple):
+    """Propagator-cache statistics (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    maxsize: Optional[int]
+    currsize: int
+
+
+class _PropagatorCache:
+    """Process-global LRU of phase propagators, keyed by phase signature.
+
+    The cached value is a pure function of the key: propagators are always
+    computed from the *canonical* (sorted) edge/driver arrangement the key
+    encodes, so a hit returns bit-identical results no matter which
+    insertion order, process, or warm-up history produced the entry.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self._data: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        if not self.enabled:
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            telemetry.count("solver.propagator_misses")
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        telemetry.count("solver.propagator_hits")
+        return value
+
+    def store(self, key: tuple, value: Tuple[np.ndarray, np.ndarray]) -> None:
+        if not self.enabled or self.maxsize == 0:
+            return
+        while len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)
+        self._data[key] = value
+
+    def info(self) -> PropagatorCacheInfo:
+        return PropagatorCacheInfo(
+            self.hits, self.misses, self.maxsize, len(self._data)
+        )
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def configure(
+        self,
+        maxsize: Optional[int] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        if maxsize is not None:
+            if maxsize < 0:
+                raise ValueError("maxsize must be non-negative")
+            self.maxsize = maxsize
+            while len(self._data) > maxsize:
+                self._data.popitem(last=False)
+        if enabled is not None:
+            self.enabled = bool(enabled)
+
+
+_PROPAGATORS = _PropagatorCache()
+
+
+def propagator_cache_info() -> PropagatorCacheInfo:
+    """Hit/miss/size statistics of the process-global propagator cache."""
+    return _PROPAGATORS.info()
+
+
+def propagator_cache_clear() -> None:
+    """Drop every cached propagator and zero the statistics."""
+    _PROPAGATORS.clear()
+
+
+def propagator_cache_configure(
+    maxsize: Optional[int] = None, enabled: Optional[bool] = None
+) -> None:
+    """Resize or enable/disable the propagator cache (for tests/benchmarks).
+
+    Disabling does not drop existing entries; re-enabling reuses them.
+    """
+    _PROPAGATORS.configure(maxsize=maxsize, enabled=enabled)
 
 
 class Network:
@@ -114,6 +231,10 @@ class Network:
     def voltages(self) -> Dict[str, float]:
         return dict(zip(self._names, self._volts))
 
+    def state_vector(self) -> np.ndarray:
+        """The node voltages as an array (column order = node indices)."""
+        return np.asarray(self._volts, dtype=float)
+
     def _resolve(self, node) -> int:
         if isinstance(node, str):
             return self._index[node]
@@ -141,6 +262,82 @@ class Network:
         self._edges.clear()
         self._drivers.clear()
 
+    # -- propagators ---------------------------------------------------------------
+
+    def _phase_signature(self, duration: float) -> tuple:
+        """Canonical, hashable encoding of the current phase topology.
+
+        Two phase configurations that build the same electrical system get
+        the same signature regardless of the order ``connect``/``drive``
+        were called in: edges are orientation-normalized and sorted,
+        drivers are sorted.  Node capacitances are part of the key because
+        they scale the system matrix.
+        """
+        edges = tuple(
+            sorted(
+                (ia, ib, r) if ia < ib else (ib, ia, r)
+                for ia, ib, r in self._edges
+            )
+        )
+        drivers = tuple(
+            sorted((d.node, d.voltage, d.resistance) for d in self._drivers)
+        )
+        return (len(self._names), tuple(self._caps), edges, drivers, duration)
+
+    @staticmethod
+    def _compute_propagator(key: tuple) -> Tuple[np.ndarray, np.ndarray]:
+        """Build ``(Phi, phi)`` from a phase signature (a pure function)."""
+        n, caps, edges, drivers, duration = key
+        g = np.zeros((n, n))
+        s = np.zeros(n)
+        for ia, ib, r in edges:
+            cond = 1.0 / r
+            if cond < _G_MIN:
+                continue
+            g[ia, ia] += cond
+            g[ib, ib] += cond
+            g[ia, ib] -= cond
+            g[ib, ia] -= cond
+        for node, voltage, resistance in drivers:
+            cond = 1.0 / resistance
+            if cond < _G_MIN:
+                continue
+            g[node, node] += cond
+            s[node] += cond * voltage
+        inv_c = 1.0 / np.asarray(caps)
+        a = -g * inv_c[:, None]
+        b = s * inv_c
+        # Augmented exponential: handles singular G (floating nodes) exactly.
+        aug = np.zeros((n + 1, n + 1))
+        aug[:n, :n] = a * duration
+        aug[:n, n] = b * duration
+        exp = _expm(aug)
+        phi = exp[:n, :n].copy()
+        offset = exp[:n, n].copy()
+        phi.setflags(write=False)
+        offset.setflags(write=False)
+        return phi, offset
+
+    def _propagator(self, duration: float) -> Tuple[np.ndarray, np.ndarray]:
+        """The phase map ``V -> Phi V + phi``, via the process-global LRU."""
+        key = self._phase_signature(duration)
+        cached = _PROPAGATORS.lookup(key)
+        if cached is not None:
+            return cached
+        value = self._compute_propagator(key)
+        _PROPAGATORS.store(key, value)
+        return value
+
+    @classmethod
+    def cache_info(cls) -> PropagatorCacheInfo:
+        """Statistics of the process-global propagator cache."""
+        return _PROPAGATORS.info()
+
+    @classmethod
+    def cache_clear(cls) -> None:
+        """Drop the process-global propagator cache."""
+        _PROPAGATORS.clear()
+
     # -- simulation ---------------------------------------------------------------
 
     def run(self, duration: float) -> Dict[str, float]:
@@ -153,34 +350,42 @@ class Network:
         if telemetry.enabled():
             telemetry.count("solver.settles")
             telemetry.observe("solver.nodes", n)
-        g = np.zeros((n, n))
-        s = np.zeros(n)
-        for ia, ib, r in self._edges:
-            cond = 1.0 / r
-            if cond < _G_MIN:
-                continue
-            g[ia, ia] += cond
-            g[ib, ib] += cond
-            g[ia, ib] -= cond
-            g[ib, ia] -= cond
-        for drv in self._drivers:
-            cond = 1.0 / drv.resistance
-            if cond < _G_MIN:
-                continue
-            g[drv.node, drv.node] += cond
-            s[drv.node] += cond * drv.voltage
-        inv_c = 1.0 / np.asarray(self._caps)
-        a = -g * inv_c[:, None]
-        b = s * inv_c
-        # Augmented exponential: handles singular G (floating nodes) exactly.
-        aug = np.zeros((n + 1, n + 1))
-        aug[:n, :n] = a * duration
-        aug[:n, n] = b * duration
-        phi = _expm(aug)
-        v0 = np.asarray(self._volts)
-        v_t = phi[:n, :n] @ v0 + phi[:n, n]
+        if not self._edges and not self._drivers:
+            # Fully floating phase: every node holds its charge exactly.
+            telemetry.count("solver.floating_skips")
+            return self.voltages()
+        phi, offset = self._propagator(duration)
+        v_t = phi @ np.asarray(self._volts) + offset
         self._volts = [float(x) for x in v_t]
         return self.voltages()
+
+    def run_batch(self, duration: float, v0_matrix) -> np.ndarray:
+        """Advance many initial states through one phase in lock-step.
+
+        ``v0_matrix`` has one row per node and one column per batch lane;
+        the result has the same shape.  The network's own node voltages are
+        left untouched: batch state lives with the caller.  One propagator
+        lookup serves the whole batch — the U axis of a sweep costs a
+        single matrix-matrix product instead of one solve per lane.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        v0 = np.array(v0_matrix, dtype=float)
+        if v0.ndim != 2 or v0.shape[0] != len(self._names):
+            raise ValueError(
+                f"v0_matrix must be (n_nodes, n_lanes); got {v0.shape} "
+                f"for {len(self._names)} nodes"
+            )
+        if v0.shape[0] == 0 or duration == 0:
+            return v0
+        if telemetry.enabled():
+            telemetry.count("solver.batch_settles")
+            telemetry.observe("solver.batch_lanes", v0.shape[1])
+        if not self._edges and not self._drivers:
+            telemetry.count("solver.floating_skips")
+            return v0
+        phi, offset = self._propagator(duration)
+        return phi @ v0 + offset[:, None]
 
     def steady_state_then(self, duration: float) -> Dict[str, float]:
         """Alias of :meth:`run` kept for API symmetry/readability."""
@@ -192,6 +397,11 @@ def _expm(m: np.ndarray) -> np.ndarray:
 
     scipy.linalg.expm would also do; a local implementation keeps the hot
     path dependency-free and fast for the small (<20x20) matrices we use.
+    The convergence check against ``norm(result)`` is guarded by a running
+    triangle-inequality upper bound (``1 + sum(norm(term))``), so the true
+    norm is only computed when the cheap bound says the series may already
+    have converged — the break decisions (and therefore the result bits)
+    are identical to checking the true norm every term.
     """
     norm = np.linalg.norm(m, ord=np.inf)
     if norm == 0:
@@ -201,13 +411,20 @@ def _expm(m: np.ndarray) -> np.ndarray:
     scaled = m / (2.0 ** squarings)
     result = np.eye(m.shape[0])
     term = np.eye(m.shape[0])
+    buf = np.empty_like(scaled)
+    result_norm_ub = 1.0
     for k in range(1, 18):
-        term = term @ scaled / k
-        result = result + term
-        if np.linalg.norm(term, ord=np.inf) < 1e-16 * np.linalg.norm(
-            result, ord=np.inf
+        np.matmul(term, scaled, out=buf)
+        buf /= k
+        term, buf = buf, term
+        result += term
+        term_norm = np.linalg.norm(term, ord=np.inf)
+        result_norm_ub += term_norm
+        if term_norm < 1e-16 * result_norm_ub and term_norm < (
+            1e-16 * np.linalg.norm(result, ord=np.inf)
         ):
             break
     for _ in range(squarings):
-        result = result @ result
+        np.matmul(result, result, out=buf)
+        result, buf = buf, result
     return result

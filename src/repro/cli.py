@@ -14,6 +14,10 @@ Installed as ``repro-partial-faults``::
     repro-partial-faults diagnosis     # fault-dictionary diagnosis
     repro-partial-faults all           # everything
 
+``--jobs N`` fans the sweep experiments (fig3, fig4, table1, march) out
+over N worker processes; the output is identical for any N (see
+``docs/PERFORMANCE.md``).  The default (1) runs serially.
+
 Observability flags (any of them switches telemetry on for the run; see
 ``docs/OBSERVABILITY.md`` for metric names and formats)::
 
@@ -48,17 +52,19 @@ from .experiments import (
 from .experiments.reporting import format_table
 from .telemetry import profiled
 
-_EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "fig3": lambda: fig3.run_fig3().report,
-    "fig4": lambda: fig4.run_fig4().report,
-    "table1": lambda: table1.run_table1().report,
-    "fp-space": lambda: fp_space.run_fp_space().report,
-    "march": lambda: march_pf.run_march_pf().report,
-    "ablation": lambda: ablation.run_ablation().report,
-    "bridges": lambda: bridges.run_bridges().report,
-    "retention": lambda: retention.run_retention().report,
-    "escapes": lambda: escapes.run_escapes().report,
-    "diagnosis": lambda: diagnosis.run_diagnosis().report,
+#: Experiment runners; each takes the ``--jobs`` worker count (the ones
+#: without a parallel path simply ignore it).
+_EXPERIMENTS: Dict[str, Callable[[int], object]] = {
+    "fig3": lambda jobs: fig3.run_fig3(jobs=jobs).report,
+    "fig4": lambda jobs: fig4.run_fig4(jobs=jobs).report,
+    "table1": lambda jobs: table1.run_table1(jobs=jobs).report,
+    "fp-space": lambda jobs: fp_space.run_fp_space().report,
+    "march": lambda jobs: march_pf.run_march_pf(jobs=jobs).report,
+    "ablation": lambda jobs: ablation.run_ablation().report,
+    "bridges": lambda jobs: bridges.run_bridges().report,
+    "retention": lambda jobs: retention.run_retention().report,
+    "escapes": lambda jobs: escapes.run_escapes().report,
+    "diagnosis": lambda jobs: diagnosis.run_diagnosis().report,
 }
 
 
@@ -112,7 +118,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="run under cProfile and print the hottest functions",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep experiments (default 1: "
+        "serial, byte-identical to the pre-parallel output)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     # Fail on unwritable output paths now, not after minutes of simulation.
     for path in (args.trace, args.metrics_json):
         if path:
@@ -133,7 +149,7 @@ def main(argv=None) -> int:
     def run_experiments() -> None:
         for name in names:
             start = time.perf_counter()
-            report = _EXPERIMENTS[name]()
+            report = _EXPERIMENTS[name](args.jobs)
             elapsed = time.perf_counter() - start
             print(report.render())
             print()

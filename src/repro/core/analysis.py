@@ -33,8 +33,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import telemetry
-from ..circuit.column import DRAMColumn
+from ..circuit.column import BatchDivergence, ColumnBatch, DRAMColumn
 from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation, floating_nodes
 from ..circuit.technology import Technology, default_technology
 from .fault_primitives import BITLINE_NEIGHBOR, SOS, VICTIM, FaultPrimitive, parse_sos
@@ -56,7 +58,25 @@ __all__ = [
 PROBE_SOSES: Tuple[str, ...] = ("0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r1")
 
 
+def _check_axis(lo: float, hi: float, n: int) -> None:
+    """Reject degenerate axis requests instead of silently truncating.
+
+    ``n < 2`` with ``hi != lo`` used to return ``(lo,)`` — dropping the
+    requested upper bound without a word, and (on the ``U`` axis) making
+    every fault look ``U``-independent.  That mirrors the
+    :meth:`SweepGrid.coarser` >=2-points guard.
+    """
+    if n < 1:
+        raise ValueError(f"an axis needs at least one point; got n={n}")
+    if n < 2 and hi != lo:
+        raise ValueError(
+            f"n={n} cannot span [{lo!r}, {hi!r}]: a single-point axis "
+            "would silently drop the upper bound (use n >= 2)"
+        )
+
+
 def _log_space(lo: float, hi: float, n: int) -> Tuple[float, ...]:
+    _check_axis(lo, hi, n)
     if n < 2:
         return (lo,)
     step = (math.log10(hi) - math.log10(lo)) / (n - 1)
@@ -64,6 +84,7 @@ def _log_space(lo: float, hi: float, n: int) -> Tuple[float, ...]:
 
 
 def _lin_space(lo: float, hi: float, n: int) -> Tuple[float, ...]:
+    _check_axis(lo, hi, n)
     if n < 2:
         return (lo,)
     step = (hi - lo) / (n - 1)
@@ -223,12 +244,14 @@ class ColumnFaultAnalyzer:
         victim_row: int = 0,
         grid: Optional[SweepGrid] = None,
         max_cache_entries: Optional[int] = None,
+        batch_u: bool = True,
     ) -> None:
         if n_rows < 2:
             raise ValueError("the analyzer needs a bit-line neighbour row")
         if max_cache_entries is not None and max_cache_entries < 1:
             raise ValueError("max_cache_entries must be positive or None")
         self.location = location
+        self.batch_u = batch_u
         self.technology = technology or default_technology()
         self.n_rows = n_rows
         self.victim_row = victim_row
@@ -294,24 +317,35 @@ class ColumnFaultAnalyzer:
 
     # -- single-point execution ---------------------------------------------------
 
-    def observe(
-        self, sos: SOS, r_def: float, u: float, floating
-    ) -> Observation:
-        """Execute one SOS at one operating point; classify the behaviour.
+    def _preset_data(self, sos: SOS, init_via_write: bool) -> Dict[int, int]:
+        """Cell preloads for one SOS (victim excluded when written instead)."""
+        return {
+            self._row_of(init.cell): init.value
+            for init in sos.inits
+            if not (init_via_write and init.cell == VICTIM)
+        }
 
-        ``floating`` is one :class:`FloatingNode` or a tuple of them (all
-        initialized to the same ``U``).
-        """
-        floating = _as_nodes(floating)
-        telemetry.count("analyzer.observe_calls")
-        key = (sos, r_def, u, floating)
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache_hits += 1
-            telemetry.count("analyzer.cache_hits")
-            return hit
-        self._cache_misses += 1
-        telemetry.count("analyzer.cache_misses")
+    def _classify(self, sos: SOS, faulty_value: int,
+                  read_value: Optional[int]) -> Observation:
+        fp = FaultPrimitive(sos, faulty_value, read_value)
+        if not fp.is_faulty():
+            return Observation(None, None, faulty_value, read_value)
+        return Observation(fp, classify_fp(fp), faulty_value, read_value)
+
+    def _cache_store(self, key: Tuple, obs: Observation) -> None:
+        if (
+            self.max_cache_entries is not None
+            and len(self._cache) >= self.max_cache_entries
+        ):
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = obs
+        telemetry.gauge("analyzer.cache_size", len(self._cache))
+
+    def _execute_scalar(
+        self, sos: SOS, r_def: float, u: float,
+        floating: Tuple[FloatingNode, ...],
+    ) -> Tuple[int, Optional[int]]:
+        """Run one SOS at one operating point; return ``(F, R)``."""
         telemetry.count("analyzer.sos_executions")
         column = self.make_column(r_def)
         # When the floating voltage *is* the victim's storage node, the
@@ -321,12 +355,7 @@ class ColumnFaultAnalyzer:
         # initializations are plain state presets, and U models the charge
         # an arbitrary earlier history left on the floating node.
         init_via_write = FloatingNode.CELL in floating
-        data = {
-            self._row_of(init.cell): init.value
-            for init in sos.inits
-            if not (init_via_write and init.cell == VICTIM)
-        }
-        column.reset(data)
+        column.reset(self._preset_data(sos, init_via_write))
         for node in floating:
             column.set_floating_voltage(node, u)
         ran_anything = False
@@ -350,19 +379,138 @@ class ColumnFaultAnalyzer:
                     last_victim_read = result
         faulty_value = column.logical_state(self.victim_row)
         read_value = last_victim_read if sos.ends_in_read else None
-        fp = FaultPrimitive(sos, faulty_value, read_value)
-        if not fp.is_faulty():
-            obs = Observation(None, None, faulty_value, read_value)
-        else:
-            obs = Observation(fp, classify_fp(fp), faulty_value, read_value)
-        if (
-            self.max_cache_entries is not None
-            and len(self._cache) >= self.max_cache_entries
-        ):
-            self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = obs
-        telemetry.gauge("analyzer.cache_size", len(self._cache))
+        return faulty_value, read_value
+
+    def _execute_batch(
+        self, sos: SOS, r_def: float, u_values: Sequence[float],
+        floating: Tuple[FloatingNode, ...],
+    ) -> List[Tuple[int, Optional[int]]]:
+        """Run one SOS for many ``U`` values in lock-step; ``(F, R)`` per lane.
+
+        The state presets and operation sequence are identical across the
+        lanes — only the floating-node initialization differs — so one
+        :class:`ColumnBatch` advances every lane per phase.  Raises
+        :class:`BatchDivergence` when a data-dependent branch (sense-amp
+        decision) resolves differently across lanes.
+        """
+        column = self.make_column(r_def)
+        init_via_write = FloatingNode.CELL in floating
+        data = self._preset_data(sos, init_via_write)
+        lanes = []
+        for u in u_values:
+            column.reset(data)
+            for node in floating:
+                column.set_floating_voltage(node, u)
+            lanes.append(column.net.state_vector())
+        # Normalize the shared (lane-independent) gate/SA state before the
+        # lock-step run; the per-lane node voltages live in the batch.
+        column.reset(data)
+        batch = ColumnBatch(column, np.stack(lanes, axis=1))
+        ran_anything = False
+        if init_via_write:
+            for init in sos.inits:
+                if init.cell == VICTIM:
+                    batch.write(self.victim_row, init.value)
+                    ran_anything = True
+        last_victim_read: Optional[np.ndarray] = None
+        if not sos.ops and not ran_anything:
+            batch.precharge_cycle()
+        for op in sos.ops:
+            row = self._row_of(op.cell)
+            if op.is_write:
+                batch.write(row, op.value)
+            else:
+                result = batch.read(row)
+                if op.cell == VICTIM:
+                    last_victim_read = result
+        faulty = batch.logical_states(self.victim_row)
+        reads = last_victim_read if sos.ends_in_read else None
+        # Counted on success only: a diverged batch re-runs scalar, and the
+        # scalar path does its own counting (keeps executions == misses).
+        telemetry.count("analyzer.sos_executions", len(u_values))
+        return [
+            (
+                int(faulty[i]),
+                int(reads[i]) if reads is not None else None,
+            )
+            for i in range(len(u_values))
+        ]
+
+    def observe(
+        self, sos: SOS, r_def: float, u: float, floating
+    ) -> Observation:
+        """Execute one SOS at one operating point; classify the behaviour.
+
+        ``floating`` is one :class:`FloatingNode` or a tuple of them (all
+        initialized to the same ``U``).
+        """
+        floating = _as_nodes(floating)
+        telemetry.count("analyzer.observe_calls")
+        key = (sos, r_def, u, floating)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache_hits += 1
+            telemetry.count("analyzer.cache_hits")
+            return hit
+        self._cache_misses += 1
+        telemetry.count("analyzer.cache_misses")
+        faulty_value, read_value = self._execute_scalar(sos, r_def, u, floating)
+        obs = self._classify(sos, faulty_value, read_value)
+        self._cache_store(key, obs)
         return obs
+
+    def observe_batch(
+        self, sos: SOS, r_def: float, u_values: Sequence[float], floating
+    ) -> List[Observation]:
+        """Observations for one grid column (one ``R_def``, many ``U``).
+
+        Cache-resident points are returned as-is; the misses execute as one
+        lock-step batch when batching applies (more than one miss, and the
+        floating voltage is not the word-line gate, whose per-lane dynamics
+        cannot share a phase configuration).  On :class:`BatchDivergence`
+        the missing lanes silently re-run scalar — results are identical
+        either way, batching is purely an execution strategy.
+        """
+        floating = _as_nodes(floating)
+        u_values = tuple(u_values)
+        observations: List[Optional[Observation]] = []
+        missing: List[int] = []
+        for u in u_values:
+            telemetry.count("analyzer.observe_calls")
+            hit = self._cache.get((sos, r_def, u, floating))
+            if hit is not None:
+                self._cache_hits += 1
+                telemetry.count("analyzer.cache_hits")
+            else:
+                self._cache_misses += 1
+                telemetry.count("analyzer.cache_misses")
+                missing.append(len(observations))
+            observations.append(hit)
+        if not missing:
+            return observations  # type: ignore[return-value]
+        missing_u = tuple(u_values[i] for i in missing)
+        outcomes: Optional[List[Tuple[int, Optional[int]]]] = None
+        if (
+            self.batch_u
+            and len(missing) > 1
+            and FloatingNode.WORD_LINE not in floating
+        ):
+            try:
+                outcomes = self._execute_batch(sos, r_def, missing_u, floating)
+                telemetry.count("analyzer.batch_columns")
+            except BatchDivergence:
+                telemetry.count("analyzer.batch_fallbacks")
+                outcomes = None
+        if outcomes is None:
+            outcomes = [
+                self._execute_scalar(sos, r_def, u, floating)
+                for u in missing_u
+            ]
+        for i, (faulty_value, read_value) in zip(missing, outcomes):
+            obs = self._classify(sos, faulty_value, read_value)
+            self._cache_store((sos, r_def, u_values[i], floating), obs)
+            observations[i] = obs
+        return observations  # type: ignore[return-value]
 
     # -- region maps (Figs. 3 and 4) ---------------------------------------------
 
@@ -382,16 +530,19 @@ class ColumnFaultAnalyzer:
             raise ValueError("label must be 'ffm' or 'fp'")
         grid = grid or self.grid
 
-        def classify(r: float, u: float):
-            telemetry.count("analyzer.grid_points")
-            obs = self.observe(sos, r, u, floating)
+        def label_of(obs: Observation):
             if obs.fp is None:
                 return None
             if label == "fp":
                 return obs.fp
             return obs.ffm if obs.ffm is not None else obs.fp.to_string()
 
-        return FPRegionMap.from_function(grid.r_values, grid.u_values, classify)
+        rows = []
+        for r in grid.r_values:
+            telemetry.count("analyzer.grid_points", len(grid.u_values))
+            column = self.observe_batch(sos, r, grid.u_values, floating)
+            rows.append(tuple(label_of(obs) for obs in column))
+        return FPRegionMap(grid.r_values, grid.u_values, tuple(rows))
 
     # -- the Section 5 survey -------------------------------------------------------
 

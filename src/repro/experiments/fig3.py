@@ -54,18 +54,39 @@ def run_fig3(
     technology: Optional[Technology] = None,
     n_r: int = 16,
     n_u: int = 12,
+    jobs: int = 1,
 ) -> Fig3Result:
-    """Regenerate Fig. 3(a) and 3(b)."""
-    analyzer = ColumnFaultAnalyzer(
-        OpenLocation.BL_PRECHARGE_CELLS,
-        technology=technology,
-        grid=default_grid_for(
-            OpenLocation.BL_PRECHARGE_CELLS, n_r=n_r, n_u=n_u
-        ),
-    )
-    partial_map = analyzer.region_map(parse_sos("1r1"), FloatingNode.BIT_LINE)
+    """Regenerate Fig. 3(a) and 3(b).
+
+    ``jobs > 1`` computes the two region maps in parallel worker
+    processes; the maps are identical to the serial run.
+    """
+    grid = default_grid_for(OpenLocation.BL_PRECHARGE_CELLS, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
-    completed_map = analyzer.region_map(completed_fp.sos, FloatingNode.BIT_LINE)
+    if jobs > 1:
+        from ..parallel import AnalyzerSpec, parallel_map, region_map_unit
+
+        spec = AnalyzerSpec(
+            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid
+        )
+        partial_map, completed_map = parallel_map(
+            region_map_unit,
+            [
+                (spec, parse_sos("1r1"), FloatingNode.BIT_LINE),
+                (spec, completed_fp.sos, FloatingNode.BIT_LINE),
+            ],
+            jobs=jobs,
+        )
+    else:
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid
+        )
+        partial_map = analyzer.region_map(
+            parse_sos("1r1"), FloatingNode.BIT_LINE
+        )
+        completed_map = analyzer.region_map(
+            completed_fp.sos, FloatingNode.BIT_LINE
+        )
 
     report = ExperimentReport("Figure 3 — bit-line open (Open 4), RDF1")
     report.add_block("Fig. 3(a): S = 1r1\n" + partial_map.render_ascii())

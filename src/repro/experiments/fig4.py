@@ -56,16 +56,37 @@ def run_fig4(
     technology: Optional[Technology] = None,
     n_r: int = 20,
     n_u: int = 12,
+    jobs: int = 1,
 ) -> Fig4Result:
-    """Regenerate Fig. 4(a) and 4(b)."""
-    analyzer = ColumnFaultAnalyzer(
-        OpenLocation.CELL,
-        technology=technology,
-        grid=default_grid_for(OpenLocation.CELL, n_r=n_r, n_u=n_u),
-    )
-    partial_map = analyzer.region_map(parse_sos("0r0"), FloatingNode.CELL)
+    """Regenerate Fig. 4(a) and 4(b).
+
+    ``jobs > 1`` computes the two region maps in parallel worker
+    processes; the maps are identical to the serial run.
+    """
+    grid = default_grid_for(OpenLocation.CELL, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
-    completed_map = analyzer.region_map(completed_fp.sos, FloatingNode.CELL)
+    if jobs > 1:
+        from ..parallel import AnalyzerSpec, parallel_map, region_map_unit
+
+        spec = AnalyzerSpec(
+            OpenLocation.CELL, technology=technology, grid=grid
+        )
+        partial_map, completed_map = parallel_map(
+            region_map_unit,
+            [
+                (spec, parse_sos("0r0"), FloatingNode.CELL),
+                (spec, completed_fp.sos, FloatingNode.CELL),
+            ],
+            jobs=jobs,
+        )
+    else:
+        analyzer = ColumnFaultAnalyzer(
+            OpenLocation.CELL, technology=technology, grid=grid
+        )
+        partial_map = analyzer.region_map(parse_sos("0r0"), FloatingNode.CELL)
+        completed_map = analyzer.region_map(
+            completed_fp.sos, FloatingNode.CELL
+        )
 
     report = ExperimentReport("Figure 4 — memory-cell open (Open 1), RDF0")
     report.add_block("Fig. 4(a): S = 0r0\n" + partial_map.render_ascii())

@@ -71,38 +71,58 @@ class MarchPFResult:
     report: ExperimentReport
 
 
+def _detect_point(payload) -> bool:
+    """Detection verdict for one (test, defect point) unit.
+
+    The point is exercised with both adversarial floating-voltage presets
+    (all floating nodes low / all high); detection requires flagging both.
+    Top-level so :func:`~repro.parallel.parallel_map` can ship it to a
+    worker process.
+    """
+    test, location, resistance, technology, n_rows = payload
+    detected_all = True
+    for preset in (0.0, None):
+        memory = ElectricalMemory.with_defect(
+            defect=OpenDefect(location, resistance),
+            technology=technology,
+            n_rows=n_rows,
+        )
+        if preset is not None:
+            for node in FloatingNode:
+                memory.column.set_floating_voltage(node, preset)
+        else:
+            for node in FloatingNode:
+                memory.column.set_floating_voltage(
+                    node, memory.column.tech.vdd
+                )
+        outcome = run_march(test, memory, stop_at_first=True)
+        detected_all = detected_all and outcome.detected
+    return detected_all
+
+
 def electrical_detection(
     test: MarchTest,
     technology: Optional[Technology] = None,
     points: Sequence[Tuple[OpenLocation, float]] = ELECTRICAL_POINTS,
     n_rows: int = 3,
+    jobs: int = 1,
 ) -> Dict[str, bool]:
     """Run one march test on the analog model for each defect point.
 
-    Each point is exercised with both adversarial floating-voltage presets
-    (all floating nodes low / all high); detection requires flagging both.
+    ``jobs`` fans the points out over worker processes (each point is an
+    independent simulation); the verdicts are identical for any value.
     """
-    results: Dict[str, bool] = {}
-    for location, resistance in points:
-        detected_all = True
-        for preset in (0.0, None):
-            memory = ElectricalMemory.with_defect(
-                defect=OpenDefect(location, resistance),
-                technology=technology,
-                n_rows=n_rows,
-            )
-            if preset is not None:
-                for node in FloatingNode:
-                    memory.column.set_floating_voltage(node, preset)
-            else:
-                for node in FloatingNode:
-                    memory.column.set_floating_voltage(
-                        node, memory.column.tech.vdd
-                    )
-            outcome = run_march(test, memory, stop_at_first=True)
-            detected_all = detected_all and outcome.detected
-        results[f"Open {location.number} @ {resistance:.0e}"] = detected_all
-    return results
+    from ..parallel import parallel_map
+
+    payloads = [
+        (test, location, resistance, technology, n_rows)
+        for location, resistance in points
+    ]
+    verdicts = parallel_map(_detect_point, payloads, jobs=jobs)
+    return {
+        f"Open {location.number} @ {resistance:.0e}": detected
+        for (location, resistance), detected in zip(points, verdicts)
+    }
 
 
 @instrumented("march_pf")
@@ -112,8 +132,12 @@ def run_march_pf(
     topology: Optional[Topology] = None,
     with_generator: bool = True,
     with_electrical: bool = True,
+    jobs: int = 1,
 ) -> MarchPFResult:
-    """Regenerate the march-test comparison."""
+    """Regenerate the march-test comparison.
+
+    ``jobs`` parallelizes the electrical cross-validation points.
+    """
     faults = completed_fault_set()
     topology = topology or Topology(n_rows=4, n_cols=2)
     test_list = list(tests)
@@ -171,7 +195,9 @@ def run_march_pf(
     electrical: Dict[str, Dict[str, bool]] = {}
     if with_electrical:
         for test in (MARCH_PF_PLUS, MARCH_PF):
-            electrical[test.name] = electrical_detection(test, technology)
+            electrical[test.name] = electrical_detection(
+                test, technology, jobs=jobs
+            )
         rows = [
             (point,
              "DET" if electrical["March PF+"][point] else "miss",

@@ -111,6 +111,24 @@ class Table1Result:
     matches: Dict[str, int]
 
 
+def _completion_unit(payload) -> Optional[FaultPrimitive]:
+    """Search completing operations for one finding (worker side).
+
+    The completion search is a pure function of the analyzer
+    configuration and the finding, so a cold-cache worker reproduces the
+    serial result exactly.
+    """
+    spec, finding, max_extra_ops = payload
+    analyzer = spec.build()
+    outcome = complete_fault(
+        analyzer,
+        finding,
+        max_extra_ops=max_extra_ops,
+        grid=analyzer.grid.coarser(2, 2),
+    )
+    return outcome.completed_fp
+
+
 @instrumented("table1")
 def run_table1(
     technology: Optional[Technology] = None,
@@ -118,15 +136,30 @@ def run_table1(
     n_r: int = 16,
     n_u: int = 12,
     max_extra_ops: int = 3,
+    jobs: int = 1,
+    batch_u: bool = True,
 ) -> Table1Result:
-    """Regenerate Table 1 by full defect-injection analysis."""
+    """Regenerate Table 1 by full defect-injection analysis.
+
+    ``jobs`` fans the ``(location, plan, probe)`` surveys and the
+    completion searches out over worker processes; the inventory is
+    identical for any value (``jobs=1``, the default, runs the original
+    in-process loop).  ``batch_u=False`` forces scalar per-point SOS
+    execution (the pre-batching behaviour, kept for benchmarks and
+    ablations) — the inventory is identical either way.
+    """
     locations = tuple(opens) if opens is not None else tuple(OpenLocation)
+    if jobs > 1:
+        return _run_table1_parallel(
+            locations, technology, n_r, n_u, max_extra_ops, jobs, batch_u
+        )
     rows: List[InventoryRow] = []
     for location in locations:
         analyzer = ColumnFaultAnalyzer(
             location,
             technology=technology,
             grid=default_grid_for(location, n_r=n_r, n_u=n_u),
+            batch_u=batch_u,
         )
         seen: set = set()
         for plan in analyzer.sweep_plans():
@@ -152,6 +185,68 @@ def run_table1(
                         floating=finding.floating_label,
                     )
                 )
+    report, matches = _compare(rows, locations)
+    return Table1Result(rows, report, matches)
+
+
+def _run_table1_parallel(
+    locations: Tuple[OpenLocation, ...],
+    technology: Optional[Technology],
+    n_r: int,
+    n_u: int,
+    max_extra_ops: int,
+    jobs: int,
+    batch_u: bool = True,
+) -> Table1Result:
+    """The fan-out twin of :func:`run_table1`'s serial loop.
+
+    Stage 1 surveys every ``(location, plan, probe)`` unit; the findings
+    come back in the serial nested-loop order, so the ``(ffm, plan)``
+    deduplication selects the same representatives.  Stage 2 fans the
+    completion searches out per kept finding.  Both stages are pure per
+    unit, so the assembled inventory matches ``jobs=1`` exactly.
+    """
+    from ..parallel import AnalyzerSpec, parallel_map, survey_locations
+
+    outcome = survey_locations(
+        locations, jobs=jobs, technology=technology, n_r=n_r, n_u=n_u,
+        batch_u=batch_u,
+    )
+    kept: List = []
+    for location in locations:
+        seen: set = set()
+        for finding in outcome.findings[location]:
+            if not finding.is_partial:
+                continue
+            key = (finding.ffm, finding.floating)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append((location, finding))
+    payloads = [
+        (
+            AnalyzerSpec(
+                location,
+                technology=technology,
+                grid=default_grid_for(location, n_r=n_r, n_u=n_u),
+                batch_u=batch_u,
+            ),
+            finding,
+            max_extra_ops,
+        )
+        for location, finding in kept
+    ]
+    completed = parallel_map(_completion_unit, payloads, jobs=jobs)
+    rows = [
+        InventoryRow(
+            ffm_sim=finding.ffm,
+            ffm_com=finding.ffm.complement(),
+            open_number=location.number,
+            completed=completed_fp,
+            floating=finding.floating_label,
+        )
+        for (location, finding), completed_fp in zip(kept, completed)
+    ]
     report, matches = _compare(rows, locations)
     return Table1Result(rows, report, matches)
 

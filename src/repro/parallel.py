@@ -1,0 +1,274 @@
+"""Process-parallel survey orchestration for the sweep experiments.
+
+The experiments fan out along natural unit boundaries — one
+``(location, plan, probe)`` survey per unit for Table 1, one region map
+per unit for Figs. 3/4, one ``(test, defect point)`` per unit for the
+march cross-validation — and every unit is a *pure function* of its
+pickled payload: a worker rebuilds its analyzer from an
+:class:`AnalyzerSpec`, runs, and returns plain result objects.  That
+purity is what makes ``--jobs N`` deterministic: the result of a unit
+does not depend on which worker ran it, how warm that worker's
+propagator cache was, or in what order units completed; the parent
+always merges results in submission order.
+
+``jobs=1`` never touches a process pool: :func:`parallel_map` degrades
+to an in-process loop and the experiment modules keep their original
+serial code paths, so no-flag output stays byte-identical to the
+pre-parallel implementation.
+
+Telemetry: each worker records into its own process-global registry
+(reset before every unit) and ships the snapshot back with the result;
+the parent folds the snapshots into its registry in submission order via
+:meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot`.
+Counters and histograms therefore aggregate exactly; worker *spans* are
+not transported (the parent's experiment span still brackets the whole
+fan-out).  Analyzer observation-cache and propagator-cache statistics
+are merged the same way and reported by :class:`FanoutStats`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
+
+from . import telemetry
+from .circuit.defects import FloatingNode, OpenLocation
+from .circuit.network import propagator_cache_info
+from .circuit.technology import Technology
+from .core.analysis import (
+    ColumnFaultAnalyzer, PartialFaultFinding, SweepGrid, default_grid_for,
+)
+
+__all__ = [
+    "AnalyzerSpec",
+    "SurveyUnit",
+    "FanoutStats",
+    "SurveyOutcome",
+    "parallel_map",
+    "region_map_unit",
+    "survey_locations",
+]
+
+
+@dataclass(frozen=True)
+class AnalyzerSpec:
+    """Everything needed to rebuild a :class:`ColumnFaultAnalyzer`.
+
+    Workers receive this instead of a live analyzer: the analyzer holds
+    an unbounded observation cache and a live network, neither of which
+    should cross a process boundary.
+    """
+
+    location: OpenLocation
+    technology: Optional[Technology] = None
+    n_rows: int = 3
+    victim_row: int = 0
+    grid: Optional[SweepGrid] = None
+    batch_u: bool = True
+
+    def build(self) -> ColumnFaultAnalyzer:
+        return ColumnFaultAnalyzer(
+            self.location,
+            technology=self.technology,
+            n_rows=self.n_rows,
+            victim_row=self.victim_row,
+            grid=self.grid,
+            batch_u=self.batch_u,
+        )
+
+
+@dataclass(frozen=True)
+class SurveyUnit:
+    """One fan-out unit: probe one SOS under one floating-voltage plan."""
+
+    spec: AnalyzerSpec
+    plan: Tuple[FloatingNode, ...]
+    probe: str
+
+
+@dataclass
+class FanoutStats:
+    """Aggregated cache statistics across every unit of one fan-out."""
+
+    observation_hits: int = 0
+    observation_misses: int = 0
+    propagator_hits: int = 0
+    propagator_misses: int = 0
+
+    def add(self, other: "FanoutStats") -> None:
+        self.observation_hits += other.observation_hits
+        self.observation_misses += other.observation_misses
+        self.propagator_hits += other.propagator_hits
+        self.propagator_misses += other.propagator_misses
+
+    @staticmethod
+    def _ratio(hits: int, misses: int) -> Optional[float]:
+        total = hits + misses
+        return hits / total if total else None
+
+    @property
+    def observation_hit_ratio(self) -> Optional[float]:
+        return self._ratio(self.observation_hits, self.observation_misses)
+
+    @property
+    def propagator_hit_ratio(self) -> Optional[float]:
+        return self._ratio(self.propagator_hits, self.propagator_misses)
+
+
+@dataclass
+class SurveyOutcome:
+    """Findings of :func:`survey_locations`, plus merged cache stats."""
+
+    findings: Dict[OpenLocation, List[PartialFaultFinding]]
+    stats: FanoutStats = field(default_factory=FanoutStats)
+
+
+# -- the generic fan-out -------------------------------------------------------
+
+def _run_unit(func: Callable[[Any], Any], payload: Any,
+              telemetry_on: bool) -> Tuple[Any, Optional[dict]]:
+    """Worker-side wrapper: run one unit, capture its telemetry snapshot.
+
+    The worker's registry is reset before the unit so that each returned
+    snapshot covers exactly one unit — workers are reused across units,
+    and cumulative snapshots would double-count on merge.
+    """
+    if not telemetry_on:
+        return func(payload), None
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        result = func(payload)
+    finally:
+        telemetry.disable()
+    return result, telemetry.get_metrics().snapshot()
+
+
+def parallel_map(
+    func: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 1,
+) -> List[Any]:
+    """Map ``func`` over ``payloads`` with ``jobs`` worker processes.
+
+    Results come back in payload order regardless of completion order.
+    ``func`` must be a module-level callable and every payload/result
+    must pickle.  With ``jobs <= 1`` this is a plain in-process loop —
+    no pool, no pickling, no telemetry indirection.
+    """
+    payloads = list(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [func(p) for p in payloads]
+    telemetry_on = telemetry.enabled()
+    snapshots: List[Optional[dict]] = []
+    results: List[Any] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        futures = [
+            pool.submit(_run_unit, func, payload, telemetry_on)
+            for payload in payloads
+        ]
+        for future in futures:  # submission order => deterministic merge
+            result, snap = future.result()
+            results.append(result)
+            snapshots.append(snap)
+    if telemetry_on:
+        registry = telemetry.get_metrics()
+        for snap in snapshots:
+            if snap:
+                registry.merge_snapshot(snap)
+    return results
+
+
+def region_map_unit(payload):
+    """Worker: one full ``(R_def, U)`` region map (Figs. 3/4 shape).
+
+    ``payload`` is ``(spec, sos, floating)``; returns the
+    :class:`~repro.core.regions.FPRegionMap`.
+    """
+    spec, sos, floating = payload
+    return spec.build().region_map(sos, floating)
+
+
+# -- survey fan-out (Table 1 shape) --------------------------------------------
+
+def _survey_unit(unit: SurveyUnit) -> Tuple[
+    List[PartialFaultFinding], Tuple[int, int], Tuple[int, int]
+]:
+    """Run one survey unit; return findings plus per-unit cache deltas."""
+    before = propagator_cache_info()
+    analyzer = unit.spec.build()
+    findings = analyzer.survey(floating=unit.plan, probes=(unit.probe,))
+    info = analyzer.cache_info()
+    after = propagator_cache_info()
+    return (
+        findings,
+        (info.hits, info.misses),
+        (after.hits - before.hits, after.misses - before.misses),
+    )
+
+
+def survey_locations(
+    locations: Sequence[OpenLocation],
+    jobs: int = 1,
+    technology: Optional[Technology] = None,
+    n_r: int = 16,
+    n_u: int = 12,
+    probes: Optional[Sequence[str]] = None,
+    batch_u: bool = True,
+) -> SurveyOutcome:
+    """Survey every ``(location, plan, probe)`` unit, optionally in parallel.
+
+    The returned findings are ordered exactly as the serial nested loop
+    (locations -> sweep plans -> probes) would produce them, so callers
+    that deduplicate or rank findings see the same sequence for any
+    ``jobs``.  With ``jobs=1`` each location keeps one analyzer across
+    all of its plans and probes (the original serial path, sharing one
+    observation cache); with ``jobs > 1`` each unit rebuilds a fresh
+    analyzer in its worker — observations are pure functions of the
+    operating point, so the results are identical either way.
+    """
+    from .core.analysis import PROBE_SOSES
+
+    probe_list: Tuple[str, ...] = (
+        tuple(probes) if probes is not None else PROBE_SOSES
+    )
+    specs = [
+        AnalyzerSpec(
+            location,
+            technology=technology,
+            grid=default_grid_for(location, n_r=n_r, n_u=n_u),
+            batch_u=batch_u,
+        )
+        for location in locations
+    ]
+    outcome = SurveyOutcome({location: [] for location in locations})
+    if jobs <= 1:
+        for spec in specs:
+            before = propagator_cache_info()
+            analyzer = spec.build()
+            for plan in analyzer.sweep_plans():
+                outcome.findings[spec.location].extend(
+                    analyzer.survey(floating=plan, probes=probe_list)
+                )
+            info = analyzer.cache_info()
+            after = propagator_cache_info()
+            outcome.stats.add(FanoutStats(
+                info.hits, info.misses,
+                after.hits - before.hits, after.misses - before.misses,
+            ))
+        return outcome
+    units = [
+        SurveyUnit(spec, plan, probe)
+        for spec in specs
+        for plan in spec.build().sweep_plans()
+        for probe in probe_list
+    ]
+    for unit, (findings, obs, prop) in zip(
+        units, parallel_map(_survey_unit, units, jobs=jobs)
+    ):
+        outcome.findings[unit.spec.location].extend(findings)
+        outcome.stats.add(FanoutStats(obs[0], obs[1], prop[0], prop[1]))
+    return outcome

@@ -83,6 +83,19 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def merge_summary(self, summary: Dict[str, Optional[float]]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one."""
+        count = int(summary.get("count") or 0)
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary.get("sum") or 0.0)
+        lo, hi = summary.get("min"), summary.get("max")
+        if lo is not None and lo < self.min:
+            self.min = lo
+        if hi is not None and hi > self.max:
+            self.max = hi
+
     def snapshot(self) -> Dict[str, Optional[float]]:
         return {
             "count": self.count,
@@ -149,6 +162,20 @@ class MetricsRegistry:
                 n: h.snapshot() for n, h in self._histograms.items()
             },
         }
+
+    def merge_snapshot(self, snap: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a worker process) in.
+
+        Counters and histogram summaries add; gauges are last-write-wins,
+        so the merged-in worker's value overwrites the local one (the
+        callers merge snapshots in deterministic submission order).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in snap.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     def reset(self) -> None:
         """Drop every instrument (names are re-created on next use)."""

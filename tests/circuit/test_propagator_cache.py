@@ -1,0 +1,179 @@
+"""Correctness tests for the process-global propagator cache.
+
+The cache memoizes the affine phase map ``(Phi, phi)`` keyed by a
+canonical phase signature; these tests pin the properties the sweep
+engine relies on: a cached phase reproduces the uncached solve exactly,
+distinct topologies/drivers never collide, and topology changes reach a
+different cache entry (the per-phase state itself is never stale,
+because the signature covers everything the propagator depends on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.network import (
+    Network,
+    propagator_cache_clear,
+    propagator_cache_configure,
+    propagator_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    propagator_cache_clear()
+    yield
+    propagator_cache_configure(enabled=True)
+    propagator_cache_clear()
+
+
+def _simple_net(v0=(3.3, 0.0, 1.2)):
+    net = Network()
+    net.add_node("a", 100e-15, v=v0[0])
+    net.add_node("b", 50e-15, v=v0[1])
+    net.add_node("c", 200e-15, v=v0[2])
+    net.connect("a", "b", 1e4)
+    net.connect("b", "c", 5e4)
+    net.drive("a", 3.3, 2e3)
+    return net
+
+
+def test_cached_run_matches_uncached_run_exactly():
+    """The same phase solved via the cache is bit-identical to a cold solve."""
+    net1 = _simple_net()
+    net1.run(5e-9)
+    first = net1.state_vector()
+    assert propagator_cache_info().misses == 1
+
+    net2 = _simple_net()
+    net2.run(5e-9)
+    assert propagator_cache_info().hits == 1
+    assert np.array_equal(first, net2.state_vector())
+
+    propagator_cache_configure(enabled=False)
+    net3 = _simple_net()
+    net3.run(5e-9)
+    assert np.array_equal(first, net3.state_vector())
+
+
+def test_cache_key_covers_topology_changes():
+    """clear_phase + a different topology must not reuse the old propagator."""
+    net = _simple_net()
+    net.run(5e-9)
+    info = propagator_cache_info()
+    assert (info.hits, info.misses) == (0, 1)
+
+    # Same network object, new phase topology: different signature.
+    net.clear_phase()
+    net.connect("a", "c", 7e4)
+    net.run(5e-9)
+    assert propagator_cache_info().misses == 2
+
+    # Reference: a fresh network with the second topology, cache disabled.
+    propagator_cache_configure(enabled=False)
+    ref = _simple_net()
+    ref.run(5e-9)
+    ref.clear_phase()
+    ref.connect("a", "c", 7e4)
+    ref.run(5e-9)
+    assert np.array_equal(net.state_vector(), ref.state_vector())
+
+
+def test_cache_key_covers_duration_and_drivers():
+    net = _simple_net()
+    net.run(5e-9)
+    net.run(5e-9)            # same signature -> hit
+    net.run(7e-9)            # new duration -> miss
+    net.drive("c", 0.0, 1e3)  # new driver set -> miss
+    net.run(7e-9)
+    info = propagator_cache_info()
+    assert info.hits == 1
+    assert info.misses == 3
+
+
+def test_distinct_driver_sets_do_not_collide():
+    """Signatures of different (voltage, resistance) drivers are distinct."""
+    results = []
+    for v_drive, r_drive in [(3.3, 2e3), (3.3, 3e3), (1.65, 2e3)]:
+        net = Network()
+        net.add_node("a", 100e-15, v=0.0)
+        net.add_node("b", 50e-15, v=0.0)
+        net.connect("a", "b", 1e4)
+        net.drive("a", v_drive, r_drive)
+        net.run(5e-9)
+        results.append(net.voltage("a"))
+    # All three phases must have been solved independently...
+    assert propagator_cache_info().misses == 3
+    # ...and give genuinely different physics.
+    assert len({round(v, 9) for v in results}) == 3
+
+
+def test_edge_orientation_is_canonicalized():
+    """connect(a, b) and connect(b, a) describe the same resistor."""
+    net1 = Network()
+    net1.add_node("a", 100e-15, v=3.3)
+    net1.add_node("b", 50e-15, v=0.0)
+    net1.connect("a", "b", 1e4)
+    net1.run(5e-9)
+
+    net2 = Network()
+    net2.add_node("a", 100e-15, v=3.3)
+    net2.add_node("b", 50e-15, v=0.0)
+    net2.connect("b", "a", 1e4)
+    net2.run(5e-9)
+
+    info = propagator_cache_info()
+    assert (info.hits, info.misses) == (1, 1)
+    assert np.array_equal(net1.state_vector(), net2.state_vector())
+
+
+def test_lru_eviction_keeps_cache_bounded():
+    propagator_cache_configure(maxsize=2)
+    try:
+        for duration in (1e-9, 2e-9, 3e-9, 4e-9):
+            net = _simple_net()
+            net.run(duration)
+        assert propagator_cache_info().currsize == 2
+    finally:
+        propagator_cache_configure(maxsize=4096)
+
+
+def test_run_batch_matches_scalar_runs():
+    """One matrix-matrix product equals N independent scalar solves."""
+    rng = np.random.default_rng(7)
+    lanes = rng.uniform(0.0, 3.3, size=(3, 8))
+    scalar = np.empty_like(lanes)
+    for j in range(lanes.shape[1]):
+        net = _simple_net(v0=lanes[:, j])
+        net.run(5e-9)
+        scalar[:, j] = net.state_vector()
+    net = _simple_net()
+    batched = net.run_batch(5e-9, lanes.copy())
+    assert np.allclose(batched, scalar, rtol=0, atol=1e-12)
+
+
+def test_run_batch_does_not_mutate_network_state():
+    net = _simple_net()
+    before = net.state_vector()
+    net.run_batch(5e-9, np.zeros((3, 4)))
+    assert np.array_equal(before, net.state_vector())
+
+
+def test_run_batch_rejects_bad_shapes():
+    net = _simple_net()
+    with pytest.raises(ValueError):
+        net.run_batch(5e-9, np.zeros((4, 2)))
+    with pytest.raises(ValueError):
+        net.run_batch(5e-9, np.zeros(3))
+
+
+def test_floating_phase_short_circuits():
+    """No edges + no drivers: voltages unchanged, nothing cached."""
+    net = Network()
+    net.add_node("a", 100e-15, v=1.1)
+    net.add_node("b", 50e-15, v=2.2)
+    net.run(5e-9)
+    assert net.voltage("a") == 1.1
+    assert net.voltage("b") == 2.2
+    info = propagator_cache_info()
+    assert (info.hits, info.misses) == (0, 0)

@@ -73,7 +73,7 @@ class TestCLIFlags:
                 result.report = report
                 return result
 
-            return lambda: runner().report
+            return lambda jobs: runner().report
 
         monkeypatch.setattr(
             cli, "_EXPERIMENTS",
