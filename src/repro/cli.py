@@ -16,7 +16,26 @@ Installed as ``repro-partial-faults``::
 
 ``--jobs N`` fans the sweep experiments (fig3, fig4, table1, march) out
 over N worker processes; the output is identical for any N (see
-``docs/PERFORMANCE.md``).  The default (1) runs serially.
+``docs/PERFORMANCE.md``).  The default (1) runs serially.  The other
+experiments have no parallel fan-out; passing ``--jobs`` with them
+prints a one-line notice and runs serially.
+
+Resilience flags (any of them enables the recovery layer of
+``docs/ROBUSTNESS.md`` for the fanned experiments)::
+
+    --checkpoint FILE    append completed sweep units to FILE (JSONL) as
+                         they finish, so an interrupted run can resume
+    --resume FILE        skip units already recorded in FILE (implies
+                         checkpointing new units to the same FILE)
+    --max-retries N      retry a crashed/timed-out unit N times before
+                         falling back in-process (default 1)
+    --unit-timeout SEC   cancel a unit still running after SEC seconds
+                         and retry it
+
+With a resilience flag set, a ``[resilience]`` summary (retries,
+fallbacks, resumed and failed units) is printed after each fanned
+experiment.  Without these flags the output is byte-identical to
+earlier releases.
 
 Observability flags (any of them switches telemetry on for the run; see
 ``docs/OBSERVABILITY.md`` for metric names and formats)::
@@ -40,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict, List
@@ -50,22 +70,33 @@ from .experiments import (
     retention, table1,
 )
 from .experiments.reporting import format_table
+from .io import CheckpointStore
+from .parallel import Resilience, RetryPolicy, drain_resilience_log
 from .telemetry import profiled
 
-#: Experiment runners; each takes the ``--jobs`` worker count (the ones
-#: without a parallel path simply ignore it).
-_EXPERIMENTS: Dict[str, Callable[[int], object]] = {
-    "fig3": lambda jobs: fig3.run_fig3(jobs=jobs).report,
-    "fig4": lambda jobs: fig4.run_fig4(jobs=jobs).report,
-    "table1": lambda jobs: table1.run_table1(jobs=jobs).report,
-    "fp-space": lambda jobs: fp_space.run_fp_space().report,
-    "march": lambda jobs: march_pf.run_march_pf(jobs=jobs).report,
-    "ablation": lambda jobs: ablation.run_ablation().report,
-    "bridges": lambda jobs: bridges.run_bridges().report,
-    "retention": lambda jobs: retention.run_retention().report,
-    "escapes": lambda jobs: escapes.run_escapes().report,
-    "diagnosis": lambda jobs: diagnosis.run_diagnosis().report,
+#: Experiment runners; each takes the ``--jobs`` worker count and the
+#: resilience configuration (the experiments without a parallel fan-out
+#: simply ignore both).
+_EXPERIMENTS: Dict[str, Callable[[int, object], object]] = {
+    "fig3": lambda jobs, res: fig3.run_fig3(jobs=jobs, resilience=res).report,
+    "fig4": lambda jobs, res: fig4.run_fig4(jobs=jobs, resilience=res).report,
+    "table1": lambda jobs, res: table1.run_table1(
+        jobs=jobs, resilience=res
+    ).report,
+    "fp-space": lambda jobs, res: fp_space.run_fp_space().report,
+    "march": lambda jobs, res: march_pf.run_march_pf(
+        jobs=jobs, resilience=res
+    ).report,
+    "ablation": lambda jobs, res: ablation.run_ablation().report,
+    "bridges": lambda jobs, res: bridges.run_bridges().report,
+    "retention": lambda jobs, res: retention.run_retention().report,
+    "escapes": lambda jobs, res: escapes.run_escapes().report,
+    "diagnosis": lambda jobs, res: diagnosis.run_diagnosis().report,
 }
+
+#: Experiments with a worker-process fan-out: ``--jobs`` and the
+#: resilience flags apply to these only.
+_FANNED = frozenset({"fig3", "fig4", "table1", "march"})
 
 
 def _derived_metrics(registry: telemetry.MetricsRegistry) -> Dict[str, object]:
@@ -76,6 +107,42 @@ def _derived_metrics(registry: telemetry.MetricsRegistry) -> Dict[str, object]:
     return {
         "analyzer.cache_hit_ratio": (hits / total) if total else None,
     }
+
+
+def _probe_writable(path: str) -> None:
+    """Check ``path`` can be opened for writing without leaving litter.
+
+    Raises ``OSError`` if the path is unwritable.  A file the probe
+    itself created (the path did not exist before) is removed again, so
+    a run that later fails for another reason leaves no stray empty
+    trace/metrics/checkpoint files behind.
+    """
+    existed = os.path.exists(path)
+    with open(path, "a", encoding="utf-8"):
+        pass
+    if not existed:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def _resilience_summary(name: str) -> List[str]:
+    """Render and reset the session resilience log for one experiment."""
+    log = drain_resilience_log()
+    lines = [
+        f"[resilience] {name}: {len(log.failures)} failed, "
+        f"{log.retries} retried, {log.fallbacks} ran in-process, "
+        f"{log.resumed} resumed from checkpoint, "
+        f"{log.pool_breaks} pool breaks, {log.timeouts} timeouts"
+    ]
+    for failure in log.failures:
+        lines.append(
+            f"[resilience]   FAILED {failure.key or failure.index}: "
+            f"{failure.error_type} after {failure.attempts} attempts "
+            f"({failure.message})"
+        )
+    return lines
 
 
 def _summary_table() -> str:
@@ -123,18 +190,69 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for the sweep experiments (default 1: "
-        "serial, byte-identical to the pre-parallel output)",
+        help="worker processes for the sweep experiments fig3/fig4/"
+        "table1/march (default 1: serial, byte-identical to the "
+        "pre-parallel output); the other experiments run serially and "
+        "print a notice",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="append completed sweep units to FILE (JSONL) as they "
+        "finish, so an interrupted run can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="skip sweep units already recorded in FILE and checkpoint "
+        "new units to it; the final output is identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a crashed or timed-out sweep unit up to N times "
+        "before running it in-process (default 1 when any resilience "
+        "flag is set)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cancel a sweep unit still running after SECONDS and "
+        "retry it (default: no timeout)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    # Fail on unwritable output paths now, not after minutes of simulation.
-    for path in (args.trace, args.metrics_json):
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be > 0")
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        parser.error(
+            "--resume and --checkpoint name different files; --resume "
+            "already appends new units to the file it reads"
+        )
+    if args.resume and not os.path.exists(args.resume):
+        parser.error(f"--resume {args.resume}: no such checkpoint file")
+    checkpoint_path = args.resume or args.checkpoint
+    resilience_flags = (
+        checkpoint_path is not None
+        or args.max_retries is not None
+        or args.unit_timeout is not None
+    )
+    # Fail on unwritable output paths now, not after minutes of
+    # simulation — without leaving behind empty files the run never wrote.
+    for path in (args.trace, args.metrics_json, checkpoint_path):
         if path:
             try:
-                with open(path, "a", encoding="utf-8"):
-                    pass
+                _probe_writable(path)
             except OSError as exc:
                 parser.error(f"cannot write {path}: {exc}")
     run_all = args.experiment == "all"
@@ -144,15 +262,40 @@ def main(argv=None) -> int:
     if use_telemetry:
         telemetry.reset()
         telemetry.enable()
+    resilience = None
+    if resilience_flags:
+        policy = RetryPolicy(
+            max_retries=1 if args.max_retries is None else args.max_retries,
+            unit_timeout=args.unit_timeout,
+        )
+        store = (
+            CheckpointStore(checkpoint_path) if checkpoint_path else None
+        )
+        resilience = Resilience(policy=policy, checkpoint=store)
+        drain_resilience_log()  # start each run with a clean slate
     failed: List[str] = []
 
     def run_experiments() -> None:
         for name in names:
+            if args.jobs > 1 and name not in _FANNED:
+                print(
+                    f"[note] {name} has no parallel fan-out; --jobs "
+                    f"{args.jobs} is ignored and it runs serially "
+                    "(fanned experiments: "
+                    + ", ".join(sorted(_FANNED)) + ")"
+                )
+                print()
             start = time.perf_counter()
-            report = _EXPERIMENTS[name](args.jobs)
+            report = _EXPERIMENTS[name](
+                args.jobs, resilience if name in _FANNED else None
+            )
             elapsed = time.perf_counter() - start
             print(report.render())
             print()
+            if resilience is not None and name in _FANNED:
+                for line in _resilience_summary(name):
+                    print(line)
+                print()
             if telemetry_flags:
                 print(
                     f"[telemetry] {name}: {elapsed:.3f} s, "
@@ -171,6 +314,8 @@ def main(argv=None) -> int:
         else:
             run_experiments()
     finally:
+        if resilience is not None and resilience.checkpoint is not None:
+            resilience.checkpoint.close()
         if use_telemetry:
             telemetry.disable()
     if args.trace:

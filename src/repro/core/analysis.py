@@ -29,6 +29,7 @@ needs completing operations (searched for in
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
@@ -169,6 +170,18 @@ class SweepGrid:
             _subsample(self.r_values, every_r),
             _subsample(self.u_values, every_u),
         )
+
+    def signature(self) -> str:
+        """Short stable digest of the exact grid points.
+
+        Checkpoint unit keys embed this (see ``docs/ROBUSTNESS.md``), so
+        resuming a sweep with a *different* grid never silently reuses
+        results computed on the old one — the keys simply don't match
+        and the units re-run.  ``repr`` of a float is its shortest exact
+        form, so equal grids always digest identically.
+        """
+        payload = repr((self.r_values, self.u_values)).encode("ascii")
+        return hashlib.sha1(payload).hexdigest()[:12]
 
 
 @dataclass(frozen=True)

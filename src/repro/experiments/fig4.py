@@ -57,15 +57,19 @@ def run_fig4(
     n_r: int = 20,
     n_u: int = 12,
     jobs: int = 1,
+    resilience=None,
 ) -> Fig4Result:
     """Regenerate Fig. 4(a) and 4(b).
 
     ``jobs > 1`` computes the two region maps in parallel worker
-    processes; the maps are identical to the serial run.
+    processes; the maps are identical to the serial run.  ``resilience``
+    (see ``docs/ROBUSTNESS.md``) adds unit retry/fallback and
+    checkpoint/resume of the two maps; a map that fails every recovery
+    attempt raises, since the figure cannot be built without it.
     """
     grid = default_grid_for(OpenLocation.CELL, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
-    if jobs > 1:
+    if jobs > 1 or resilience is not None:
         from ..parallel import AnalyzerSpec, parallel_map, region_map_unit
 
         spec = AnalyzerSpec(
@@ -78,6 +82,15 @@ def run_fig4(
                 (spec, completed_fp.sos, FloatingNode.CELL),
             ],
             jobs=jobs,
+            policy=resilience.policy if resilience is not None else None,
+            checkpoint=(
+                resilience.checkpoint if resilience is not None else None
+            ),
+            keys=[
+                f"fig4|partial|grid={grid.signature()}",
+                f"fig4|completed|grid={grid.signature()}",
+            ],
+            codec="region-map",
         )
     else:
         analyzer = ColumnFaultAnalyzer(

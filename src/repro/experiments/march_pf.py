@@ -106,21 +106,38 @@ def electrical_detection(
     points: Sequence[Tuple[OpenLocation, float]] = ELECTRICAL_POINTS,
     n_rows: int = 3,
     jobs: int = 1,
+    resilience=None,
 ) -> Dict[str, bool]:
     """Run one march test on the analog model for each defect point.
 
     ``jobs`` fans the points out over worker processes (each point is an
     independent simulation); the verdicts are identical for any value.
+    ``resilience`` (see ``docs/ROBUSTNESS.md``) adds retry/fallback and
+    checkpoint/resume per point; a point that exhausts every recovery
+    attempt is recorded as a failure and reported as not detected.
     """
-    from ..parallel import parallel_map
+    from ..parallel import parallel_map_ex
 
     payloads = [
         (test, location, resistance, technology, n_rows)
         for location, resistance in points
     ]
-    verdicts = parallel_map(_detect_point, payloads, jobs=jobs)
+    verdicts = parallel_map_ex(
+        _detect_point,
+        payloads,
+        jobs=jobs,
+        policy=resilience.policy if resilience is not None else None,
+        checkpoint=resilience.checkpoint if resilience is not None else None,
+        keys=[
+            f"march|{test.name}|{location.name}|{resistance:.3e}"
+            f"|rows={n_rows}"
+            for location, resistance in points
+        ],
+        codec="json",
+        strict=resilience is None,
+    ).results
     return {
-        f"Open {location.number} @ {resistance:.0e}": detected
+        f"Open {location.number} @ {resistance:.0e}": bool(detected)
         for (location, resistance), detected in zip(points, verdicts)
     }
 
@@ -133,10 +150,13 @@ def run_march_pf(
     with_generator: bool = True,
     with_electrical: bool = True,
     jobs: int = 1,
+    resilience=None,
 ) -> MarchPFResult:
     """Regenerate the march-test comparison.
 
-    ``jobs`` parallelizes the electrical cross-validation points.
+    ``jobs`` parallelizes the electrical cross-validation points;
+    ``resilience`` threads retry/fallback and checkpoint/resume through
+    them (see ``docs/ROBUSTNESS.md``).
     """
     faults = completed_fault_set()
     topology = topology or Topology(n_rows=4, n_cols=2)
@@ -196,7 +216,7 @@ def run_march_pf(
     if with_electrical:
         for test in (MARCH_PF_PLUS, MARCH_PF):
             electrical[test.name] = electrical_detection(
-                test, technology, jobs=jobs
+                test, technology, jobs=jobs, resilience=resilience
             )
         rows = [
             (point,

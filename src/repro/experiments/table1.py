@@ -138,6 +138,7 @@ def run_table1(
     max_extra_ops: int = 3,
     jobs: int = 1,
     batch_u: bool = True,
+    resilience=None,
 ) -> Table1Result:
     """Regenerate Table 1 by full defect-injection analysis.
 
@@ -147,11 +148,18 @@ def run_table1(
     in-process loop).  ``batch_u=False`` forces scalar per-point SOS
     execution (the pre-batching behaviour, kept for benchmarks and
     ablations) — the inventory is identical either way.
+
+    ``resilience`` (a :class:`repro.parallel.Resilience`) turns on unit
+    retry/timeout/fallback recovery and, with a checkpoint store,
+    incremental persistence and resume of finished units (see
+    ``docs/ROBUSTNESS.md``); it routes ``jobs=1`` through the same unit
+    decomposition, which by unit purity yields the identical inventory.
     """
     locations = tuple(opens) if opens is not None else tuple(OpenLocation)
-    if jobs > 1:
+    if jobs > 1 or resilience is not None:
         return _run_table1_parallel(
-            locations, technology, n_r, n_u, max_extra_ops, jobs, batch_u
+            locations, technology, n_r, n_u, max_extra_ops, jobs, batch_u,
+            resilience,
         )
     rows: List[InventoryRow] = []
     for location in locations:
@@ -189,6 +197,18 @@ def run_table1(
     return Table1Result(rows, report, matches)
 
 
+def _completion_unit_key(
+    location: OpenLocation, finding, grid, max_extra_ops: int
+) -> str:
+    """Stable checkpoint key for one completion-search unit."""
+    plan = "+".join(node.name for node in finding.floating)
+    return (
+        f"completion|{location.name}|{finding.ffm.name}|{plan}"
+        f"|{finding.probe_sos.to_string()}|grid={grid.signature()}"
+        f"|ops={max_extra_ops}"
+    )
+
+
 def _run_table1_parallel(
     locations: Tuple[OpenLocation, ...],
     technology: Optional[Technology],
@@ -197,6 +217,7 @@ def _run_table1_parallel(
     max_extra_ops: int,
     jobs: int,
     batch_u: bool = True,
+    resilience=None,
 ) -> Table1Result:
     """The fan-out twin of :func:`run_table1`'s serial loop.
 
@@ -205,12 +226,18 @@ def _run_table1_parallel(
     deduplication selects the same representatives.  Stage 2 fans the
     completion searches out per kept finding.  Both stages are pure per
     unit, so the assembled inventory matches ``jobs=1`` exactly.
+
+    With ``resilience``, both stages retry/fall back per the policy and
+    checkpoint finished units; a completion unit that fails anyway is
+    reported as a :class:`~repro.parallel.UnitFailure` and its row keeps
+    ``completed=None`` (rendered like ``Not possible`` — check the
+    failure summary before reading such a row as a verdict).
     """
-    from ..parallel import AnalyzerSpec, parallel_map, survey_locations
+    from ..parallel import AnalyzerSpec, parallel_map_ex, survey_locations
 
     outcome = survey_locations(
         locations, jobs=jobs, technology=technology, n_r=n_r, n_u=n_u,
-        batch_u=batch_u,
+        batch_u=batch_u, resilience=resilience,
     )
     kept: List = []
     for location in locations:
@@ -236,7 +263,19 @@ def _run_table1_parallel(
         )
         for location, finding in kept
     ]
-    completed = parallel_map(_completion_unit, payloads, jobs=jobs)
+    completed = parallel_map_ex(
+        _completion_unit,
+        payloads,
+        jobs=jobs,
+        policy=resilience.policy if resilience is not None else None,
+        checkpoint=resilience.checkpoint if resilience is not None else None,
+        keys=[
+            _completion_unit_key(location, finding, spec.grid, max_extra_ops)
+            for (spec, finding, _ops), (location, _) in zip(payloads, kept)
+        ],
+        codec="completion",
+        strict=resilience is None,
+    ).results
     rows = [
         InventoryRow(
             ffm_sim=finding.ffm,

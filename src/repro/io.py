@@ -11,21 +11,33 @@ plain JSON-compatible structures:
 * :class:`~repro.core.regions.FPRegionMap` — grid plus tagged labels
   (``ffm:``/``cffm:``/``fp:``/``raw:`` prefixes preserve the label type);
 * :class:`~repro.core.diagnosis.SignatureDatabase` — the signature entries,
-  so the dictionary is built once and loaded afterwards.
+  so the dictionary is built once and loaded afterwards;
+* :class:`~repro.core.analysis.PartialFaultFinding` — location, floating
+  plan, probe SOS, FFM and the full region map, so survey work units can
+  be checkpointed and resumed (see :class:`CheckpointStore`).
 
 Every ``dump_*`` returns JSON-serializable data; ``dumps_*``/``loads_*``
 go straight to strings.  Version tags guard against silent format drift.
+
+:class:`CheckpointStore` is the persistence side of the resilient sweep
+orchestrator (``docs/ROBUSTNESS.md``): an append-only JSONL file of
+finished work-unit results, one self-describing line per unit, written
+incrementally so a hard-interrupted survey can resume from whatever
+completed.  The per-line codecs are the dump/load pairs of this module,
+selected by name through :data:`CHECKPOINT_CODECS`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .circuit.defects import OpenLocation
+from .circuit.defects import FloatingNode, OpenLocation
+from .core.analysis import PartialFaultFinding
 from .core.coupling import CouplingFFM
 from .core.diagnosis import SignatureDatabase
-from .core.fault_primitives import FaultPrimitive, parse_fp
+from .core.fault_primitives import FaultPrimitive, parse_fp, parse_sos
 from .core.ffm import FFM
 from .core.regions import FPRegionMap
 from .march.notation import MarchTest, parse_march
@@ -35,6 +47,10 @@ __all__ = [
     "dump_fp", "load_fp",
     "dump_region_map", "load_region_map",
     "dump_signature_database", "load_signature_database",
+    "dump_finding", "load_finding",
+    "dump_survey_unit", "load_survey_unit",
+    "dump_completion", "load_completion",
+    "CHECKPOINT_CODECS", "CheckpointStore",
 ]
 
 _FORMAT = "repro-v1"
@@ -173,3 +189,160 @@ def load_signature_database(data: Dict[str, Any]) -> SignatureDatabase:
         for entry in data["entries"]
     ]
     return database
+
+
+# -- partial-fault findings ----------------------------------------------------
+
+def dump_finding(finding: PartialFaultFinding) -> Dict[str, Any]:
+    return _tagged(
+        {
+            "location": finding.location.name,
+            "floating": [node.name for node in finding.floating],
+            "probe": finding.probe_sos.to_string(),
+            "ffm": finding.ffm.name,
+            "region": dump_region_map(finding.region),
+        },
+        "finding",
+    )
+
+
+def load_finding(data: Dict[str, Any]) -> PartialFaultFinding:
+    data = _check(data, "finding")
+    return PartialFaultFinding(
+        OpenLocation[data["location"]],
+        tuple(FloatingNode[name] for name in data["floating"]),
+        parse_sos(data["probe"]),
+        FFM[data["ffm"]],
+        load_region_map(data["region"]),
+    )
+
+
+# -- checkpointed work-unit results --------------------------------------------
+
+def dump_survey_unit(result) -> Dict[str, Any]:
+    """One ``(location, plan, probe)`` survey-unit result (Table 1 shape).
+
+    ``result`` is the ``(findings, (obs_hits, obs_misses),
+    (prop_hits, prop_misses))`` tuple a survey worker returns.
+    """
+    findings, observation, propagator = result
+    return _tagged(
+        {
+            "findings": [dump_finding(f) for f in findings],
+            "observation": list(observation),
+            "propagator": list(propagator),
+        },
+        "survey-unit",
+    )
+
+
+def load_survey_unit(data: Dict[str, Any]):
+    data = _check(data, "survey-unit")
+    return (
+        [load_finding(f) for f in data["findings"]],
+        tuple(data["observation"]),
+        tuple(data["propagator"]),
+    )
+
+
+def dump_completion(fp: Optional[FaultPrimitive]) -> Dict[str, Any]:
+    """A completion-search verdict (``None`` encodes ``Not possible``)."""
+    return _tagged({"fp": None if fp is None else dump_fp(fp)}, "completion")
+
+
+def load_completion(data: Dict[str, Any]) -> Optional[FaultPrimitive]:
+    data = _check(data, "completion")
+    return None if data["fp"] is None else load_fp(data["fp"])
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+#: Named dump/load pairs for checkpoint lines.  ``"json"`` passes
+#: JSON-native results (bools, numbers, strings, lists) through as-is.
+CHECKPOINT_CODECS: Dict[
+    str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]
+] = {
+    "json": (_identity, _identity),
+    "region-map": (dump_region_map, load_region_map),
+    "survey-unit": (dump_survey_unit, load_survey_unit),
+    "completion": (dump_completion, load_completion),
+}
+
+
+class CheckpointStore:
+    """Append-only JSONL store of finished work-unit results.
+
+    Each line is a self-describing record::
+
+        {"format": "repro-v1", "kind": "checkpoint-unit",
+         "key": "<stable unit key>", "codec": "<CHECKPOINT_CODECS name>",
+         "payload": <codec dump of the unit result>}
+
+    :meth:`record` appends and flushes one line per finished unit, so a
+    run killed mid-sweep loses at most the units still in flight.
+    :meth:`load` tolerates a hard interrupt: a torn (half-written) tail
+    line, unknown codecs, and undecodable payloads are skipped rather
+    than failing the resume — those units simply re-run.  Duplicate keys
+    keep the last occurrence.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = None
+
+    def load(self) -> Dict[str, Any]:
+        """Decode every recoverable ``key -> result`` entry of the file."""
+        results: Dict[str, Any] = {}
+        if not os.path.exists(self.path):
+            return results
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a hard interrupt
+                if not isinstance(entry, dict):
+                    continue
+                if entry.get("format") != _FORMAT:
+                    continue
+                if entry.get("kind") != "checkpoint-unit":
+                    continue
+                codec = CHECKPOINT_CODECS.get(entry.get("codec"))
+                if codec is None or "key" not in entry:
+                    continue
+                try:
+                    results[entry["key"]] = codec[1](entry["payload"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # undecodable payload: re-run the unit
+        return results
+
+    def record(self, key: str, result: Any, codec: str = "json") -> None:
+        """Append one finished unit and flush it to disk."""
+        dump, _ = CHECKPOINT_CODECS[codec]
+        entry = {
+            "format": _FORMAT,
+            "kind": "checkpoint-unit",
+            "key": key,
+            "codec": codec,
+            "payload": dump(result),
+        }
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -16,6 +16,29 @@ to an in-process loop and the experiment modules keep their original
 serial code paths, so no-flag output stays byte-identical to the
 pre-parallel implementation.
 
+Purity is also what makes the fan-out *resilient* (see
+``docs/ROBUSTNESS.md``): a unit that crashed, timed out, or died with
+its worker can simply run again — same payload, same result.  The
+orchestrator layers four recovery mechanisms on top of the pool, all
+governed by a :class:`RetryPolicy`:
+
+* **retry with exponential backoff** — a raising unit is resubmitted up
+  to ``max_retries`` times;
+* **per-unit timeouts** — a wedged unit stops being waited on after
+  ``unit_timeout`` seconds and is treated as failed (retried or fallen
+  back) instead of hanging the whole run;
+* **in-process fallback** — after the retry budget, or when the pool
+  itself breaks (``BrokenProcessPool``: a worker was OOM-killed or
+  segfaulted), remaining units run in the parent process;
+* **checkpointing** — finished unit results append to a
+  :class:`~repro.io.CheckpointStore` JSONL file as they complete, and a
+  later run with the same store skips them, reproducing the identical
+  inventory after a hard interrupt.
+
+A unit that fails even the fallback is surfaced as a structured
+:class:`UnitFailure` (in :class:`MapOutcome` / :class:`SurveyOutcome`
+and the CLI's ``[resilience]`` summary), not as a bare traceback.
+
 Telemetry: each worker records into its own process-global registry
 (reset before every unit) and ships the snapshot back with the result;
 the parent folds the snapshots into its registry in submission order via
@@ -23,12 +46,18 @@ the parent folds the snapshots into its registry in submission order via
 Counters and histograms therefore aggregate exactly; worker *spans* are
 not transported (the parent's experiment span still brackets the whole
 fan-out).  Analyzer observation-cache and propagator-cache statistics
-are merged the same way and reported by :class:`FanoutStats`.
+are merged the same way and reported by :class:`FanoutStats`.  The
+recovery paths count as ``parallel.retries`` / ``parallel.timeouts`` /
+``parallel.fallback_units`` / ``parallel.pool_breaks`` /
+``parallel.failures`` / ``parallel.resumed_units``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import heapq
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any, Callable, Dict, List, Optional, Sequence, Tuple,
@@ -41,15 +70,24 @@ from .circuit.technology import Technology
 from .core.analysis import (
     ColumnFaultAnalyzer, PartialFaultFinding, SweepGrid, default_grid_for,
 )
+from .io import CHECKPOINT_CODECS, CheckpointStore
 
 __all__ = [
     "AnalyzerSpec",
     "SurveyUnit",
     "FanoutStats",
     "SurveyOutcome",
+    "RetryPolicy",
+    "Resilience",
+    "UnitFailure",
+    "MapOutcome",
+    "ResilienceLog",
+    "drain_resilience_log",
     "parallel_map",
+    "parallel_map_ex",
     "region_map_unit",
     "survey_locations",
+    "survey_unit_key",
 ]
 
 
@@ -118,12 +156,120 @@ class FanoutStats:
         return self._ratio(self.propagator_hits, self.propagator_misses)
 
 
+# -- resilience policy and records ---------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fan-out reacts when a unit raises, times out, or its
+    worker dies.
+
+    ``max_retries`` resubmissions per unit, sleeping
+    ``backoff * backoff_factor**(attempt-1)`` seconds (capped at
+    ``backoff_max``) before each; ``unit_timeout`` seconds before an
+    in-flight pooled unit is abandoned and treated as failed (``None``
+    disables; in-process execution is never interrupted); ``fallback``
+    runs a unit in the parent process after its retry budget — and every
+    remaining unit when the pool itself breaks.
+    """
+
+    max_retries: int = 1
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    unit_timeout: Optional[float] = None
+    fallback: bool = True
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff before resubmitting after ``failed_attempts`` failures."""
+        return min(
+            self.backoff * self.backoff_factor ** max(0, failed_attempts - 1),
+            self.backoff_max,
+        )
+
+
+#: The pre-resilience contract of :func:`parallel_map`: no retries, no
+#: fallback — the first unit error propagates to the caller.
+_STRICT_POLICY = RetryPolicy(max_retries=0, fallback=False)
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One unit that failed after every recovery attempt."""
+
+    key: str
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    duration: float
+
+
+@dataclass
+class MapOutcome:
+    """What :func:`parallel_map_ex` produced for one fan-out.
+
+    ``results`` is payload-ordered; a unit that ultimately failed (only
+    possible in non-strict mode) holds ``None`` and appears in
+    ``failures``.  ``resumed`` counts units skipped because the
+    checkpoint store already held their result.
+    """
+
+    results: List[Any]
+    failures: List[UnitFailure] = field(default_factory=list)
+    resumed: int = 0
+
+
+@dataclass
+class Resilience:
+    """Bundled resilience configuration threaded through the experiment
+    harnesses (CLI: ``--max-retries``/``--unit-timeout`` build the
+    policy, ``--checkpoint``/``--resume`` the store)."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: Optional[CheckpointStore] = None
+
+
+@dataclass
+class ResilienceLog:
+    """Recovery events accumulated since the last drain (CLI summary)."""
+
+    failures: List[UnitFailure] = field(default_factory=list)
+    retries: int = 0
+    resumed: int = 0
+    fallbacks: int = 0
+    pool_breaks: int = 0
+    timeouts: int = 0
+
+    def any(self) -> bool:
+        return bool(
+            self.failures or self.retries or self.resumed
+            or self.fallbacks or self.pool_breaks or self.timeouts
+        )
+
+
+_SESSION_LOG = ResilienceLog()
+
+
+def drain_resilience_log() -> ResilienceLog:
+    """Return and reset the module-level recovery-event accumulator."""
+    global _SESSION_LOG
+    log, _SESSION_LOG = _SESSION_LOG, ResilienceLog()
+    return log
+
+
 @dataclass
 class SurveyOutcome:
-    """Findings of :func:`survey_locations`, plus merged cache stats."""
+    """Findings of :func:`survey_locations`, plus merged cache stats.
+
+    ``failures`` lists units that failed after every recovery attempt
+    (their findings are missing from the inventory); ``resumed`` counts
+    units restored from the checkpoint store instead of re-running.
+    """
 
     findings: Dict[OpenLocation, List[PartialFaultFinding]]
     stats: FanoutStats = field(default_factory=FanoutStats)
+    failures: List[UnitFailure] = field(default_factory=list)
+    resumed: int = 0
 
 
 # -- the generic fan-out -------------------------------------------------------
@@ -147,10 +293,311 @@ def _run_unit(func: Callable[[Any], Any], payload: Any,
     return result, telemetry.get_metrics().snapshot()
 
 
+class _FanoutRun:
+    """Shared state of one :func:`parallel_map_ex` execution."""
+
+    def __init__(self, func, payloads, policy, checkpoint, keys, codec,
+                 outcome, strict):
+        self.func = func
+        self.payloads = payloads
+        self.policy = policy
+        self.checkpoint = checkpoint
+        self.keys = keys
+        self.codec = codec
+        self.outcome = outcome
+        self.strict = strict
+        self.attempts: Dict[int, int] = {}
+        self.first_start: Dict[int, float] = {}
+        self.snapshots: Dict[int, dict] = {}
+        self.completed: set = set()
+        self.telemetry_on = telemetry.enabled()
+
+    def key_of(self, index: int) -> str:
+        return self.keys[index] if self.keys is not None else f"unit-{index}"
+
+    def finish(self, index: int, result: Any) -> None:
+        self.outcome.results[index] = result
+        self.completed.add(index)
+        if self.checkpoint is not None:
+            self.checkpoint.record(self.key_of(index), result, self.codec)
+
+    def note_retry(self, index: int) -> None:
+        telemetry.count("parallel.retries")
+        _SESSION_LOG.retries += 1
+
+    def merge_snapshots(self) -> None:
+        """Fold collected worker snapshots in, in submission order.
+
+        Called on the success path *and* before a strict-mode raise, so
+        telemetry gathered from units that did complete is never lost
+        when a later unit fails (the pre-resilience orchestrator dropped
+        both the snapshots and the finished results on that path).
+        """
+        if not self.telemetry_on or not self.snapshots:
+            return
+        registry = telemetry.get_metrics()
+        for index in sorted(self.snapshots):
+            registry.merge_snapshot(self.snapshots.pop(index))
+
+    def fail(self, index: int, exc: BaseException) -> None:
+        """Record a unit's final failure; in strict mode, raise it.
+
+        The raised exception carries the fan-out's progress so callers
+        can salvage it: ``partial_results`` maps payload index to the
+        result of every unit that did finish, ``unit_failures`` lists
+        the structured failure records.
+        """
+        failure = UnitFailure(
+            key=self.key_of(index),
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=self.attempts.get(index, 1),
+            duration=time.monotonic() - self.first_start.get(
+                index, time.monotonic()
+            ),
+        )
+        self.outcome.failures.append(failure)
+        _SESSION_LOG.failures.append(failure)
+        telemetry.count("parallel.failures")
+        if self.strict:
+            self.merge_snapshots()
+            exc.partial_results = {
+                i: self.outcome.results[i] for i in sorted(self.completed)
+            }
+            exc.unit_failures = list(self.outcome.failures)
+            raise exc
+
+    def run_in_process(self, index: int, with_retries: bool) -> None:
+        """Execute one unit in the parent (serial mode, or fallback)."""
+        self.first_start.setdefault(index, time.monotonic())
+        while True:
+            self.attempts[index] = self.attempts.get(index, 0) + 1
+            try:
+                result = self.func(self.payloads[index])
+            except Exception as exc:  # noqa: BLE001 — unit code is arbitrary
+                if with_retries and (
+                    self.attempts[index] <= self.policy.max_retries
+                ):
+                    self.note_retry(index)
+                    time.sleep(self.policy.delay(self.attempts[index]))
+                    continue
+                self.fail(index, exc)
+                return
+            self.finish(index, result)
+            return
+
+
+def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
+    """Pooled execution with retry, timeout, and pool-break recovery."""
+    policy = run.policy
+    inflight: Dict[Any, Tuple[int, float]] = {}  # future -> (index, start)
+    delayed: List[Tuple[float, int]] = []        # (ready time, index) heap
+    fallback_queue: List[int] = []
+    broken_indices: List[int] = []
+    broken = False
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+
+    def submit(index: int) -> bool:
+        """Submit one unit; on a broken pool, queue it for recovery."""
+        nonlocal broken
+        run.attempts[index] = run.attempts.get(index, 0) + 1
+        run.first_start.setdefault(index, time.monotonic())
+        try:
+            future = pool.submit(
+                _run_unit, run.func, run.payloads[index], run.telemetry_on
+            )
+        except (BrokenProcessPool, RuntimeError):
+            broken = True
+            broken_indices.append(index)
+            return False
+        inflight[future] = (index, time.monotonic())
+        return True
+
+    def unit_failed(index: int, exc: BaseException) -> None:
+        if run.attempts[index] <= policy.max_retries:
+            run.note_retry(index)
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + policy.delay(run.attempts[index]), index),
+            )
+        elif policy.fallback:
+            fallback_queue.append(index)
+        else:
+            run.fail(index, exc)
+
+    try:
+        for pos, index in enumerate(pending):
+            if not submit(index):
+                broken_indices.extend(pending[pos + 1:])
+                break
+        while (inflight or delayed) and not broken:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index = heapq.heappop(delayed)
+                if not submit(index):
+                    break
+            if broken:
+                break
+            if not inflight:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                break
+            wait_timeout: Optional[float] = None
+            if delayed:
+                wait_timeout = max(0.0, delayed[0][0] - now)
+            if policy.unit_timeout is not None:
+                next_deadline = min(
+                    start + policy.unit_timeout
+                    for _, start in inflight.values()
+                )
+                until = max(0.0, next_deadline - now)
+                wait_timeout = (
+                    until if wait_timeout is None
+                    else min(wait_timeout, until)
+                )
+            done, _ = wait(
+                set(inflight), timeout=wait_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index, _start = inflight.pop(future)
+                try:
+                    result, snap = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    broken_indices.append(index)
+                except Exception as exc:  # noqa: BLE001
+                    unit_failed(index, exc)
+                else:
+                    if snap:
+                        run.snapshots[index] = snap
+                    run.finish(index, result)
+            if broken:
+                break
+            if policy.unit_timeout is not None:
+                now = time.monotonic()
+                for future, (index, start) in list(inflight.items()):
+                    if now - start < policy.unit_timeout:
+                        continue
+                    future.cancel()
+                    del inflight[future]
+                    timed_out = True
+                    telemetry.count("parallel.timeouts")
+                    _SESSION_LOG.timeouts += 1
+                    unit_failed(index, TimeoutError(
+                        f"unit {run.key_of(index)!r} exceeded "
+                        f"{policy.unit_timeout} s"
+                    ))
+        if broken:
+            telemetry.count("parallel.pool_breaks")
+            _SESSION_LOG.pool_breaks += 1
+            broken_indices.extend(index for index, _ in inflight.values())
+            inflight.clear()
+            while delayed:
+                broken_indices.append(heapq.heappop(delayed)[1])
+            broken_exc = BrokenProcessPool(
+                "a worker process died; the pool cannot be reused"
+            )
+            for index in sorted(set(broken_indices)):
+                if policy.fallback:
+                    fallback_queue.append(index)
+                else:
+                    run.fail(index, broken_exc)
+    finally:
+        # A timed-out unit may still be running in its worker; don't
+        # block on it.  cancel_futures also drops anything still queued
+        # (there is nothing queued unless we are bailing out anyway).
+        pool.shutdown(wait=not (timed_out or broken), cancel_futures=True)
+    run.merge_snapshots()
+    for index in sorted(set(fallback_queue)):
+        telemetry.count("parallel.fallback_units")
+        _SESSION_LOG.fallbacks += 1
+        run.run_in_process(index, with_retries=False)
+
+
+def parallel_map_ex(
+    func: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CheckpointStore] = None,
+    keys: Optional[Sequence[str]] = None,
+    codec: str = "json",
+    strict: bool = False,
+) -> MapOutcome:
+    """Map ``func`` over ``payloads`` with recovery and checkpointing.
+
+    The resilient core behind :func:`parallel_map`.  ``func`` must be a
+    module-level callable and every payload/result must pickle; with
+    ``jobs <= 1`` units run in-process (retry and fallback still apply;
+    ``unit_timeout`` does not — nothing can interrupt the parent).
+
+    ``checkpoint`` requires ``keys``: one stable, unique identifier per
+    payload.  Units whose key the store already holds are *resumed* —
+    their recorded result is returned without executing anything — and
+    each newly finished unit is appended to the store immediately, so an
+    interrupted run resumes from whatever completed.  ``codec`` names
+    the :data:`~repro.io.CHECKPOINT_CODECS` dump/load pair for results.
+
+    ``strict=True`` restores the fail-fast contract: the first unit
+    error that survives the policy's retries/fallback is raised (with
+    ``partial_results`` and ``unit_failures`` attached, and the worker
+    telemetry collected so far merged).  ``strict=False`` records a
+    :class:`UnitFailure` instead and leaves ``None`` in that result
+    slot.
+    """
+    payloads = list(payloads)
+    n = len(payloads)
+    if policy is None:
+        policy = _STRICT_POLICY if strict else RetryPolicy()
+    if keys is not None:
+        keys = list(keys)
+        if len(keys) != n:
+            raise ValueError("keys must parallel payloads one-to-one")
+        if len(set(keys)) != n:
+            raise ValueError("unit keys must be unique")
+    elif checkpoint is not None:
+        raise ValueError("a checkpoint store needs stable unit keys")
+    if codec not in CHECKPOINT_CODECS:
+        raise ValueError(f"unknown checkpoint codec {codec!r}")
+    outcome = MapOutcome(results=[None] * n)
+    done = [False] * n
+    if checkpoint is not None:
+        existing = checkpoint.load()
+        for index, key in enumerate(keys):
+            if key in existing:
+                outcome.results[index] = existing[key]
+                done[index] = True
+        outcome.resumed = sum(done)
+        if outcome.resumed:
+            telemetry.count("parallel.resumed_units", outcome.resumed)
+            _SESSION_LOG.resumed += outcome.resumed
+    pending = [index for index in range(n) if not done[index]]
+    if not pending:
+        return outcome
+    run = _FanoutRun(
+        func, payloads, policy, checkpoint, keys, codec, outcome, strict
+    )
+    run.completed.update(index for index in range(n) if done[index])
+    if jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            run.run_in_process(index, with_retries=True)
+    else:
+        _run_pool(run, pending, jobs)
+    return outcome
+
+
 def parallel_map(
     func: Callable[[Any], Any],
     payloads: Sequence[Any],
     jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CheckpointStore] = None,
+    keys: Optional[Sequence[str]] = None,
+    codec: str = "json",
 ) -> List[Any]:
     """Map ``func`` over ``payloads`` with ``jobs`` worker processes.
 
@@ -158,28 +605,20 @@ def parallel_map(
     ``func`` must be a module-level callable and every payload/result
     must pickle.  With ``jobs <= 1`` this is a plain in-process loop —
     no pool, no pickling, no telemetry indirection.
+
+    Without a ``policy`` the historical fail-fast contract holds: the
+    first unit error is raised — but the telemetry snapshots of units
+    that finished are merged first, and the error carries
+    ``partial_results`` (index -> result) and ``unit_failures``, so a
+    crash no longer silently discards completed work.  Pass a
+    :class:`RetryPolicy` (and optionally a checkpoint store with stable
+    ``keys``) for retry/timeout/fallback recovery; see
+    :func:`parallel_map_ex` for the failure-recording variant.
     """
-    payloads = list(payloads)
-    if jobs <= 1 or len(payloads) <= 1:
-        return [func(p) for p in payloads]
-    telemetry_on = telemetry.enabled()
-    snapshots: List[Optional[dict]] = []
-    results: List[Any] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        futures = [
-            pool.submit(_run_unit, func, payload, telemetry_on)
-            for payload in payloads
-        ]
-        for future in futures:  # submission order => deterministic merge
-            result, snap = future.result()
-            results.append(result)
-            snapshots.append(snap)
-    if telemetry_on:
-        registry = telemetry.get_metrics()
-        for snap in snapshots:
-            if snap:
-                registry.merge_snapshot(snap)
-    return results
+    return parallel_map_ex(
+        func, payloads, jobs=jobs, policy=policy, checkpoint=checkpoint,
+        keys=keys, codec=codec, strict=True,
+    ).results
 
 
 def region_map_unit(payload):
@@ -210,6 +649,22 @@ def _survey_unit(unit: SurveyUnit) -> Tuple[
     )
 
 
+def survey_unit_key(unit: SurveyUnit) -> str:
+    """Stable checkpoint key for one survey unit.
+
+    Embeds the grid signature (and the analyzer geometry), so a resume
+    with different sweep parameters re-runs instead of silently reusing
+    results computed on another grid.
+    """
+    spec = unit.spec
+    grid_sig = spec.grid.signature() if spec.grid is not None else "default"
+    plan = "+".join(node.name for node in unit.plan)
+    return (
+        f"survey|{spec.location.name}|{plan}|{unit.probe}"
+        f"|grid={grid_sig}|rows={spec.n_rows}.{spec.victim_row}"
+    )
+
+
 def survey_locations(
     locations: Sequence[OpenLocation],
     jobs: int = 1,
@@ -218,6 +673,7 @@ def survey_locations(
     n_u: int = 12,
     probes: Optional[Sequence[str]] = None,
     batch_u: bool = True,
+    resilience: Optional[Resilience] = None,
 ) -> SurveyOutcome:
     """Survey every ``(location, plan, probe)`` unit, optionally in parallel.
 
@@ -229,6 +685,14 @@ def survey_locations(
     observation cache); with ``jobs > 1`` each unit rebuilds a fresh
     analyzer in its worker — observations are pure functions of the
     operating point, so the results are identical either way.
+
+    ``resilience`` switches the fan-out to recovery mode: unit errors
+    are retried/fallen back per the policy (failures land in
+    ``outcome.failures`` instead of raising) and, with a checkpoint
+    store, finished units persist incrementally and are skipped on
+    resume.  It also routes ``jobs=1`` through the unit decomposition so
+    checkpoint/resume works serially — unit purity keeps the inventory
+    identical.
     """
     from .core.analysis import PROBE_SOSES
 
@@ -245,7 +709,7 @@ def survey_locations(
         for location in locations
     ]
     outcome = SurveyOutcome({location: [] for location in locations})
-    if jobs <= 1:
+    if jobs <= 1 and resilience is None:
         for spec in specs:
             before = propagator_cache_info()
             analyzer = spec.build()
@@ -266,9 +730,22 @@ def survey_locations(
         for plan in spec.build().sweep_plans()
         for probe in probe_list
     ]
-    for unit, (findings, obs, prop) in zip(
-        units, parallel_map(_survey_unit, units, jobs=jobs)
-    ):
+    mapped = parallel_map_ex(
+        _survey_unit,
+        units,
+        jobs=jobs,
+        policy=resilience.policy if resilience is not None else None,
+        checkpoint=resilience.checkpoint if resilience is not None else None,
+        keys=[survey_unit_key(unit) for unit in units],
+        codec="survey-unit",
+        strict=resilience is None,
+    )
+    outcome.failures = mapped.failures
+    outcome.resumed = mapped.resumed
+    for unit, result in zip(units, mapped.results):
+        if result is None:
+            continue  # failed unit, surfaced in outcome.failures
+        findings, obs, prop = result
         outcome.findings[unit.spec.location].extend(findings)
         outcome.stats.add(FanoutStats(obs[0], obs[1], prop[0], prop[1]))
     return outcome

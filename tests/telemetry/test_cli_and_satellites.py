@@ -73,7 +73,7 @@ class TestCLIFlags:
                 result.report = report
                 return result
 
-            return lambda jobs: runner().report
+            return lambda jobs, res: runner().report
 
         monkeypatch.setattr(
             cli, "_EXPERIMENTS",

@@ -10,15 +10,23 @@ from repro.core.fault_primitives import parse_fp
 from repro.core.ffm import FFM
 from repro.core.regions import FPRegionMap
 from repro.io import (
+    CHECKPOINT_CODECS,
+    CheckpointStore,
+    dump_completion,
+    dump_finding,
     dump_fp,
     dump_march,
     dump_region_map,
     dump_signature_database,
+    dump_survey_unit,
     dumps_march,
+    load_completion,
+    load_finding,
     load_fp,
     load_march,
     load_region_map,
     load_signature_database,
+    load_survey_unit,
     loads_march,
 )
 from repro.march.library import ALL_TESTS, IFA_13, MARCH_PF_PLUS
@@ -98,3 +106,97 @@ class TestSignatureDatabaseRoundTrip:
         assert [c.location for c in loaded.candidates] == [
             c.location for c in original.candidates
         ]
+
+
+class TestCheckpointCodecs:
+    def _finding(self):
+        from repro.circuit.defects import FloatingNode
+        from repro.core.analysis import PartialFaultFinding
+        from repro.core.fault_primitives import parse_sos
+
+        region = FPRegionMap(
+            (1e3, 1e4),
+            (0.0, 1.0),
+            ((FFM.RDF0, None), (None, FFM.RDF0)),
+        )
+        return PartialFaultFinding(
+            OpenLocation.CELL,
+            (FloatingNode.CELL,),
+            parse_sos("0r0"),
+            FFM.RDF0,
+            region,
+        )
+
+    def test_finding_roundtrip(self):
+        finding = self._finding()
+        recovered = load_finding(json.loads(json.dumps(dump_finding(finding))))
+        assert recovered.location is finding.location
+        assert recovered.floating == finding.floating
+        assert recovered.probe_sos == finding.probe_sos
+        assert recovered.ffm is finding.ffm
+        assert recovered.region == finding.region
+
+    def test_survey_unit_roundtrip(self):
+        unit_result = ([self._finding()], (3, 1), (10, 2))
+        data = json.loads(json.dumps(dump_survey_unit(unit_result)))
+        findings, observation, propagator = load_survey_unit(data)
+        assert len(findings) == 1 and findings[0].ffm is FFM.RDF0
+        assert observation == (3, 1) and propagator == (10, 2)
+
+    def test_completion_roundtrip(self):
+        fp = parse_fp("<[w1 w0] r0/1/1>")
+        assert load_completion(dump_completion(fp)) == fp
+        assert load_completion(dump_completion(None)) is None
+
+    def test_codec_table_is_consistent(self):
+        for name, (dump, load) in CHECKPOINT_CODECS.items():
+            assert callable(dump) and callable(load), name
+        assert {"json", "region-map", "survey-unit", "completion"} <= set(
+            CHECKPOINT_CODECS
+        )
+
+
+class TestCheckpointStore:
+    def test_record_then_load(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with CheckpointStore(path) as store:
+            store.record("alpha", True)
+            store.record("beta", [1, 2.5, "x"])
+        assert CheckpointStore(path).load() == {
+            "alpha": True, "beta": [1, 2.5, "x"],
+        }
+
+    def test_region_map_codec(self, tmp_path):
+        region = FPRegionMap((1.0,), (0.0,), ((FFM.SF0,),))
+        path = str(tmp_path / "store.jsonl")
+        with CheckpointStore(path) as store:
+            store.record("map", region, codec="region-map")
+        assert CheckpointStore(path).load() == {"map": region}
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with CheckpointStore(path) as store:
+            store.record("k", 1)
+            store.record("k", 2)
+        assert CheckpointStore(path).load() == {"k": 2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert CheckpointStore(str(tmp_path / "nope.jsonl")).load() == {}
+
+    def test_skips_torn_foreign_and_unknown_lines(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with CheckpointStore(path) as store:
+            store.record("good", 7)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"format": "other", "kind": "checkpoint-unit", '
+                     '"key": "x", "codec": "json", "payload": 1}\n')
+            fh.write('{"format": "repro-v1", "kind": "checkpoint-unit", '
+                     '"key": "y", "codec": "martian", "payload": 1}\n')
+            fh.write('{"format": "repro-v1", "kind": "checkpo')  # torn tail
+        assert CheckpointStore(path).load() == {"good": 7}
+
+    def test_unknown_codec_on_record_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "store.jsonl"))
+        with pytest.raises(KeyError):
+            store.record("k", 1, codec="martian")
