@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..errors import SolverDivergenceError
 from .bridges import BridgeDefect, BridgeLocation
 from .defects import FloatingNode, OpenDefect, OpenLocation
 from .network import Network
@@ -55,6 +56,24 @@ _SPLIT_BEFORE = {
 
 #: Minimum transistor conduction still treated as a connection.
 _MIN_CONDUCTION = 1e-6
+
+
+def _phase_name(
+    active_row: Optional[int],
+    precharge: bool,
+    sa_drive: bool,
+    write_value: Optional[int],
+) -> str:
+    """Human name of a phase configuration, for guard-trip diagnostics."""
+    if precharge:
+        return "precharge"
+    if write_value is not None:
+        return "write"
+    if sa_drive:
+        return "sense"
+    if active_row is not None:
+        return "share"
+    return "wl_off"
 
 
 @dataclass(frozen=True)
@@ -368,7 +387,15 @@ class DRAMColumn:
     ) -> None:
         self._configure_phase(duration, active_row, precharge, sa_drive,
                               write_value)
-        self.net.run(duration)
+        try:
+            self.net.run(duration)
+        except SolverDivergenceError as err:
+            raise SolverDivergenceError(
+                err.guard,
+                err.message,
+                phase=_phase_name(active_row, precharge, sa_drive, write_value),
+                **err.context,
+            ) from err
 
     def _configure_phase(
         self,
@@ -574,7 +601,16 @@ class ColumnBatch:
         self.column._configure_phase(
             duration, active_row, precharge, sa_drive, write_value
         )
-        self.V = self.column.net.run_batch(duration, self.V)
+        try:
+            self.V = self.column.net.run_batch(duration, self.V)
+        except SolverDivergenceError as err:
+            raise SolverDivergenceError(
+                err.guard,
+                err.message,
+                phase=_phase_name(active_row, precharge, sa_drive, write_value),
+                lanes=self.n_lanes,
+                **err.context,
+            ) from err
 
     def _update_buffer(self) -> None:
         t = self.column.tech

@@ -27,9 +27,12 @@ the simulated behaviour (see :mod:`repro.core.complement`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
+
+from ..errors import SpecValidationError
 
 __all__ = ["OpenLocation", "FloatingNode", "OpenDefect", "floating_nodes"]
 
@@ -115,6 +118,44 @@ class OpenDefect:
             raise ValueError("defect resistance must be non-negative")
         if self.row < 0:
             raise ValueError("row must be non-negative")
+
+    def validate(self, n_rows: Optional[int] = None) -> "OpenDefect":
+        """Full spec check (stricter than ``__post_init__``); return ``self``.
+
+        ``__post_init__`` keeps its cheap historical checks, but lets
+        ``R_def = nan`` slip through (``nan < 0`` is false) and cannot know
+        the column height.  ``validate()`` closes both gaps and raises
+        :class:`~repro.errors.SpecValidationError` with the offending field.
+        """
+        if not isinstance(self.location, OpenLocation):
+            raise SpecValidationError(
+                "OpenDefect", "location", self.location,
+                "an OpenLocation member",
+            )
+        r = self.resistance
+        if not isinstance(r, (int, float)) or not (
+            math.isfinite(r) or r == math.inf
+        ):
+            raise SpecValidationError(
+                "OpenDefect", "resistance", r,
+                "a non-negative number of Ohms (inf = fully open)",
+            )
+        if r < 0:
+            raise SpecValidationError(
+                "OpenDefect", "resistance", r,
+                "a non-negative number of Ohms (inf = fully open)",
+            )
+        if not isinstance(self.row, int) or self.row < 0:
+            raise SpecValidationError(
+                "OpenDefect", "row", self.row, "a non-negative integer"
+            )
+        if n_rows is not None and self.row >= n_rows:
+            raise SpecValidationError(
+                "OpenDefect", "row", self.row,
+                f"< n_rows = {n_rows}",
+                hint="the defect must sit on an existing row",
+            )
+        return self
 
     @property
     def floating_nodes(self) -> Tuple[FloatingNode, ...]:

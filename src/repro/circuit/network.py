@@ -42,20 +42,26 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from .. import telemetry
+from ..errors import SolverDivergenceError
 
 __all__ = [
     "OPEN",
+    "GuardPolicy",
+    "GuardConfig",
     "Network",
     "PropagatorCacheInfo",
     "propagator_cache_info",
     "propagator_cache_clear",
     "propagator_cache_configure",
+    "solver_guards_configure",
+    "solver_guards_info",
 ]
 
 #: Sentinel resistance meaning "no connection".
@@ -66,6 +72,106 @@ _R_MIN = 1e-3
 
 #: Edges with conductance below this are dropped as effectively open.
 _G_MIN = 1e-15
+
+
+class GuardPolicy(Enum):
+    """What happens when a numerical guard rail trips (``docs/ROBUSTNESS.md``).
+
+    * ``RAISE`` — the trip propagates as a
+      :class:`~repro.errors.SolverDivergenceError` (the default);
+    * ``QUARANTINE`` — the solver still raises, but the *analysis* layer
+      catches the error and records the grid point as quarantined instead
+      of killing the survey;
+    * ``FALLBACK`` — the solver first retries the phase as
+      ``fallback_substeps`` shorter sub-phases (better-conditioned series
+      evaluation); only if the recomputed result still trips does the
+      error propagate.
+    """
+
+    RAISE = "raise"
+    QUARANTINE = "quarantine"
+    FALLBACK = "fallback"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Numerical guard-rail configuration of the RC solver.
+
+    The cheap post-phase checks (``nan_checks``: NaN/Inf and
+    voltage-rail bounds) are on by default — a passive RC network's node
+    voltages provably stay within the convex hull of the initial node
+    voltages and the driver levels, so ``rail_margin`` volts beyond that
+    hull is unambiguous divergence.  The stiffness/condition estimate on
+    ``G`` (``condition_checks``) costs a little per propagator build and
+    is opt-in.
+    """
+
+    nan_checks: bool = True
+    condition_checks: bool = False
+    policy: GuardPolicy = GuardPolicy.RAISE
+    rail_margin: float = 0.5
+    condition_limit: float = 1e12
+    fallback_substeps: int = 4
+
+
+_GUARDS = GuardConfig()
+
+
+def solver_guards_configure(
+    nan_checks: Optional[bool] = None,
+    condition_checks: Optional[bool] = None,
+    policy: Optional[GuardPolicy] = None,
+    rail_margin: Optional[float] = None,
+    condition_limit: Optional[float] = None,
+    fallback_substeps: Optional[int] = None,
+) -> None:
+    """Reconfigure the process-global solver guard rails.
+
+    Workers configure themselves from the :class:`AnalyzerSpec` they
+    rebuild, so a policy set here does not cross process boundaries by
+    itself (see ``repro.parallel``).
+    """
+    global _GUARDS
+    updates = {}
+    if nan_checks is not None:
+        updates["nan_checks"] = bool(nan_checks)
+    if condition_checks is not None:
+        updates["condition_checks"] = bool(condition_checks)
+    if policy is not None:
+        updates["policy"] = GuardPolicy(policy)
+    if rail_margin is not None:
+        if rail_margin < 0:
+            raise ValueError("rail_margin must be non-negative")
+        updates["rail_margin"] = float(rail_margin)
+    if condition_limit is not None:
+        if condition_limit <= 0:
+            raise ValueError("condition_limit must be positive")
+        updates["condition_limit"] = float(condition_limit)
+    if fallback_substeps is not None:
+        if fallback_substeps < 2:
+            raise ValueError("fallback_substeps must be >= 2")
+        updates["fallback_substeps"] = int(fallback_substeps)
+    _GUARDS = replace(_GUARDS, **updates)
+
+
+def solver_guards_info() -> GuardConfig:
+    """The current process-global guard configuration (a frozen copy)."""
+    return _GUARDS
+
+
+#: Test/chaos seam: when set, called as ``hook(v_t, info)`` on every solve
+#: result *before* the guard checks, and may return a corrupted array —
+#: this is how ``repro.inject`` proves the guards fire.  ``info`` carries
+#: ``{"batch": bool, "n_nodes": int, "n_lanes": int}``.
+_FAULT_HOOK: Optional[Callable[[np.ndarray, dict], np.ndarray]] = None
+
+
+def _install_solver_fault_hook(
+    hook: Optional[Callable[[np.ndarray, dict], np.ndarray]]
+) -> None:
+    """Install (or clear, with ``None``) the solver fault-injection hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
 
 
 @dataclass
@@ -121,6 +227,10 @@ class _PropagatorCache:
         while len(self._data) >= self.maxsize:
             self._data.popitem(last=False)
         self._data[key] = value
+
+    def evict(self, key: tuple) -> None:
+        """Drop one entry (no-op if absent); used when a guard trips."""
+        self._data.pop(key, None)
 
     def info(self) -> PropagatorCacheInfo:
         return PropagatorCacheInfo(
@@ -307,6 +417,14 @@ class Network:
         inv_c = 1.0 / np.asarray(caps)
         a = -g * inv_c[:, None]
         b = s * inv_c
+        if _GUARDS.condition_checks:
+            # cond(G) is legitimately infinite for floating nodes, so the
+            # usable stiffness proxy is the spread of the *nonzero* decay
+            # rates |diag(A)|.  Advisory only: counts, never raises.
+            rates = np.abs(np.diag(a))
+            rates = rates[rates > 0]
+            if rates.size >= 2 and rates.max() / rates.min() > _GUARDS.condition_limit:
+                telemetry.count("solver.guard_ill_conditioned")
         # Augmented exponential: handles singular G (floating nodes) exactly.
         aug = np.zeros((n + 1, n + 1))
         aug[:n, :n] = a * duration
@@ -325,7 +443,15 @@ class Network:
         if cached is not None:
             return cached
         value = self._compute_propagator(key)
-        _PROPAGATORS.store(key, value)
+        phi, offset = value
+        if np.isfinite(phi).all() and np.isfinite(offset).all():
+            # A non-finite propagator must never enter the cache: every
+            # later application would silently diverge from a cache hit.
+            _PROPAGATORS.store(key, value)
+        elif _GUARDS.nan_checks:
+            raise SolverDivergenceError(
+                "nan", "computed propagator is non-finite", duration=duration
+            )
         return value
 
     @classmethod
@@ -337,6 +463,116 @@ class Network:
     def cache_clear(cls) -> None:
         """Drop the process-global propagator cache."""
         _PROPAGATORS.clear()
+
+    # -- guard rails ---------------------------------------------------------------
+
+    def _apply_once(
+        self, duration: float, v0: np.ndarray, batch: bool
+    ) -> np.ndarray:
+        """One propagator application, routed through the fault-hook seam."""
+        phi, offset = self._propagator(duration)
+        v_t = phi @ v0 + (offset if v0.ndim == 1 else offset[:, None])
+        if _FAULT_HOOK is not None:
+            lanes = 1 if v0.ndim == 1 else v0.shape[1]
+            v_t = np.asarray(
+                _FAULT_HOOK(
+                    v_t,
+                    {"batch": batch, "n_nodes": v0.shape[0], "n_lanes": lanes},
+                ),
+                dtype=float,
+            )
+        return v_t
+
+    def _check_result(
+        self, v0: np.ndarray, v_t: np.ndarray
+    ) -> Optional[Tuple[str, str, dict]]:
+        """``None`` if ``v_t`` passes the NaN/rail guards, else the trip.
+
+        The rail bound is the physics, not a heuristic: a passive RC
+        network's node voltages stay within the convex hull of the initial
+        node voltages and the driver levels, so anything ``rail_margin``
+        volts beyond that hull is unambiguous divergence.
+        """
+        finite = np.isfinite(v_t)
+        if not finite.all():
+            rows = np.unique(np.argwhere(~finite)[:, 0])
+            bad = ",".join(self._names[int(i)] for i in rows)
+            return "nan", "non-finite node voltage", {"nodes": bad}
+        v0m = v0 if v0.ndim == 2 else v0[:, None]
+        vtm = v_t if v_t.ndim == 2 else v_t[:, None]
+        lo = v0m.min(axis=0)
+        hi = v0m.max(axis=0)
+        drivers = [d.voltage for d in self._drivers]
+        if drivers:
+            lo = np.minimum(lo, min(drivers))
+            hi = np.maximum(hi, max(drivers))
+        margin = _GUARDS.rail_margin
+        below = vtm < lo - margin
+        above = vtm > hi + margin
+        if below.any() or above.any():
+            overshoot = np.where(above, vtm - (hi + margin), 0.0)
+            overshoot = np.maximum(overshoot, np.where(below, (lo - margin) - vtm, 0.0))
+            rows = np.unique(np.argwhere(below | above)[:, 0])
+            bad = ",".join(self._names[int(i)] for i in rows)
+            return (
+                "rail",
+                "node voltage escaped the source/initial-state hull",
+                {"nodes": bad, "overshoot_v": round(float(overshoot.max()), 6)},
+            )
+        return None
+
+    def _on_trip(self, guard: str, duration: float) -> None:
+        telemetry.count("solver.guard_trips")
+        telemetry.count(f"solver.guard_{guard}")
+        # Never leave the propagator behind a tripped solve in the cache.
+        _PROPAGATORS.evict(self._phase_signature(duration))
+
+    def _try_substeps(self, duration: float, v0: np.ndarray) -> Optional[np.ndarray]:
+        """FALLBACK recompute: the phase as ``k`` shorter sub-phases.
+
+        A smaller ``duration`` shrinks the scaled matrix norm, so the
+        Taylor series in :func:`_expm` is better conditioned.  Returns
+        ``None`` if the recomputed result still fails the guards.
+        """
+        k = _GUARDS.fallback_substeps
+        try:
+            phi, offset = self._propagator(duration / k)
+        except SolverDivergenceError:
+            return None
+        off = offset if v0.ndim == 1 else offset[:, None]
+        v = v0
+        for _ in range(k):
+            v = phi @ v + off
+        if _GUARDS.nan_checks and self._check_result(v0, v) is not None:
+            return None
+        telemetry.count("solver.guard_fallbacks")
+        return v
+
+    def _guarded_apply(
+        self, duration: float, v0: np.ndarray, batch: bool
+    ) -> np.ndarray:
+        guards = _GUARDS
+        try:
+            v_t = self._apply_once(duration, v0, batch)
+        except SolverDivergenceError as err:
+            self._on_trip(err.guard, duration)
+            if guards.policy is GuardPolicy.FALLBACK:
+                v_sub = self._try_substeps(duration, v0)
+                if v_sub is not None:
+                    return v_sub
+            raise
+        if not guards.nan_checks:
+            return v_t
+        trip = self._check_result(v0, v_t)
+        if trip is None:
+            return v_t
+        guard, message, context = trip
+        self._on_trip(guard, duration)
+        if guards.policy is GuardPolicy.FALLBACK:
+            v_sub = self._try_substeps(duration, v0)
+            if v_sub is not None:
+                return v_sub
+        raise SolverDivergenceError(guard, message, duration=duration, **context)
 
     # -- simulation ---------------------------------------------------------------
 
@@ -354,8 +590,7 @@ class Network:
             # Fully floating phase: every node holds its charge exactly.
             telemetry.count("solver.floating_skips")
             return self.voltages()
-        phi, offset = self._propagator(duration)
-        v_t = phi @ np.asarray(self._volts) + offset
+        v_t = self._guarded_apply(duration, np.asarray(self._volts), batch=False)
         self._volts = [float(x) for x in v_t]
         return self.voltages()
 
@@ -384,8 +619,7 @@ class Network:
         if not self._edges and not self._drivers:
             telemetry.count("solver.floating_skips")
             return v0
-        phi, offset = self._propagator(duration)
-        return phi @ v0 + offset[:, None]
+        return self._guarded_apply(duration, v0, batch=True)
 
     def steady_state_then(self, duration: float) -> Dict[str, float]:
         """Alias of :meth:`run` kept for API symmetry/readability."""

@@ -12,7 +12,10 @@ All values are SI: volts, ohms, farads, seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass, fields, replace
+
+from ..errors import SpecValidationError
 
 __all__ = ["Technology", "default_technology"]
 
@@ -184,6 +187,47 @@ class Technology:
     def nominal_retention_tau(self) -> float:
         """RC time constant of cell decay at the configured temperature."""
         return self.effective_cell_leak * self.c_cell
+
+    def validate(self) -> "Technology":
+        """Check every parameter for physical sanity; return ``self``.
+
+        The bounds are deliberately loose — ablation studies scale
+        parameters by large factors on purpose — so only outright
+        impossibilities are rejected: non-finite values anywhere,
+        non-positive capacitances/resistances/durations, a non-positive
+        supply, or sense/IO offsets and a threshold outside ``[0, vdd]``.
+        Raises :class:`~repro.errors.SpecValidationError` naming the field.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise SpecValidationError(
+                    "Technology", f.name, value, "a finite number"
+                )
+        for name in ("vdd", "v_wl_on"):
+            if getattr(self, name) <= 0:
+                raise SpecValidationError(
+                    "Technology", name, getattr(self, name), "> 0 V"
+                )
+        for f in fields(self):
+            if f.name.startswith(("c_", "r_", "t_")):
+                value = getattr(self, f.name)
+                if value <= 0:
+                    unit = {"c": "F", "r": "Ohm", "t": "s"}[f.name[0]]
+                    raise SpecValidationError(
+                        "Technology", f.name, value, f"> 0 {unit}",
+                        hint="capacitances, resistances and durations must "
+                             "be strictly positive",
+                    )
+        for name in ("v_precharge", "v_reference", "v_threshold",
+                     "sa_offset", "io_offset"):
+            value = getattr(self, name)
+            if not 0 <= value <= self.vdd:
+                raise SpecValidationError(
+                    "Technology", name, value,
+                    f"within [0, vdd={self.vdd}] V",
+                )
+        return self
 
     def scaled(self, **overrides: float) -> "Technology":
         """Return a copy with selected parameters replaced (for ablations)."""

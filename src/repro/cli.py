@@ -37,6 +37,20 @@ fallbacks, resumed and failed units) is printed after each fanned
 experiment.  Without these flags the output is byte-identical to
 earlier releases.
 
+Guard-rail flags (see ``docs/ROBUSTNESS.md``)::
+
+    --guard-policy P     reaction to a numerical solver-guard trip:
+                         raise (default), quarantine (record the grid
+                         point, keep going), fallback (retry the phase
+                         in shorter sub-steps)
+    --check-marginal     re-test region-boundary points under U jitter
+                         and flag classification flips (table1)
+
+With either flag set, a ``[guards]`` summary line follows each guarded
+experiment.  Errors exit with distinct statuses: an invalid spec
+(:class:`~repro.errors.SpecValidationError`) prints one line and exits
+2; solver divergence or another reproduction failure exits 3.
+
 Observability flags (any of them switches telemetry on for the run; see
 ``docs/OBSERVABILITY.md`` for metric names and formats)::
 
@@ -65,6 +79,8 @@ import time
 from typing import Callable, Dict, List
 
 from . import telemetry
+from .circuit.network import GuardPolicy
+from .errors import ReproError, SpecValidationError
 from .experiments import (
     ablation, bridges, diagnosis, escapes, fig3, fig4, fp_space, march_pf,
     retention, table1,
@@ -74,29 +90,39 @@ from .io import CheckpointStore
 from .parallel import Resilience, RetryPolicy, drain_resilience_log
 from .telemetry import profiled
 
-#: Experiment runners; each takes the ``--jobs`` worker count and the
-#: resilience configuration (the experiments without a parallel fan-out
-#: simply ignore both).
-_EXPERIMENTS: Dict[str, Callable[[int, object], object]] = {
-    "fig3": lambda jobs, res: fig3.run_fig3(jobs=jobs, resilience=res).report,
-    "fig4": lambda jobs, res: fig4.run_fig4(jobs=jobs, resilience=res).report,
-    "table1": lambda jobs, res: table1.run_table1(
-        jobs=jobs, resilience=res
-    ).report,
-    "fp-space": lambda jobs, res: fp_space.run_fp_space().report,
-    "march": lambda jobs, res: march_pf.run_march_pf(
-        jobs=jobs, resilience=res
-    ).report,
-    "ablation": lambda jobs, res: ablation.run_ablation().report,
-    "bridges": lambda jobs, res: bridges.run_bridges().report,
-    "retention": lambda jobs, res: retention.run_retention().report,
-    "escapes": lambda jobs, res: escapes.run_escapes().report,
-    "diagnosis": lambda jobs, res: diagnosis.run_diagnosis().report,
+#: Experiment runners; each takes the ``--jobs`` worker count, the
+#: resilience configuration and the guard options (the experiments
+#: without a parallel fan-out / solver surface simply ignore them) and
+#: returns the experiment's result object (``.report`` carries the
+#: rendered output).
+_EXPERIMENTS: Dict[str, Callable[[int, object, object, bool], object]] = {
+    "fig3": lambda jobs, res, gp, mg: fig3.run_fig3(
+        jobs=jobs, resilience=res, guard_policy=gp
+    ),
+    "fig4": lambda jobs, res, gp, mg: fig4.run_fig4(
+        jobs=jobs, resilience=res, guard_policy=gp
+    ),
+    "table1": lambda jobs, res, gp, mg: table1.run_table1(
+        jobs=jobs, resilience=res, guard_policy=gp, check_marginal=mg
+    ),
+    "fp-space": lambda jobs, res, gp, mg: fp_space.run_fp_space(),
+    "march": lambda jobs, res, gp, mg: march_pf.run_march_pf(
+        jobs=jobs, resilience=res, guard_policy=gp
+    ),
+    "ablation": lambda jobs, res, gp, mg: ablation.run_ablation(),
+    "bridges": lambda jobs, res, gp, mg: bridges.run_bridges(),
+    "retention": lambda jobs, res, gp, mg: retention.run_retention(),
+    "escapes": lambda jobs, res, gp, mg: escapes.run_escapes(),
+    "diagnosis": lambda jobs, res, gp, mg: diagnosis.run_diagnosis(),
 }
 
 #: Experiments with a worker-process fan-out: ``--jobs`` and the
 #: resilience flags apply to these only.
 _FANNED = frozenset({"fig3", "fig4", "table1", "march"})
+
+#: Experiments whose runners accept ``--guard-policy`` (the rest never
+#: touch the analog solver, or only through these).
+_GUARDED = frozenset({"fig3", "fig4", "table1", "march"})
 
 
 def _derived_metrics(registry: telemetry.MetricsRegistry) -> Dict[str, object]:
@@ -227,6 +253,22 @@ def main(argv=None) -> int:
         help="cancel a sweep unit still running after SECONDS and "
         "retry it (default: no timeout)",
     )
+    parser.add_argument(
+        "--guard-policy",
+        choices=[policy.value for policy in GuardPolicy],
+        default=None,
+        help="what a numerical solver-guard trip does: 'raise' stops "
+        "the run (the default behaviour), 'quarantine' records the "
+        "diverging grid point and keeps going, 'fallback' retries the "
+        "phase in shorter sub-steps (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--check-marginal",
+        action="store_true",
+        help="re-test region-boundary grid points under a small "
+        "floating-voltage jitter and flag classification flips "
+        "(table1 only; other experiments print a notice)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -255,6 +297,9 @@ def main(argv=None) -> int:
                 _probe_writable(path)
             except OSError as exc:
                 parser.error(f"cannot write {path}: {exc}")
+    guard_policy = (
+        GuardPolicy(args.guard_policy) if args.guard_policy else None
+    )
     run_all = args.experiment == "all"
     names = sorted(_EXPERIMENTS) if run_all else [args.experiment]
     telemetry_flags = bool(args.trace or args.metrics_json or args.profile)
@@ -285,16 +330,43 @@ def main(argv=None) -> int:
                     + ", ".join(sorted(_FANNED)) + ")"
                 )
                 print()
+            if guard_policy is not None and name not in _GUARDED:
+                print(
+                    f"[note] {name} does not use the analog solver; "
+                    f"--guard-policy {args.guard_policy} is ignored "
+                    "(guarded experiments: "
+                    + ", ".join(sorted(_GUARDED)) + ")"
+                )
+                print()
+            if args.check_marginal and name != "table1":
+                print(
+                    f"[note] {name} has no marginal-point check; "
+                    "--check-marginal applies to table1 only"
+                )
+                print()
             start = time.perf_counter()
-            report = _EXPERIMENTS[name](
-                args.jobs, resilience if name in _FANNED else None
+            result = _EXPERIMENTS[name](
+                args.jobs, resilience if name in _FANNED else None,
+                guard_policy, args.check_marginal,
             )
             elapsed = time.perf_counter() - start
+            report = getattr(result, "report", result)
             print(report.render())
             print()
             if resilience is not None and name in _FANNED:
                 for line in _resilience_summary(name):
                     print(line)
+                print()
+            if (
+                (guard_policy is not None or args.check_marginal)
+                and name in _GUARDED
+            ):
+                quarantined = getattr(result, "quarantined", ()) or ()
+                print(
+                    f"[guards] {name}: policy="
+                    f"{(guard_policy or GuardPolicy.RAISE).value}, "
+                    f"{len(quarantined)} grid point(s) quarantined"
+                )
                 print()
             if telemetry_flags:
                 print(
@@ -313,6 +385,16 @@ def main(argv=None) -> int:
             print()
         else:
             run_experiments()
+    except SpecValidationError as exc:
+        # A malformed spec is a usage problem: one actionable line, no
+        # traceback, distinct exit status.
+        print(f"repro-partial-faults: invalid spec: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # Solver divergence (under GuardPolicy.RAISE), checkpoint
+        # mismatches and other runtime failures of the reproduction.
+        print(f"repro-partial-faults: {exc}", file=sys.stderr)
+        return 3
     finally:
         if resilience is not None and resilience.checkpoint is not None:
             resilience.checkpoint.close()

@@ -39,24 +39,39 @@ import numpy as np
 from .. import telemetry
 from ..circuit.column import BatchDivergence, ColumnBatch, DRAMColumn
 from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation, floating_nodes
+from ..circuit.network import GuardPolicy, solver_guards_configure, solver_guards_info
 from ..circuit.technology import Technology, default_technology
+from ..errors import SolverDivergenceError, SpecValidationError
 from .fault_primitives import BITLINE_NEIGHBOR, SOS, VICTIM, FaultPrimitive, parse_sos
 from .ffm import FFM, classify_fp
-from .regions import FPRegionMap
+from .regions import FPRegionMap, QUARANTINED
 
 __all__ = [
     "SweepGrid",
     "Observation",
     "PartialFaultFinding",
+    "QuarantinedPoint",
     "CacheInfo",
     "ColumnFaultAnalyzer",
     "PROBE_SOSES",
     "default_grid_for",
+    "current_operating_point",
 ]
 
 #: The paper's Section 1 probe space: single-cell SOSes with at most one
 #: operation (initial state alone, all four writes, both fault-free reads).
 PROBE_SOSES: Tuple[str, ...] = ("0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r1")
+
+#: The operating point currently being executed, or ``None`` outside a
+#: solve.  ``u`` is a float for scalar execution and a tuple of lane
+#: voltages for a batch.  This is how targeted fault injectors
+#: (``repro.inject``) hit one specific grid point.
+_CURRENT_POINT: Optional[Dict] = None
+
+
+def current_operating_point() -> Optional[Dict]:
+    """The ``{"r_def", "u", "location"}`` of the executing solve, if any."""
+    return _CURRENT_POINT
 
 
 def _check_axis(lo: float, hi: float, n: int) -> None:
@@ -156,7 +171,62 @@ class SweepGrid:
         n_u: int = 12,
     ) -> "SweepGrid":
         """Log-spaced resistances, linearly spaced voltages."""
+        if not (math.isfinite(r_min) and r_min > 0):
+            raise SpecValidationError(
+                "SweepGrid", "r_min", r_min, "a finite positive resistance",
+                hint="the R axis is log-spaced",
+            )
+        if not (math.isfinite(r_max) and r_max >= r_min):
+            raise SpecValidationError(
+                "SweepGrid", "r_max", r_max, f"finite and >= r_min = {r_min}",
+            )
+        if not math.isfinite(u_min):
+            raise SpecValidationError(
+                "SweepGrid", "u_min", u_min, "a finite voltage"
+            )
+        if not (math.isfinite(u_max) and u_max >= u_min):
+            raise SpecValidationError(
+                "SweepGrid", "u_max", u_max, f"finite and >= u_min = {u_min}",
+            )
         return cls(_log_space(r_min, r_max, n_r), _lin_space(u_min, u_max, n_u))
+
+    def validate(self) -> "SweepGrid":
+        """Check the axes for well-formedness; return ``self``.
+
+        Raises :class:`~repro.errors.SpecValidationError` for empty axes,
+        non-finite or non-positive resistances, non-finite voltages, or
+        unsorted values (the region maps require ascending axes).
+        """
+        if not self.r_values:
+            raise SpecValidationError(
+                "SweepGrid", "r_values", self.r_values,
+                "a non-empty ascending tuple of resistances",
+            )
+        if not self.u_values:
+            raise SpecValidationError(
+                "SweepGrid", "u_values", self.u_values,
+                "a non-empty ascending tuple of voltages",
+            )
+        for r in self.r_values:
+            if not (isinstance(r, (int, float)) and math.isfinite(r) and r > 0):
+                raise SpecValidationError(
+                    "SweepGrid", "r_values", r,
+                    "finite positive resistances only",
+                )
+        for u in self.u_values:
+            if not (isinstance(u, (int, float)) and math.isfinite(u)):
+                raise SpecValidationError(
+                    "SweepGrid", "u_values", u, "finite voltages only"
+                )
+        if list(self.r_values) != sorted(self.r_values):
+            raise SpecValidationError(
+                "SweepGrid", "r_values", self.r_values, "sorted ascending"
+            )
+        if list(self.u_values) != sorted(self.u_values):
+            raise SpecValidationError(
+                "SweepGrid", "u_values", self.u_values, "sorted ascending"
+            )
+        return self
 
     def coarser(self, every_r: int = 2, every_u: int = 2) -> "SweepGrid":
         """Subsampled grid (for the inner loop of the completion search).
@@ -186,16 +256,48 @@ class SweepGrid:
 
 @dataclass(frozen=True)
 class Observation:
-    """Result of executing one SOS at one ``(R_def, U)`` operating point."""
+    """Result of executing one SOS at one ``(R_def, U)`` operating point.
+
+    ``quarantined`` marks a point whose solve tripped a numerical guard
+    under ``GuardPolicy.QUARANTINE``; its other fields are then
+    meaningless (``faulty_value`` is ``-1``).
+    """
 
     fp: Optional[FaultPrimitive]
     ffm: Optional[FFM]
     faulty_value: int
     read_value: Optional[int]
+    quarantined: bool = False
 
     @property
     def is_faulty(self) -> bool:
         return self.fp is not None
+
+
+@dataclass(frozen=True)
+class QuarantinedPoint:
+    """Full context of one grid point removed from a survey by a guard trip.
+
+    Everything needed to replay the point later: where the defect sits,
+    which floating voltages were initialized, the probing SOS, the exact
+    ``(R_def, U)`` coordinates, the tripped guard, and the solver's own
+    diagnostic (which includes the phase and offending nodes).
+    """
+
+    location: OpenLocation
+    floating: Tuple[FloatingNode, ...]
+    sos: str
+    r_def: float
+    u: float
+    guard: str
+    detail: str
+
+    def __str__(self) -> str:
+        nodes = "+".join(node.name for node in self.floating)
+        return (
+            f"{self.location.name} {self.sos!r} [{nodes}] "
+            f"R={self.r_def:.3e} U={self.u:.3f}: {self.guard}"
+        )
 
 
 @dataclass(frozen=True)
@@ -258,6 +360,7 @@ class ColumnFaultAnalyzer:
         grid: Optional[SweepGrid] = None,
         max_cache_entries: Optional[int] = None,
         batch_u: bool = True,
+        guard_policy: Optional[GuardPolicy] = None,
     ) -> None:
         if n_rows < 2:
             raise ValueError("the analyzer needs a bit-line neighbour row")
@@ -275,6 +378,18 @@ class ColumnFaultAnalyzer:
         self._cache: Dict[Tuple, Observation] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        # An explicit policy applies to the process-global solver guards,
+        # so FALLBACK substepping works inside the network layer too (and
+        # so workers rebuilt from an AnalyzerSpec behave like the parent).
+        self.guard_policy = guard_policy
+        if guard_policy is not None:
+            solver_guards_configure(policy=guard_policy)
+        self.quarantined: List[QuarantinedPoint] = []
+
+    def _effective_policy(self) -> GuardPolicy:
+        if self.guard_policy is not None:
+            return self.guard_policy
+        return solver_guards_info().policy
 
     # -- observation cache ----------------------------------------------------
 
@@ -359,7 +474,20 @@ class ColumnFaultAnalyzer:
         floating: Tuple[FloatingNode, ...],
     ) -> Tuple[int, Optional[int]]:
         """Run one SOS at one operating point; return ``(F, R)``."""
+        global _CURRENT_POINT
         telemetry.count("analyzer.sos_executions")
+        _CURRENT_POINT = {
+            "location": self.location, "r_def": r_def, "u": u,
+        }
+        try:
+            return self._execute_scalar_inner(sos, r_def, u, floating)
+        finally:
+            _CURRENT_POINT = None
+
+    def _execute_scalar_inner(
+        self, sos: SOS, r_def: float, u: float,
+        floating: Tuple[FloatingNode, ...],
+    ) -> Tuple[int, Optional[int]]:
         column = self.make_column(r_def)
         # When the floating voltage *is* the victim's storage node, the
         # swept U is the cell voltage before initialization: the victim's
@@ -406,6 +534,19 @@ class ColumnFaultAnalyzer:
         :class:`BatchDivergence` when a data-dependent branch (sense-amp
         decision) resolves differently across lanes.
         """
+        global _CURRENT_POINT
+        _CURRENT_POINT = {
+            "location": self.location, "r_def": r_def, "u": tuple(u_values),
+        }
+        try:
+            return self._execute_batch_inner(sos, r_def, u_values, floating)
+        finally:
+            _CURRENT_POINT = None
+
+    def _execute_batch_inner(
+        self, sos: SOS, r_def: float, u_values: Sequence[float],
+        floating: Tuple[FloatingNode, ...],
+    ) -> List[Tuple[int, Optional[int]]]:
         column = self.make_column(r_def)
         init_via_write = FloatingNode.CELL in floating
         data = self._preset_data(sos, init_via_write)
@@ -449,13 +590,33 @@ class ColumnFaultAnalyzer:
             for i in range(len(u_values))
         ]
 
+    def _quarantine(
+        self, sos: SOS, r_def: float, u: float,
+        floating: Tuple[FloatingNode, ...], err: SolverDivergenceError,
+    ) -> Observation:
+        """Record a guard trip as a quarantined point; return its marker."""
+        point = QuarantinedPoint(
+            location=self.location,
+            floating=floating,
+            sos=sos.to_string(),
+            r_def=r_def,
+            u=u,
+            guard=err.guard,
+            detail=str(err),
+        )
+        self.quarantined.append(point)
+        telemetry.count("analyzer.quarantined_points")
+        return Observation(None, None, -1, None, quarantined=True)
+
     def observe(
         self, sos: SOS, r_def: float, u: float, floating
     ) -> Observation:
         """Execute one SOS at one operating point; classify the behaviour.
 
         ``floating`` is one :class:`FloatingNode` or a tuple of them (all
-        initialized to the same ``U``).
+        initialized to the same ``U``).  Under ``GuardPolicy.QUARANTINE``
+        a solver guard trip is absorbed: the point is recorded on
+        :attr:`quarantined` and a quarantined observation is returned.
         """
         floating = _as_nodes(floating)
         telemetry.count("analyzer.observe_calls")
@@ -467,8 +628,16 @@ class ColumnFaultAnalyzer:
             return hit
         self._cache_misses += 1
         telemetry.count("analyzer.cache_misses")
-        faulty_value, read_value = self._execute_scalar(sos, r_def, u, floating)
-        obs = self._classify(sos, faulty_value, read_value)
+        try:
+            faulty_value, read_value = self._execute_scalar(
+                sos, r_def, u, floating
+            )
+        except SolverDivergenceError as err:
+            if self._effective_policy() is not GuardPolicy.QUARANTINE:
+                raise
+            obs = self._quarantine(sos, r_def, u, floating, err)
+        else:
+            obs = self._classify(sos, faulty_value, read_value)
         self._cache_store(key, obs)
         return obs
 
@@ -514,13 +683,33 @@ class ColumnFaultAnalyzer:
             except BatchDivergence:
                 telemetry.count("analyzer.batch_fallbacks")
                 outcomes = None
+            except SolverDivergenceError:
+                # A guard tripped somewhere in the lock-step batch; under
+                # QUARANTINE re-run the lanes scalar so only the diverging
+                # lane(s) quarantine instead of the whole grid column.
+                if self._effective_policy() is not GuardPolicy.QUARANTINE:
+                    raise
+                telemetry.count("analyzer.batch_fallbacks")
+                outcomes = None
         if outcomes is None:
-            outcomes = [
-                self._execute_scalar(sos, r_def, u, floating)
-                for u in missing_u
-            ]
-        for i, (faulty_value, read_value) in zip(missing, outcomes):
-            obs = self._classify(sos, faulty_value, read_value)
+            outcomes = []
+            for u in missing_u:
+                try:
+                    outcomes.append(
+                        self._execute_scalar(sos, r_def, u, floating)
+                    )
+                except SolverDivergenceError as err:
+                    if self._effective_policy() is not GuardPolicy.QUARANTINE:
+                        raise
+                    outcomes.append(err)
+        for i, outcome in zip(missing, outcomes):
+            if isinstance(outcome, SolverDivergenceError):
+                obs = self._quarantine(
+                    sos, r_def, u_values[i], floating, outcome
+                )
+            else:
+                faulty_value, read_value = outcome
+                obs = self._classify(sos, faulty_value, read_value)
             self._cache_store((sos, r_def, u_values[i], floating), obs)
             observations[i] = obs
         return observations  # type: ignore[return-value]
@@ -544,6 +733,8 @@ class ColumnFaultAnalyzer:
         grid = grid or self.grid
 
         def label_of(obs: Observation):
+            if obs.quarantined:
+                return QUARANTINED
             if obs.fp is None:
                 return None
             if label == "fp":
@@ -556,6 +747,63 @@ class ColumnFaultAnalyzer:
             column = self.observe_batch(sos, r, grid.u_values, floating)
             rows.append(tuple(label_of(obs) for obs in column))
         return FPRegionMap(grid.r_values, grid.u_values, tuple(rows))
+
+    # -- marginal-point detection ---------------------------------------------
+
+    def marginal_points(
+        self,
+        sos: SOS,
+        floating,
+        region: FPRegionMap,
+        epsilon: Optional[float] = None,
+    ) -> Tuple[Tuple[float, float], ...]:
+        """Region-boundary points whose label flips under ``±ε`` U jitter.
+
+        For every boundary point of every observed label, the SOS is
+        re-executed with the floating voltage nudged by ``±epsilon``
+        (clamped to the map's U range); a point whose classification
+        differs for either nudge is *marginal* — its region assignment is
+        grid-resolution-fragile, the stress-condition sensitivity studied
+        by Majhi et al.  The default ``epsilon`` is 2% of the U span.
+        Returns the ``(r, u)`` coordinates of the marginal points.
+        """
+        floating = _as_nodes(floating)
+        u_lo, u_hi = region.u_values[0], region.u_values[-1]
+        if epsilon is None:
+            span = u_hi - u_lo
+            epsilon = 0.02 * (span if span > 0 else self.technology.vdd)
+        candidates: List[Tuple[int, int]] = []
+        seen = set()
+        for lab in region.observed_labels:
+            if lab is QUARANTINED:
+                continue
+            for ij in region.boundary_points(lab):
+                if ij not in seen:
+                    seen.add(ij)
+                    candidates.append(ij)
+        marginal: List[Tuple[float, float]] = []
+        for i, j in sorted(candidates):
+            r = region.r_values[i]
+            u = region.u_values[j]
+            base = region.labels[i][j]
+            for du in (-epsilon, epsilon):
+                u_jit = min(max(u + du, u_lo), u_hi)
+                if u_jit == u:
+                    continue
+                obs = self.observe(sos, r, u_jit, floating)
+                if obs.quarantined:
+                    jittered = QUARANTINED
+                elif obs.fp is None:
+                    jittered = None
+                else:
+                    jittered = (
+                        obs.ffm if obs.ffm is not None else obs.fp.to_string()
+                    )
+                if jittered != base:
+                    marginal.append((r, u))
+                    telemetry.count("analyzer.marginal_points")
+                    break
+        return tuple(marginal)
 
     # -- the Section 5 survey -------------------------------------------------------
 

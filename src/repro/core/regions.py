@@ -19,11 +19,31 @@ Figs. 3(b)/4(b)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-__all__ = ["FPRegionMap"]
+__all__ = ["FPRegionMap", "SpecialLabel", "QUARANTINED"]
 
 Label = Optional[Hashable]
+
+
+class SpecialLabel(Enum):
+    """Non-fault grid labels (an enum, so they pickle by identity).
+
+    ``QUARANTINED`` marks a point whose solve tripped a numerical guard
+    under ``GuardPolicy.QUARANTINE`` — neither fault-free nor a fault
+    observation, so the partial-fault statistics exclude it (see
+    ``docs/ROBUSTNESS.md``).
+    """
+
+    QUARANTINED = "quarantined"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Convenience alias for the quarantine grid label.
+QUARANTINED = SpecialLabel.QUARANTINED
 
 
 @dataclass(frozen=True)
@@ -86,18 +106,57 @@ class FPRegionMap:
         return tuple(seen)
 
     def fault_fraction(self, label: Optional[Hashable] = None) -> float:
-        """Fraction of grid points showing ``label`` (any fault if None)."""
+        """Fraction of grid points showing ``label`` (any fault if None).
+
+        Quarantined points are not fault observations, so ``label=None``
+        does not count them.
+        """
         total = len(self.r_values) * len(self.u_values)
         if total == 0:
             return 0.0
         count = 0
         for row in self.labels:
             for cell in row:
-                if (label is None and cell is not None) or (
-                    label is not None and cell == label
-                ):
+                if (
+                    label is None
+                    and cell is not None
+                    and cell is not QUARANTINED
+                ) or (label is not None and cell == label):
                     count += 1
         return count / total
+
+    def quarantined_points(self) -> Tuple[Tuple[float, float], ...]:
+        """``(r, u)`` of every grid point labelled ``QUARANTINED``."""
+        return tuple(
+            (self.r_values[i], self.u_values[j])
+            for i, row in enumerate(self.labels)
+            for j, cell in enumerate(row)
+            if cell is QUARANTINED
+        )
+
+    def boundary_points(self, label: Hashable) -> Tuple[Tuple[int, int], ...]:
+        """Grid indices on the edge of a label's region.
+
+        A point carries the label and at least one 4-neighbour does not
+        (grid border counts as a differing neighbour only when the region
+        does not fill the whole axis there is no neighbour toward).  These
+        are the classification-unstable candidates the marginal-point
+        check re-examines under ``U`` jitter.
+        """
+        edge: List[Tuple[int, int]] = []
+        n_r, n_u = len(self.r_values), len(self.u_values)
+        for i in range(n_r):
+            for j in range(n_u):
+                if self.labels[i][j] != label:
+                    continue
+                for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    ni, nj = i + di, j + dj
+                    if 0 <= ni < n_r and 0 <= nj < n_u and (
+                        self.labels[ni][nj] != label
+                    ):
+                        edge.append((i, j))
+                        break
+        return tuple(edge)
 
     # -- partial-fault rule ----------------------------------------------------
 
@@ -143,7 +202,9 @@ class FPRegionMap:
         for i in range(len(self.r_values)):
             if label is None:
                 hits = sum(
-                    1 for cell in self.labels[i] if cell is not None
+                    1
+                    for cell in self.labels[i]
+                    if cell is not None and cell is not QUARANTINED
                 )
             else:
                 hits = len(self.u_indices_with(label, i))

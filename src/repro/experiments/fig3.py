@@ -20,12 +20,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..circuit.defects import FloatingNode, OpenLocation
+from ..circuit.network import GuardPolicy
 from ..circuit.technology import Technology
 from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.fault_primitives import parse_fp, parse_sos
 from ..core.ffm import FFM
 from ..core.regions import FPRegionMap
-from .reporting import ExperimentReport, instrumented
+from .reporting import ExperimentReport, guards_block, instrumented
 
 __all__ = ["Fig3Result", "run_fig3"]
 
@@ -48,6 +49,14 @@ class Fig3Result:
     def max_fault_voltage(self) -> Optional[float]:
         return self.partial_map.max_fault_voltage(FFM.RDF1)
 
+    @property
+    def quarantined(self):
+        """``(r, u)`` grid points either map quarantined (usually empty)."""
+        return (
+            self.partial_map.quarantined_points()
+            + self.completed_map.quarantined_points()
+        )
+
 
 @instrumented("fig3")
 def run_fig3(
@@ -56,6 +65,7 @@ def run_fig3(
     n_u: int = 12,
     jobs: int = 1,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3(a) and 3(b).
 
@@ -64,6 +74,9 @@ def run_fig3(
     (see ``docs/ROBUSTNESS.md``) adds unit retry/fallback and
     checkpoint/resume of the two maps; a map that fails every recovery
     attempt raises, since the figure cannot be built without it.
+    ``guard_policy`` selects the solver-guard reaction per grid point;
+    under ``GuardPolicy.QUARANTINE`` diverging points land in the maps
+    as ``QUARANTINED`` labels and in the report's ``[guards]`` block.
     """
     grid = default_grid_for(OpenLocation.BL_PRECHARGE_CELLS, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
@@ -71,7 +84,8 @@ def run_fig3(
         from ..parallel import AnalyzerSpec, parallel_map, region_map_unit
 
         spec = AnalyzerSpec(
-            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid
+            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid,
+            guard_policy=guard_policy,
         )
         partial_map, completed_map = parallel_map(
             region_map_unit,
@@ -92,7 +106,8 @@ def run_fig3(
         )
     else:
         analyzer = ColumnFaultAnalyzer(
-            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid
+            OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid,
+            guard_policy=guard_policy,
         )
         partial_map = analyzer.region_map(
             parse_sos("1r1"), FloatingNode.BIT_LINE
@@ -106,6 +121,11 @@ def run_fig3(
     report.add_block(
         f"Fig. 3(b): S = {completed_fp.sos}\n" + completed_map.render_ascii()
     )
+    guards = guards_block(
+        partial_map.quarantined_points() + completed_map.quarantined_points()
+    )
+    if guards is not None:
+        report.add_block(guards)
 
     rdf1_seen = FFM.RDF1 in partial_map.observed_labels
     report.claim(

@@ -21,12 +21,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..circuit.defects import FloatingNode, OpenLocation
+from ..circuit.network import GuardPolicy
 from ..circuit.technology import Technology
 from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
 from ..core.fault_primitives import parse_fp, parse_sos
 from ..core.ffm import FFM
 from ..core.regions import FPRegionMap
-from .reporting import ExperimentReport, instrumented
+from .reporting import ExperimentReport, guards_block, instrumented
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -50,6 +51,14 @@ class Fig4Result:
     r_at_high_u: Optional[float]
     r_completed: Optional[float]
 
+    @property
+    def quarantined(self):
+        """``(r, u)`` grid points either map quarantined (usually empty)."""
+        return (
+            self.partial_map.quarantined_points()
+            + self.completed_map.quarantined_points()
+        )
+
 
 @instrumented("fig4")
 def run_fig4(
@@ -58,6 +67,7 @@ def run_fig4(
     n_u: int = 12,
     jobs: int = 1,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
 ) -> Fig4Result:
     """Regenerate Fig. 4(a) and 4(b).
 
@@ -66,6 +76,9 @@ def run_fig4(
     (see ``docs/ROBUSTNESS.md``) adds unit retry/fallback and
     checkpoint/resume of the two maps; a map that fails every recovery
     attempt raises, since the figure cannot be built without it.
+    ``guard_policy`` selects the solver-guard reaction per grid point;
+    under ``GuardPolicy.QUARANTINE`` diverging points land in the maps
+    as ``QUARANTINED`` labels and in the report's ``[guards]`` block.
     """
     grid = default_grid_for(OpenLocation.CELL, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
@@ -73,7 +86,8 @@ def run_fig4(
         from ..parallel import AnalyzerSpec, parallel_map, region_map_unit
 
         spec = AnalyzerSpec(
-            OpenLocation.CELL, technology=technology, grid=grid
+            OpenLocation.CELL, technology=technology, grid=grid,
+            guard_policy=guard_policy,
         )
         partial_map, completed_map = parallel_map(
             region_map_unit,
@@ -94,7 +108,8 @@ def run_fig4(
         )
     else:
         analyzer = ColumnFaultAnalyzer(
-            OpenLocation.CELL, technology=technology, grid=grid
+            OpenLocation.CELL, technology=technology, grid=grid,
+            guard_policy=guard_policy,
         )
         partial_map = analyzer.region_map(parse_sos("0r0"), FloatingNode.CELL)
         completed_map = analyzer.region_map(
@@ -106,6 +121,11 @@ def run_fig4(
     report.add_block(
         f"Fig. 4(b): S = {completed_fp.sos}\n" + completed_map.render_ascii()
     )
+    guards = guards_block(
+        partial_map.quarantined_points() + completed_map.quarantined_points()
+    )
+    if guards is not None:
+        report.add_block(guards)
 
     rdf0_seen = FFM.RDF0 in partial_map.observed_labels
     report.claim(

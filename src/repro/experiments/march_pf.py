@@ -21,12 +21,14 @@ the automatically generated test of :mod:`repro.march.generator`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation
+from ..circuit.network import GuardPolicy, solver_guards_configure
 from ..circuit.technology import Technology
 from ..core.fault_primitives import FaultPrimitive, parse_fp
+from ..errors import SolverDivergenceError
 from ..march.coverage import CoverageMatrix, coverage_matrix
 from ..march.generator import generate_march
 from ..march.library import ALL_TESTS, MARCH_PF, MARCH_PF_PLUS
@@ -34,7 +36,12 @@ from ..march.notation import MarchTest
 from ..march.simulator import run_march
 from ..memory.array import Topology
 from ..memory.simulator import ElectricalMemory
-from .reporting import ExperimentReport, format_table, instrumented
+from .reporting import (
+    ExperimentReport,
+    format_table,
+    guards_block,
+    instrumented,
+)
 from .table1 import REFERENCE_COMPLETED_FPS
 
 __all__ = ["MarchPFResult", "run_march_pf", "completed_fault_set",
@@ -69,17 +76,27 @@ class MarchPFResult:
     matrix: CoverageMatrix
     electrical: Dict[str, Dict[str, bool]]
     report: ExperimentReport
+    #: ``"<test>: <point>"`` labels of electrical cross-validation points
+    #: whose simulation tripped a solver guard under QUARANTINE (the
+    #: verdict for such a point is recorded as not detected).
+    quarantined: List[str] = field(default_factory=list)
 
 
-def _detect_point(payload) -> bool:
+def _detect_point(payload):
     """Detection verdict for one (test, defect point) unit.
 
     The point is exercised with both adversarial floating-voltage presets
     (all floating nodes low / all high); detection requires flagging both.
     Top-level so :func:`~repro.parallel.parallel_map` can ship it to a
-    worker process.
+    worker process.  Returns a bool verdict — or the string
+    ``"quarantined"`` when a solver guard trips under
+    ``GuardPolicy.QUARANTINE`` (a march sequence has no grid point to
+    skip, so the whole defect point is set aside).
     """
-    test, location, resistance, technology, n_rows = payload
+    test, location, resistance, technology, n_rows = payload[:5]
+    guard_policy = payload[5] if len(payload) > 5 else None
+    if guard_policy is not None:
+        solver_guards_configure(policy=guard_policy)
     detected_all = True
     for preset in (0.0, None):
         memory = ElectricalMemory.with_defect(
@@ -95,7 +112,12 @@ def _detect_point(payload) -> bool:
                 memory.column.set_floating_voltage(
                     node, memory.column.tech.vdd
                 )
-        outcome = run_march(test, memory, stop_at_first=True)
+        try:
+            outcome = run_march(test, memory, stop_at_first=True)
+        except SolverDivergenceError:
+            if guard_policy is not GuardPolicy.QUARANTINE:
+                raise
+            return "quarantined"
         detected_all = detected_all and outcome.detected
     return detected_all
 
@@ -107,6 +129,8 @@ def electrical_detection(
     n_rows: int = 3,
     jobs: int = 1,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
+    quarantined: Optional[List[str]] = None,
 ) -> Dict[str, bool]:
     """Run one march test on the analog model for each defect point.
 
@@ -115,11 +139,16 @@ def electrical_detection(
     ``resilience`` (see ``docs/ROBUSTNESS.md``) adds retry/fallback and
     checkpoint/resume per point; a point that exhausts every recovery
     attempt is recorded as a failure and reported as not detected.
+
+    ``guard_policy`` is applied inside each unit (worker processes
+    included).  Under ``GuardPolicy.QUARANTINE`` a point whose march
+    simulation trips a solver guard is recorded as not detected and its
+    label is appended to ``quarantined`` (when a list is passed).
     """
     from ..parallel import parallel_map_ex
 
     payloads = [
-        (test, location, resistance, technology, n_rows)
+        (test, location, resistance, technology, n_rows, guard_policy)
         for location, resistance in points
     ]
     verdicts = parallel_map_ex(
@@ -136,10 +165,16 @@ def electrical_detection(
         codec="json",
         strict=resilience is None,
     ).results
-    return {
-        f"Open {location.number} @ {resistance:.0e}": bool(detected)
-        for (location, resistance), detected in zip(points, verdicts)
-    }
+    results: Dict[str, bool] = {}
+    for (location, resistance), verdict in zip(points, verdicts):
+        label = f"Open {location.number} @ {resistance:.0e}"
+        if verdict == "quarantined":
+            if quarantined is not None:
+                quarantined.append(f"{test.name}: {label}")
+            results[label] = False
+        else:
+            results[label] = bool(verdict)
+    return results
 
 
 @instrumented("march_pf")
@@ -151,12 +186,16 @@ def run_march_pf(
     with_electrical: bool = True,
     jobs: int = 1,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
 ) -> MarchPFResult:
     """Regenerate the march-test comparison.
 
     ``jobs`` parallelizes the electrical cross-validation points;
     ``resilience`` threads retry/fallback and checkpoint/resume through
-    them (see ``docs/ROBUSTNESS.md``).
+    them (see ``docs/ROBUSTNESS.md``).  ``guard_policy`` applies to the
+    electrical cross-validation (the coverage matrix is symbolic and
+    never touches the solver); quarantined defect points land on
+    ``result.quarantined`` and in the ``[guards]`` report block.
     """
     faults = completed_fault_set()
     topology = topology or Topology(n_rows=4, n_cols=2)
@@ -213,10 +252,12 @@ def run_march_pf(
             printed_pf >= 6,
         )
     electrical: Dict[str, Dict[str, bool]] = {}
+    quarantined: List[str] = []
     if with_electrical:
         for test in (MARCH_PF_PLUS, MARCH_PF):
             electrical[test.name] = electrical_detection(
-                test, technology, jobs=jobs, resilience=resilience
+                test, technology, jobs=jobs, resilience=resilience,
+                guard_policy=guard_policy, quarantined=quarantined,
             )
         rows = [
             (point,
@@ -235,7 +276,10 @@ def run_march_pf(
             f"/{len(electrical['March PF+'])} defect points flagged",
             all(electrical["March PF+"].values()),
         )
-    return MarchPFResult(matrix, electrical, report)
+    guards = guards_block(quarantined)
+    if guards is not None:
+        report.add_block(guards)
+    return MarchPFResult(matrix, electrical, report, quarantined=quarantined)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

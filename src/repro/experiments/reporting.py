@@ -22,7 +22,10 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from .. import telemetry
 
-__all__ = ["Claim", "ExperimentReport", "format_table", "instrumented"]
+__all__ = [
+    "Claim", "ExperimentReport", "format_table", "guards_block",
+    "instrumented",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +122,32 @@ def instrumented(name: str) -> Callable[[_RunFn], _RunFn]:
         return wrapper
 
     return decorate
+
+
+def guards_block(
+    quarantined: Sequence[object], marginal: Optional[int] = None
+) -> Optional[str]:
+    """Render the ``[guards]`` report block, or None when silent.
+
+    ``quarantined`` holds whatever the experiment collected — rich
+    :class:`~repro.core.analysis.QuarantinedPoint` records or bare
+    ``(r, u)`` grid coordinates; each renders via ``str``.  ``marginal``
+    is the marginal-point count when the check ran (None when it did
+    not).  A run with no quarantined points and no marginal check
+    returns None so default-path reports stay byte-identical.
+    """
+    if not quarantined and marginal is None:
+        return None
+    lines = ["[guards]", f"quarantined grid points: {len(quarantined)}"]
+    for point in quarantined:
+        if isinstance(point, tuple):
+            r, u = point
+            lines.append(f"  R_def={r:.6g} Ohm, U={u:.6g} V")
+        else:
+            lines.append(f"  {point}")
+    if marginal is not None:
+        lines.append(f"marginal boundary points: {marginal}")
+    return "\n".join(lines)
 
 
 def format_table(

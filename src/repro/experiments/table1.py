@@ -17,16 +17,26 @@ caption notes its results are simplified/truncated).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.defects import OpenLocation
+from ..circuit.network import GuardPolicy
 from ..circuit.technology import Technology
-from ..core.analysis import ColumnFaultAnalyzer, default_grid_for
+from ..core.analysis import (
+    ColumnFaultAnalyzer,
+    QuarantinedPoint,
+    default_grid_for,
+)
 from ..core.completion import complete_fault
 from ..core.fault_primitives import FaultPrimitive
 from ..core.ffm import FFM
-from .reporting import ExperimentReport, format_table, instrumented
+from .reporting import (
+    ExperimentReport,
+    format_table,
+    guards_block,
+    instrumented,
+)
 
 __all__ = [
     "InventoryRow",
@@ -62,6 +72,9 @@ class InventoryRow:
     open_number: int
     completed: Optional[FaultPrimitive]
     floating: str
+    #: Count of region-boundary points whose classification flips under
+    #: the ±ε U-jitter check; None when ``check_marginal`` did not run.
+    marginal: Optional[int] = None
 
     @property
     def completed_text(self) -> str:
@@ -109,6 +122,9 @@ class Table1Result:
     rows: List[InventoryRow]
     report: ExperimentReport
     matches: Dict[str, int]
+    #: Grid points whose solve tripped a numerical guard under
+    #: ``GuardPolicy.QUARANTINE`` (empty on a clean run).
+    quarantined: List[QuarantinedPoint] = field(default_factory=list)
 
 
 def _completion_unit(payload) -> Optional[FaultPrimitive]:
@@ -139,6 +155,8 @@ def run_table1(
     jobs: int = 1,
     batch_u: bool = True,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
+    check_marginal: bool = False,
 ) -> Table1Result:
     """Regenerate Table 1 by full defect-injection analysis.
 
@@ -154,20 +172,29 @@ def run_table1(
     incremental persistence and resume of finished units (see
     ``docs/ROBUSTNESS.md``); it routes ``jobs=1`` through the same unit
     decomposition, which by unit purity yields the identical inventory.
+
+    ``guard_policy`` selects what a solver guard trip does at each grid
+    point (``GuardPolicy.QUARANTINE`` records the point on
+    ``result.quarantined`` and keeps going); ``check_marginal`` re-tests
+    each finding's region-boundary points under ±ε U jitter and reports
+    the flip count per inventory row.  Both default off, leaving the
+    default run's output untouched.
     """
     locations = tuple(opens) if opens is not None else tuple(OpenLocation)
     if jobs > 1 or resilience is not None:
         return _run_table1_parallel(
             locations, technology, n_r, n_u, max_extra_ops, jobs, batch_u,
-            resilience,
+            resilience, guard_policy, check_marginal,
         )
     rows: List[InventoryRow] = []
+    quarantined: List[QuarantinedPoint] = []
     for location in locations:
         analyzer = ColumnFaultAnalyzer(
             location,
             technology=technology,
             grid=default_grid_for(location, n_r=n_r, n_u=n_u),
             batch_u=batch_u,
+            guard_policy=guard_policy,
         )
         seen: set = set()
         for plan in analyzer.sweep_plans():
@@ -184,6 +211,12 @@ def run_table1(
                     max_extra_ops=max_extra_ops,
                     grid=analyzer.grid.coarser(2, 2),
                 )
+                marginal = (
+                    len(analyzer.marginal_points(
+                        finding.probe_sos, plan, finding.region
+                    ))
+                    if check_marginal else None
+                )
                 rows.append(
                     InventoryRow(
                         ffm_sim=finding.ffm,
@@ -191,10 +224,15 @@ def run_table1(
                         open_number=location.number,
                         completed=outcome.completed_fp,
                         floating=finding.floating_label,
+                        marginal=marginal,
                     )
                 )
-    report, matches = _compare(rows, locations)
-    return Table1Result(rows, report, matches)
+        quarantined.extend(analyzer.quarantined)
+    report, matches = _compare(
+        rows, locations, quarantined=quarantined,
+        check_marginal=check_marginal,
+    )
+    return Table1Result(rows, report, matches, quarantined=quarantined)
 
 
 def _completion_unit_key(
@@ -218,6 +256,8 @@ def _run_table1_parallel(
     jobs: int,
     batch_u: bool = True,
     resilience=None,
+    guard_policy: Optional[GuardPolicy] = None,
+    check_marginal: bool = False,
 ) -> Table1Result:
     """The fan-out twin of :func:`run_table1`'s serial loop.
 
@@ -237,7 +277,7 @@ def _run_table1_parallel(
 
     outcome = survey_locations(
         locations, jobs=jobs, technology=technology, n_r=n_r, n_u=n_u,
-        batch_u=batch_u, resilience=resilience,
+        batch_u=batch_u, resilience=resilience, guard_policy=guard_policy,
     )
     kept: List = []
     for location in locations:
@@ -257,6 +297,7 @@ def _run_table1_parallel(
                 technology=technology,
                 grid=default_grid_for(location, n_r=n_r, n_u=n_u),
                 batch_u=batch_u,
+                guard_policy=guard_policy,
             ),
             finding,
             max_extra_ops,
@@ -276,6 +317,26 @@ def _run_table1_parallel(
         codec="completion",
         strict=resilience is None,
     ).results
+    marginal_counts: List[Optional[int]] = [None] * len(kept)
+    if check_marginal:
+        # The marginal check re-observes boundary points serially; one
+        # analyzer per location shares its observation cache across that
+        # location's findings (same counts as the jobs=1 path).
+        analyzers: Dict[OpenLocation, ColumnFaultAnalyzer] = {}
+        for index, (location, finding) in enumerate(kept):
+            analyzer = analyzers.get(location)
+            if analyzer is None:
+                analyzer = ColumnFaultAnalyzer(
+                    location,
+                    technology=technology,
+                    grid=default_grid_for(location, n_r=n_r, n_u=n_u),
+                    batch_u=batch_u,
+                    guard_policy=guard_policy,
+                )
+                analyzers[location] = analyzer
+            marginal_counts[index] = len(analyzer.marginal_points(
+                finding.probe_sos, finding.floating, finding.region
+            ))
     rows = [
         InventoryRow(
             ffm_sim=finding.ffm,
@@ -283,28 +344,48 @@ def _run_table1_parallel(
             open_number=location.number,
             completed=completed_fp,
             floating=finding.floating_label,
+            marginal=marginal,
         )
-        for (location, finding), completed_fp in zip(kept, completed)
+        for (location, finding), completed_fp, marginal
+        in zip(kept, completed, marginal_counts)
     ]
-    report, matches = _compare(rows, locations)
-    return Table1Result(rows, report, matches)
+    report, matches = _compare(
+        rows, locations, quarantined=outcome.quarantined,
+        check_marginal=check_marginal,
+    )
+    return Table1Result(
+        rows, report, matches, quarantined=list(outcome.quarantined)
+    )
 
 
 def _compare(
-    rows: Sequence[InventoryRow], locations: Sequence[OpenLocation]
+    rows: Sequence[InventoryRow],
+    locations: Sequence[OpenLocation],
+    quarantined: Sequence[QuarantinedPoint] = (),
+    check_marginal: bool = False,
 ) -> Tuple[ExperimentReport, Dict[str, int]]:
     report = ExperimentReport(
         "Table 1 — partial faults observed in DRAM simulation"
     )
-    table = format_table(
-        ("Sim. FFM", "Com. FFM", "Open", "Completed FP", "Initialized volt."),
-        [
-            (str(r.ffm_sim), str(r.ffm_com), f"Open {r.open_number}",
-             r.completed_text, r.floating)
-            for r in sorted(rows, key=lambda r: (r.open_number, str(r.ffm_sim)))
-        ],
+    headers = ["Sim. FFM", "Com. FFM", "Open", "Completed FP",
+               "Initialized volt."]
+    ordered = sorted(rows, key=lambda r: (r.open_number, str(r.ffm_sim)))
+    cells = [
+        [str(r.ffm_sim), str(r.ffm_com), f"Open {r.open_number}",
+         r.completed_text, r.floating]
+        for r in ordered
+    ]
+    if check_marginal:
+        headers.append("Marginal")
+        for row_cells, r in zip(cells, ordered):
+            row_cells.append("-" if r.marginal is None else str(r.marginal))
+    report.add_block(format_table(headers, cells))
+    marginal_total = (
+        sum(r.marginal or 0 for r in rows) if check_marginal else None
     )
-    report.add_block(table)
+    guards = guards_block(quarantined, marginal=marginal_total)
+    if guards is not None:
+        report.add_block(guards)
 
     analyzed_numbers = {loc.number for loc in locations}
     matches = {"exact": 0, "close": 0, "family": 0, "different": 0,

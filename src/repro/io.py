@@ -34,12 +34,12 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .circuit.defects import FloatingNode, OpenLocation
-from .core.analysis import PartialFaultFinding
+from .core.analysis import PartialFaultFinding, QuarantinedPoint
 from .core.coupling import CouplingFFM
 from .core.diagnosis import SignatureDatabase
 from .core.fault_primitives import FaultPrimitive, parse_fp, parse_sos
 from .core.ffm import FFM
-from .core.regions import FPRegionMap
+from .core.regions import FPRegionMap, SpecialLabel
 from .march.notation import MarchTest, parse_march
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "dump_region_map", "load_region_map",
     "dump_signature_database", "load_signature_database",
     "dump_finding", "load_finding",
+    "dump_quarantined_point", "load_quarantined_point",
     "dump_survey_unit", "load_survey_unit",
     "dump_completion", "load_completion",
     "CHECKPOINT_CODECS", "CheckpointStore",
@@ -109,6 +110,8 @@ def _encode_label(label) -> Optional[str]:
         return f"cffm:{label.name}"
     if isinstance(label, FaultPrimitive):
         return f"fp:{label.to_string()}"
+    if isinstance(label, SpecialLabel):
+        return f"special:{label.name}"
     return f"raw:{label}"
 
 
@@ -122,6 +125,8 @@ def _decode_label(text: Optional[str]):
         return CouplingFFM[payload]
     if kind == "fp":
         return parse_fp(payload)
+    if kind == "special":
+        return SpecialLabel[payload]
     if kind == "raw":
         return payload
     raise ValueError(f"unknown label encoding {text!r}")
@@ -219,18 +224,53 @@ def load_finding(data: Dict[str, Any]) -> PartialFaultFinding:
 
 # -- checkpointed work-unit results --------------------------------------------
 
+def dump_quarantined_point(point: QuarantinedPoint) -> Dict[str, Any]:
+    """One guard-quarantined grid point, with its full replay context."""
+    return _tagged(
+        {
+            "location": point.location.name,
+            "floating": [node.name for node in point.floating],
+            "sos": point.sos,
+            "r_def": point.r_def,
+            "u": point.u,
+            "guard": point.guard,
+            "detail": point.detail,
+        },
+        "quarantined-point",
+    )
+
+
+def load_quarantined_point(data: Dict[str, Any]) -> QuarantinedPoint:
+    data = _check(data, "quarantined-point")
+    return QuarantinedPoint(
+        location=OpenLocation[data["location"]],
+        floating=tuple(FloatingNode[name] for name in data["floating"]),
+        sos=data["sos"],
+        r_def=data["r_def"],
+        u=data["u"],
+        guard=data["guard"],
+        detail=data["detail"],
+    )
+
+
 def dump_survey_unit(result) -> Dict[str, Any]:
     """One ``(location, plan, probe)`` survey-unit result (Table 1 shape).
 
     ``result`` is the ``(findings, (obs_hits, obs_misses),
-    (prop_hits, prop_misses))`` tuple a survey worker returns.
+    (prop_hits, prop_misses), quarantined)`` tuple a survey worker
+    returns; pre-guard 3-tuples (no quarantine list) are accepted too.
     """
-    findings, observation, propagator = result
+    if len(result) == 3:
+        findings, observation, propagator = result
+        quarantined: List[QuarantinedPoint] = []
+    else:
+        findings, observation, propagator, quarantined = result
     return _tagged(
         {
             "findings": [dump_finding(f) for f in findings],
             "observation": list(observation),
             "propagator": list(propagator),
+            "quarantined": [dump_quarantined_point(q) for q in quarantined],
         },
         "survey-unit",
     )
@@ -242,6 +282,7 @@ def load_survey_unit(data: Dict[str, Any]):
         [load_finding(f) for f in data["findings"]],
         tuple(data["observation"]),
         tuple(data["propagator"]),
+        [load_quarantined_point(q) for q in data.get("quarantined", [])],
     )
 
 

@@ -65,11 +65,13 @@ from typing import (
 
 from . import telemetry
 from .circuit.defects import FloatingNode, OpenLocation
-from .circuit.network import propagator_cache_info
+from .circuit.network import GuardPolicy, propagator_cache_info
 from .circuit.technology import Technology
 from .core.analysis import (
-    ColumnFaultAnalyzer, PartialFaultFinding, SweepGrid, default_grid_for,
+    ColumnFaultAnalyzer, PartialFaultFinding, QuarantinedPoint, SweepGrid,
+    default_grid_for,
 )
+from .errors import CheckpointMismatchError, SpecValidationError
 from .io import CHECKPOINT_CODECS, CheckpointStore
 
 __all__ = [
@@ -106,6 +108,7 @@ class AnalyzerSpec:
     victim_row: int = 0
     grid: Optional[SweepGrid] = None
     batch_u: bool = True
+    guard_policy: Optional[GuardPolicy] = None
 
     def build(self) -> ColumnFaultAnalyzer:
         return ColumnFaultAnalyzer(
@@ -115,7 +118,46 @@ class AnalyzerSpec:
             victim_row=self.victim_row,
             grid=self.grid,
             batch_u=self.batch_u,
+            guard_policy=self.guard_policy,
         )
+
+    def validate(self) -> "AnalyzerSpec":
+        """Check the spec before any worker touches it; return ``self``.
+
+        Raises :class:`~repro.errors.SpecValidationError` with the exact
+        field, so a bad fan-out dies before spawning processes rather
+        than as ``n_units`` identical worker tracebacks.
+        """
+        if not isinstance(self.location, OpenLocation):
+            raise SpecValidationError(
+                "AnalyzerSpec", "location", self.location,
+                "an OpenLocation member",
+            )
+        if not isinstance(self.n_rows, int) or self.n_rows < 2:
+            raise SpecValidationError(
+                "AnalyzerSpec", "n_rows", self.n_rows, "an integer >= 2",
+                hint="the analyzer needs a bit-line neighbour row",
+            )
+        if (
+            not isinstance(self.victim_row, int)
+            or not 0 <= self.victim_row < self.n_rows
+        ):
+            raise SpecValidationError(
+                "AnalyzerSpec", "victim_row", self.victim_row,
+                f"an integer in [0, n_rows = {self.n_rows})",
+            )
+        if self.technology is not None:
+            self.technology.validate()
+        if self.grid is not None:
+            self.grid.validate()
+        if self.guard_policy is not None and not isinstance(
+            self.guard_policy, GuardPolicy
+        ):
+            raise SpecValidationError(
+                "AnalyzerSpec", "guard_policy", self.guard_policy,
+                "a GuardPolicy member or None",
+            )
+        return self
 
 
 @dataclass(frozen=True)
@@ -217,6 +259,7 @@ class MapOutcome:
     results: List[Any]
     failures: List[UnitFailure] = field(default_factory=list)
     resumed: int = 0
+    quarantined: List[Any] = field(default_factory=list)
 
 
 @dataclass
@@ -250,6 +293,53 @@ class ResilienceLog:
 _SESSION_LOG = ResilienceLog()
 
 
+def _grid_signature_of(key: str) -> Optional[str]:
+    """The ``grid=<sig>`` segment of a ``|``-separated unit key, if any."""
+    for part in key.split("|"):
+        if part.startswith("grid="):
+            return part[len("grid="):]
+    return None
+
+
+def _mask_grid(key: str) -> str:
+    return "|".join(
+        "grid=*" if part.startswith("grid=") else part
+        for part in key.split("|")
+    )
+
+
+def _check_checkpoint_signatures(
+    checkpoint: CheckpointStore, stored_keys, expected_keys
+) -> None:
+    """Refuse to resume against a store written with another sweep grid.
+
+    A stored key that matches an expected key in everything *but* its
+    ``grid=<sig>`` segment means the same unit was checkpointed under
+    different sweep parameters — resuming would silently blend results
+    from two grids (the old behaviour re-ran the unit, leaving the stale
+    sibling entries in place to strike on the next grid change).  Raises
+    :class:`~repro.errors.CheckpointMismatchError` naming both
+    signatures and the file.
+    """
+    expected_set = set(expected_keys)
+    expected_by_mask = {
+        _mask_grid(key): key
+        for key in expected_keys
+        if _grid_signature_of(key) is not None
+    }
+    for stored in stored_keys:
+        if stored in expected_set or _grid_signature_of(stored) is None:
+            continue
+        match = expected_by_mask.get(_mask_grid(stored))
+        if match is not None:
+            raise CheckpointMismatchError(
+                path=str(checkpoint.path),
+                expected_signature=_grid_signature_of(match) or "",
+                found_signature=_grid_signature_of(stored) or "",
+                key=stored,
+            )
+
+
 def drain_resilience_log() -> ResilienceLog:
     """Return and reset the module-level recovery-event accumulator."""
     global _SESSION_LOG
@@ -270,6 +360,7 @@ class SurveyOutcome:
     stats: FanoutStats = field(default_factory=FanoutStats)
     failures: List[UnitFailure] = field(default_factory=list)
     resumed: int = 0
+    quarantined: List[QuarantinedPoint] = field(default_factory=list)
 
 
 # -- the generic fan-out -------------------------------------------------------
@@ -564,9 +655,20 @@ def parallel_map_ex(
     if codec not in CHECKPOINT_CODECS:
         raise ValueError(f"unknown checkpoint codec {codec!r}")
     outcome = MapOutcome(results=[None] * n)
+
+    def finish() -> MapOutcome:
+        # Region-map results may carry QUARANTINED grid labels (resumed
+        # entries included); surface their coordinates on the outcome.
+        for result in outcome.results:
+            collect = getattr(result, "quarantined_points", None)
+            if callable(collect):
+                outcome.quarantined.extend(collect())
+        return outcome
+
     done = [False] * n
     if checkpoint is not None:
         existing = checkpoint.load()
+        _check_checkpoint_signatures(checkpoint, existing.keys(), keys)
         for index, key in enumerate(keys):
             if key in existing:
                 outcome.results[index] = existing[key]
@@ -577,7 +679,7 @@ def parallel_map_ex(
             _SESSION_LOG.resumed += outcome.resumed
     pending = [index for index in range(n) if not done[index]]
     if not pending:
-        return outcome
+        return finish()
     run = _FanoutRun(
         func, payloads, policy, checkpoint, keys, codec, outcome, strict
     )
@@ -587,7 +689,7 @@ def parallel_map_ex(
             run.run_in_process(index, with_retries=True)
     else:
         _run_pool(run, pending, jobs)
-    return outcome
+    return finish()
 
 
 def parallel_map(
@@ -634,9 +736,11 @@ def region_map_unit(payload):
 # -- survey fan-out (Table 1 shape) --------------------------------------------
 
 def _survey_unit(unit: SurveyUnit) -> Tuple[
-    List[PartialFaultFinding], Tuple[int, int], Tuple[int, int]
+    List[PartialFaultFinding], Tuple[int, int], Tuple[int, int],
+    List[QuarantinedPoint],
 ]:
-    """Run one survey unit; return findings plus per-unit cache deltas."""
+    """Run one survey unit; return findings plus per-unit cache deltas
+    and any grid points the unit's guards quarantined."""
     before = propagator_cache_info()
     analyzer = unit.spec.build()
     findings = analyzer.survey(floating=unit.plan, probes=(unit.probe,))
@@ -646,15 +750,17 @@ def _survey_unit(unit: SurveyUnit) -> Tuple[
         findings,
         (info.hits, info.misses),
         (after.hits - before.hits, after.misses - before.misses),
+        analyzer.quarantined,
     )
 
 
 def survey_unit_key(unit: SurveyUnit) -> str:
     """Stable checkpoint key for one survey unit.
 
-    Embeds the grid signature (and the analyzer geometry), so a resume
-    with different sweep parameters re-runs instead of silently reusing
-    results computed on another grid.
+    Embeds the grid signature (and the analyzer geometry): a resume
+    against a store whose entries carry a *different* grid signature
+    raises :class:`~repro.errors.CheckpointMismatchError` instead of
+    silently reusing (or sidestepping) results computed on another grid.
     """
     spec = unit.spec
     grid_sig = spec.grid.signature() if spec.grid is not None else "default"
@@ -674,6 +780,7 @@ def survey_locations(
     probes: Optional[Sequence[str]] = None,
     batch_u: bool = True,
     resilience: Optional[Resilience] = None,
+    guard_policy: Optional[GuardPolicy] = None,
 ) -> SurveyOutcome:
     """Survey every ``(location, plan, probe)`` unit, optionally in parallel.
 
@@ -705,7 +812,8 @@ def survey_locations(
             technology=technology,
             grid=default_grid_for(location, n_r=n_r, n_u=n_u),
             batch_u=batch_u,
-        )
+            guard_policy=guard_policy,
+        ).validate()
         for location in locations
     ]
     outcome = SurveyOutcome({location: [] for location in locations})
@@ -723,6 +831,7 @@ def survey_locations(
                 info.hits, info.misses,
                 after.hits - before.hits, after.misses - before.misses,
             ))
+            outcome.quarantined.extend(analyzer.quarantined)
         return outcome
     units = [
         SurveyUnit(spec, plan, probe)
@@ -745,7 +854,13 @@ def survey_locations(
     for unit, result in zip(units, mapped.results):
         if result is None:
             continue  # failed unit, surfaced in outcome.failures
-        findings, obs, prop = result
+        # Pre-guard checkpoints stored 3-tuples (no quarantine list).
+        if len(result) == 3:
+            findings, obs, prop = result
+            quarantined: List[QuarantinedPoint] = []
+        else:
+            findings, obs, prop, quarantined = result
         outcome.findings[unit.spec.location].extend(findings)
         outcome.stats.add(FanoutStats(obs[0], obs[1], prop[0], prop[1]))
+        outcome.quarantined.extend(quarantined)
     return outcome

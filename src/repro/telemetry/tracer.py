@@ -80,6 +80,14 @@ class _SpanContext:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:
             self._span.attrs.setdefault("error", exc_type.__name__)
+            # The body is already unwinding: a broken span finalization
+            # (e.g. a corrupted tracer stack) must not replace the
+            # in-flight exception with its own.
+            try:
+                self._tracer._finish(self._span)
+            except Exception:
+                pass
+            return
         self._tracer._finish(self._span)
 
 

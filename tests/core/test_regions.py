@@ -115,3 +115,51 @@ class TestRendering:
         m = make_map([["x", "y"], [None, None]])
         text = m.render_ascii()
         assert "A=x" in text and "B=y" in text
+
+
+class TestQuarantineLabels:
+    def test_quarantined_points_coordinates(self):
+        from repro.core.regions import QUARANTINED
+
+        m = make_map([["A", QUARANTINED], [None, "A"]])
+        assert m.quarantined_points() == ((1e3, 1.0),)
+
+    def test_fault_fraction_excludes_quarantined(self):
+        from repro.core.regions import QUARANTINED
+
+        m = make_map([["A", QUARANTINED], [None, None]])
+        assert m.fault_fraction() == 0.25  # only the real fault counts
+        assert m.fault_fraction(QUARANTINED) == 0.25  # explicit label works
+
+    def test_partial_area_fraction_excludes_quarantined(self):
+        from repro.core.regions import QUARANTINED
+
+        # Without the exclusion the QUARANTINED cell would fill the row
+        # and make the union look U-independent.
+        m = make_map([["A", QUARANTINED], ["A", "A"]])
+        assert m.partial_area_fraction() == 1 / 3
+
+    def test_special_label_pickles_by_identity(self):
+        import pickle
+
+        from repro.core.regions import QUARANTINED
+
+        assert pickle.loads(pickle.dumps(QUARANTINED)) is QUARANTINED
+
+
+class TestBoundaryPoints:
+    def test_interior_points_are_not_boundary(self):
+        m = make_map([
+            ["A", "A", "A"],
+            ["A", "A", "A"],
+            ["A", "A", None],
+        ])
+        edge = set(m.boundary_points("A"))
+        assert (2, 2) not in edge  # not labelled A
+        assert edge == {(1, 2), (2, 1)}  # orthogonal neighbours of the hole
+        assert (1, 1) not in edge  # only diagonal contact — interior
+        assert (0, 0) not in edge  # all in-bounds neighbours are A
+
+    def test_full_grid_region_has_no_boundary(self):
+        m = make_map([["A", "A"], ["A", "A"]])
+        assert m.boundary_points("A") == ()

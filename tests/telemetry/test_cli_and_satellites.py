@@ -73,7 +73,7 @@ class TestCLIFlags:
                 result.report = report
                 return result
 
-            return lambda jobs, res: runner().report
+            return lambda jobs, res, gp, mg: runner()
 
         monkeypatch.setattr(
             cli, "_EXPERIMENTS",
@@ -90,6 +90,86 @@ class TestCLIFlags:
         assert cli.main(["fp-space", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "cumulative" in out  # pstats header
+
+
+class TestCLIGuardFlags:
+    def _fake(self, monkeypatch, runner):
+        monkeypatch.setattr(
+            cli, "_EXPERIMENTS", {"fig3": runner}, raising=True
+        )
+        monkeypatch.setattr(cli, "_FANNED", frozenset({"fig3"}))
+        monkeypatch.setattr(cli, "_GUARDED", frozenset({"fig3"}))
+
+    def test_guard_policy_flag_reaches_the_experiment(
+        self, capsys, monkeypatch
+    ):
+        from repro.circuit.network import GuardPolicy
+
+        seen = {}
+
+        def runner(jobs, res, gp, mg):
+            seen["policy"] = gp
+            report = ExperimentReport("fake fig3")
+            report.claim("c", "p", "m", True)
+
+            class Result:
+                pass
+
+            result = Result()
+            result.report = report
+            result.quarantined = [(1e5, 1.65)]
+            return result
+
+        self._fake(monkeypatch, runner)
+        assert cli.main(["fig3", "--guard-policy", "quarantine"]) == 0
+        assert seen["policy"] is GuardPolicy.QUARANTINE
+        out = capsys.readouterr().out
+        assert "[guards] fig3: policy=quarantine, 1 grid point(s)" in out
+
+    def test_without_guard_flags_no_guards_line(self, capsys, monkeypatch):
+        def runner(jobs, res, gp, mg):
+            report = ExperimentReport("fake fig3")
+            report.claim("c", "p", "m", True)
+            return report
+
+        self._fake(monkeypatch, runner)
+        assert cli.main(["fig3"]) == 0
+        assert "[guards]" not in capsys.readouterr().out
+
+    def test_unknown_guard_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig3", "--guard-policy", "panic"])
+
+    def test_invalid_spec_exits_2_with_one_line(self, capsys, monkeypatch):
+        from repro.errors import SpecValidationError
+
+        def runner(jobs, res, gp, mg):
+            raise SpecValidationError("SweepGrid", "r_max", 1.0, ">= r_min")
+
+        self._fake(monkeypatch, runner)
+        assert cli.main(["fig3"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid spec" in err and "SweepGrid.r_max" in err
+        assert "Traceback" not in err
+
+    def test_solver_divergence_exits_3(self, capsys, monkeypatch):
+        from repro.errors import SolverDivergenceError
+
+        def runner(jobs, res, gp, mg):
+            raise SolverDivergenceError("nan", "non-finite node voltage")
+
+        self._fake(monkeypatch, runner)
+        assert cli.main(["fig3"]) == 3
+        err = capsys.readouterr().err
+        assert "solver guard" in err
+        assert "Traceback" not in err
+
+    def test_unknown_experiment_lists_valid_ones(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            cli.main(["mystery-experiment"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "table1" in err  # usage line enumerates the choices
 
 
 class TestCacheSatellite:

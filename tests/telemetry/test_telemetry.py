@@ -143,6 +143,39 @@ class TestTracer:
         (span,) = telemetry.get_tracer().spans
         assert span.attrs["error"] == "RuntimeError"
 
+    def test_broken_finalization_does_not_mask_the_body_exception(
+        self, monkeypatch
+    ):
+        # Regression: when the span body raises AND _finish blows up
+        # (corrupted tracer state), the caller must still see the body's
+        # exception — not the finalization's.
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+
+        def broken_finish(span):
+            raise ZeroDivisionError("tracer stack corrupted")
+
+        monkeypatch.setattr(tracer, "_finish", broken_finish)
+        with pytest.raises(RuntimeError, match="the real failure"):
+            with telemetry.span("doomed"):
+                raise RuntimeError("the real failure")
+
+    def test_broken_finalization_still_raises_on_clean_exit(
+        self, monkeypatch
+    ):
+        # With no in-flight exception there is nothing to mask: a broken
+        # finalization must surface, not be swallowed.
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+
+        def broken_finish(span):
+            raise ZeroDivisionError("tracer stack corrupted")
+
+        monkeypatch.setattr(tracer, "_finish", broken_finish)
+        with pytest.raises(ZeroDivisionError):
+            with telemetry.span("fine"):
+                pass
+
 
 class TestSurveyMetricsSelfConsistent:
     def test_hits_plus_misses_equals_observe_calls(self):

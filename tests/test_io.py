@@ -136,12 +136,59 @@ class TestCheckpointCodecs:
         assert recovered.ffm is finding.ffm
         assert recovered.region == finding.region
 
+    def _quarantined_point(self):
+        from repro.circuit.defects import FloatingNode
+        from repro.core.analysis import QuarantinedPoint
+
+        return QuarantinedPoint(
+            location=OpenLocation.CELL,
+            floating=(FloatingNode.CELL,),
+            sos="0r0",
+            r_def=3e4,
+            u=1.65,
+            guard="nan",
+            detail="solver guard 'nan' tripped: non-finite node voltage",
+        )
+
     def test_survey_unit_roundtrip(self):
-        unit_result = ([self._finding()], (3, 1), (10, 2))
+        point = self._quarantined_point()
+        unit_result = ([self._finding()], (3, 1), (10, 2), [point])
         data = json.loads(json.dumps(dump_survey_unit(unit_result)))
-        findings, observation, propagator = load_survey_unit(data)
+        findings, observation, propagator, quarantined = load_survey_unit(data)
         assert len(findings) == 1 and findings[0].ffm is FFM.RDF0
         assert observation == (3, 1) and propagator == (10, 2)
+        assert quarantined == [point]
+
+    def test_survey_unit_accepts_pre_guard_3_tuple(self):
+        # Checkpoints written before the guard-rail release have no
+        # quarantine list; both dumping and loading them must still work.
+        unit_result = ([self._finding()], (3, 1), (10, 2))
+        data = json.loads(json.dumps(dump_survey_unit(unit_result)))
+        del data["quarantined"]  # simulate an old stored line
+        findings, observation, propagator, quarantined = load_survey_unit(data)
+        assert len(findings) == 1
+        assert observation == (3, 1) and propagator == (10, 2)
+        assert quarantined == []
+
+    def test_quarantined_point_roundtrip(self):
+        from repro.io import dump_quarantined_point, load_quarantined_point
+
+        point = self._quarantined_point()
+        data = json.loads(json.dumps(dump_quarantined_point(point)))
+        assert load_quarantined_point(data) == point
+
+    def test_quarantined_label_roundtrip(self):
+        from repro.core.regions import QUARANTINED
+
+        region = FPRegionMap(
+            (1e3, 1e4),
+            (0.0, 1.0),
+            ((FFM.RDF0, QUARANTINED), (None, FFM.RDF0)),
+        )
+        data = json.loads(json.dumps(dump_region_map(region)))
+        recovered = load_region_map(data)
+        assert recovered.labels[0][1] is QUARANTINED
+        assert recovered == region
 
     def test_completion_roundtrip(self):
         fp = parse_fp("<[w1 w0] r0/1/1>")
