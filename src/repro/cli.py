@@ -51,6 +51,21 @@ experiment.  Errors exit with distinct statuses: an invalid spec
 (:class:`~repro.errors.SpecValidationError`) prints one line and exits
 2; solver divergence or another reproduction failure exits 3.
 
+Service mode (see ``docs/SERVICE.md``)::
+
+    repro-partial-faults serve         # job queue + result store + HTTP API
+    repro-partial-faults submit table1 --wait
+                                       # run an experiment through a server
+
+``serve`` starts the sweep service of :mod:`repro.service`: submitted
+jobs are deduplicated by content address, executed through the parallel
+fan-out with retry/checkpoint resilience, and their results cached in a
+TTL/LRU store, so repeated submissions are served without recomputing.
+``submit`` posts one job (optionally ``--wait``-ing for and printing
+the report, which is byte-identical to the direct CLI run's).
+``--version`` prints the package version.  The classic single-shot
+experiment invocations are completely unaffected by service mode.
+
 Observability flags (any of them switches telemetry on for the run; see
 ``docs/OBSERVABILITY.md`` for metric names and formats)::
 
@@ -78,7 +93,7 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from . import telemetry
+from . import __version__, telemetry
 from .circuit.network import GuardPolicy
 from .errors import ReproError, SpecValidationError
 from .experiments import (
@@ -183,16 +198,276 @@ def _summary_table() -> str:
     return format_table(("experiment", "claims held", "wall time"), rows)
 
 
+def _serve_main(argv) -> int:
+    """``repro-partial-faults serve`` — run the sweep service."""
+    from .parallel import RetryPolicy
+    from .service import SweepService
+
+    parser = argparse.ArgumentParser(
+        prog="repro-partial-faults serve",
+        description="Serve the fault-analysis engine over HTTP: a "
+        "deduplicating job queue, scheduler workers, and a "
+        "content-addressed result store (see docs/SERVICE.md).",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro-partial-faults {__version__}",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (default 8765; 0 = ephemeral)")
+    parser.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="queued-job admission bound; beyond it submissions get a "
+        "structured 429 (default 64)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent scheduler jobs (each may fan out further per "
+        "its spec's jobs field; default 1)",
+    )
+    parser.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="persist results under DIR (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--store-max", type=int, default=128, metavar="N",
+        help="result-store entry cap before LRU eviction (default 128)",
+    )
+    parser.add_argument(
+        "--store-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire stored results after SECONDS (default: never)",
+    )
+    parser.add_argument(
+        "--work-dir", metavar="DIR", default=None,
+        help="keep per-job unit checkpoints under DIR so a failed or "
+        "interrupted job resumes from its completed sweep units",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="per-unit retry budget inside each job's fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="cancel a sweep unit still running after SECONDS (default: "
+        "no timeout)",
+    )
+    args = parser.parse_args(argv)
+    if args.port < 0:
+        parser.error("--port must be >= 0")
+    if args.queue_limit < 1:
+        parser.error("--queue-limit must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.store_max < 1:
+        parser.error("--store-max must be >= 1")
+    if args.store_ttl is not None and args.store_ttl <= 0:
+        parser.error("--store-ttl must be > 0")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be > 0")
+    try:
+        service = SweepService(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            store_max=args.store_max,
+            store_ttl=args.store_ttl,
+            work_dir=args.work_dir,
+            retry_policy=RetryPolicy(
+                max_retries=args.max_retries, unit_timeout=args.unit_timeout
+            ),
+        )
+    except OSError as exc:
+        print(f"repro-partial-faults serve: cannot bind "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 3
+    print(f"[serve] repro sweep service v{__version__} listening on "
+          f"{service.url}", flush=True)
+    print(f"[serve] queue limit {args.queue_limit}, {args.workers} "
+          f"worker(s), store max {args.store_max}"
+          + (f", ttl {args.store_ttl:g} s" if args.store_ttl else "")
+          + (f", store dir {args.store_dir}" if args.store_dir else "")
+          + (f", work dir {args.work_dir}" if args.work_dir else ""),
+          flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shutting down", flush=True)
+        service.scheduler.stop()
+    return 0
+
+
+def _submit_main(argv) -> int:
+    """``repro-partial-faults submit`` — run one job through a server."""
+    from .circuit.defects import OpenLocation
+    from .service import (
+        SERVICE_EXPERIMENTS, JobSpec, ServiceClient, ServiceError,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-partial-faults submit",
+        description="Submit one experiment job to a running sweep "
+        "service (repro-partial-faults serve); see docs/SERVICE.md.",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro-partial-faults {__version__}",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(SERVICE_EXPERIMENTS),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service base URL (overrides --host/--port)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="service port (default 8765)")
+    parser.add_argument(
+        "--opens", nargs="+", metavar="NAME", default=None,
+        choices=sorted(OpenLocation.__members__),
+        help="open locations to analyze (table1; default: all nine)",
+    )
+    parser.add_argument(
+        "--n-r", type=int, default=None, metavar="N",
+        help="resistance-axis points (sweep experiments; default: the "
+        "experiment's own)",
+    )
+    parser.add_argument(
+        "--n-u", type=int, default=None, metavar="N",
+        help="voltage-axis points (sweep experiments)",
+    )
+    parser.add_argument(
+        "--max-extra-ops", type=int, default=None, metavar="N",
+        help="completion-search depth (table1)",
+    )
+    parser.add_argument(
+        "--guard-policy",
+        choices=[policy.value for policy in GuardPolicy],
+        default=None,
+        help="numerical-guard reaction inside the job (docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--check-marginal", action="store_true",
+        help="re-test boundary points under U jitter (table1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes inside the job's fan-out (execution "
+        "hint: does not change the result or the job's address)",
+    )
+    parser.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="queue priority; higher runs first (default 0)",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its report",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="--wait deadline (default 600)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.25, metavar="SECONDS",
+        help="--wait poll interval (default 0.25)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="with --wait: also write the full result payload to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.timeout <= 0:
+        parser.error("--timeout must be > 0")
+    if args.poll <= 0:
+        parser.error("--poll must be > 0")
+    url = args.url or f"http://{args.host}:{args.port}"
+    try:
+        spec = JobSpec(
+            experiment=args.experiment,
+            opens=tuple(args.opens) if args.opens else None,
+            n_r=args.n_r,
+            n_u=args.n_u,
+            max_extra_ops=args.max_extra_ops,
+            guard_policy=args.guard_policy,
+            check_marginal=args.check_marginal,
+            jobs=args.jobs,
+        ).validate()
+    except SpecValidationError as exc:
+        print(f"repro-partial-faults submit: invalid spec: {exc}",
+              file=sys.stderr)
+        return 2
+    client = ServiceClient(url)
+    try:
+        submitted = client.submit(spec, priority=args.priority)
+        job = submitted["job"]
+        print(
+            f"[submit] job {job['id']} {job['state']} "
+            f"address={job['address']}"
+            + (" (deduplicated into existing job)"
+               if submitted.get("deduped") else ""),
+            file=sys.stderr, flush=True,
+        )
+        if not args.wait:
+            print(job["id"])
+            return 0
+        payload = client.wait(
+            job["id"], timeout=args.timeout, poll=args.poll
+        )
+    except ServiceError as exc:
+        print(f"repro-partial-faults submit: {exc}", file=sys.stderr)
+        return 3
+    except TimeoutError as exc:
+        print(f"repro-partial-faults submit: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+    record = client.job(job["id"])
+    print(payload["report"])
+    print()
+    print(
+        f"[submit] job {record['id']} done"
+        + (" (served from result store)" if record.get("cache_hit")
+           else f" in {record.get('duration') or 0:.2f} s"),
+        file=sys.stderr, flush=True,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point for the ``repro-partial-faults`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Service subcommands route before the experiment parser so that the
+    # classic invocations (and their output) stay untouched.
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
+    if argv[:1] == ["submit"]:
+        return _submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-partial-faults",
         description="Reproduce the partial-fault paper's tables and figures.",
     )
     parser.add_argument(
+        "--version", action="version",
+        version=f"repro-partial-faults {__version__}",
+    )
+    parser.add_argument(
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (also: the 'serve' and "
+        "'submit' service subcommands, see docs/SERVICE.md)",
     )
     parser.add_argument(
         "--trace",

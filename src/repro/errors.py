@@ -29,6 +29,7 @@ __all__ = [
     "QuarantinedPointError",
     "CheckpointMismatchError",
     "InjectionError",
+    "QueueFullError",
 ]
 
 
@@ -117,3 +118,24 @@ class CheckpointMismatchError(ReproError, ValueError):
 
 class InjectionError(ReproError):
     """A fault-injection campaign (``repro.inject``) was misconfigured."""
+
+
+class QueueFullError(ReproError):
+    """The sweep service refused a submission: the job queue is full.
+
+    The admission-control path of ``repro.service`` (``docs/SERVICE.md``)
+    — the HTTP API maps it to a structured ``429`` response.  Carries
+    ``depth`` (jobs currently queued), ``limit`` (the admission bound)
+    and ``retry_after`` (a polite back-off hint in seconds).
+    """
+
+    def __init__(
+        self, depth: int, limit: int, retry_after: float = 1.0
+    ) -> None:
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue is full ({depth}/{limit} queued); retry in "
+            f"{retry_after:g} s or raise the queue limit"
+        )

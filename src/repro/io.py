@@ -321,8 +321,13 @@ class CheckpointStore:
          "key": "<stable unit key>", "codec": "<CHECKPOINT_CODECS name>",
          "payload": <codec dump of the unit result>}
 
-    :meth:`record` appends and flushes one line per finished unit, so a
-    run killed mid-sweep loses at most the units still in flight.
+    :meth:`record` appends one line per finished unit, so a run killed
+    mid-sweep loses at most the units still in flight.  Each record is
+    written as a *single* ``write()`` to a file descriptor opened with
+    ``O_APPEND``, so concurrent writers sharing one checkpoint file —
+    sweep-service scheduler workers, a CLI run resuming alongside them —
+    interleave whole records rather than tearing each other's lines
+    (POSIX appends to a regular file are atomic per ``write()``).
     :meth:`load` tolerates a hard interrupt: a torn (half-written) tail
     line, unknown codecs, and undecodable payloads are skipped rather
     than failing the resume — those units simply re-run.  Duplicate keys
@@ -331,7 +336,7 @@ class CheckpointStore:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._fh = None
+        self._fd: Optional[int] = None
 
     def load(self) -> Dict[str, Any]:
         """Decode every recoverable ``key -> result`` entry of the file."""
@@ -363,7 +368,13 @@ class CheckpointStore:
         return results
 
     def record(self, key: str, result: Any, codec: str = "json") -> None:
-        """Append one finished unit and flush it to disk."""
+        """Append one finished unit as one unbuffered ``write()``.
+
+        The whole line (record + newline) goes to the OS in a single
+        ``os.write`` on an ``O_APPEND`` descriptor — no userspace
+        buffering, no flush window — so another writer appending to the
+        same file can never land *inside* this record.
+        """
         dump, _ = CHECKPOINT_CODECS[codec]
         entry = {
             "format": _FORMAT,
@@ -372,15 +383,23 @@ class CheckpointStore:
             "codec": codec,
             "payload": dump(result),
         }
-        if self._fh is None:
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(entry) + "\n")
-        self._fh.flush()
+        data = (json.dumps(entry) + "\n").encode("utf-8")
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        # A short write can only happen on disk-full/signal delivery;
+        # finishing the record keeps the file parseable (and load()
+        # skips a torn tail if even that fails).
+        view = memoryview(data)
+        while view:
+            written = os.write(self._fd, view)
+            view = view[written:]
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "CheckpointStore":
         return self

@@ -1,0 +1,336 @@
+"""HTTP JSON API over the sweep service (stdlib ``http.server``).
+
+Routes (see ``docs/SERVICE.md`` for the full reference):
+
+=======  ==========================  ========================================
+method   path                        semantics
+=======  ==========================  ========================================
+POST     ``/jobs``                   submit a JobSpec; 202 queued, 200 when
+                                     coalesced into a live job, 429 when the
+                                     queue refuses (structured rejection),
+                                     400 on an invalid spec
+GET      ``/jobs``                   summaries of every known job
+GET      ``/jobs/<id>``              full job record incl. progress events
+GET      ``/jobs/<id>/result``       the stored result payload; 409 + state
+                                     while not DONE, 404 for unknown ids
+POST     ``/jobs/<id>/cancel``       cancel (also ``DELETE /jobs/<id>``)
+GET      ``/healthz``                liveness: version, uptime, queue depth,
+                                     per-state job counts, store size
+GET      ``/metrics``                the telemetry registry snapshot
+=======  ==========================  ========================================
+
+:class:`SweepService` bundles queue + store + scheduler + HTTP server
+into one object with ``start()``/``stop()``/``serve_forever()`` — the
+``repro-partial-faults serve`` command is a thin wrapper around it.
+The server is a ``ThreadingHTTPServer``: every request is handled on
+its own thread, which is why the queue, store, and metrics registry
+are all lock-protected.  Telemetry is switched on at service start —
+the service's own counters (``service.*``) are its operational
+dashboard — and the stored reports stay byte-identical to telemetry-off
+CLI output because :func:`~repro.service.jobs.result_payload` strips
+the timing block.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__, telemetry
+from ..errors import QueueFullError, SpecValidationError
+from ..parallel import RetryPolicy
+from .jobs import JobSpec, JobState
+from .queue import JobQueue
+from .scheduler import Scheduler
+from .store import ResultStore
+
+__all__ = ["SweepService"]
+
+_JSON = "application/json; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; all state lives on ``self.server`` (the service)."""
+
+    server_version = "repro-sweep-service/" + __version__
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are counted, not printed
+
+    @property
+    def service(self) -> "SweepService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send(self, status: int, payload: Dict[str, Any],
+              extra_headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw.decode("utf-8"))
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0].strip("/")
+        return tuple(part for part in path.split("/") if part)
+
+    # -- verbs -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        telemetry.count("service.http.requests")
+        parts = self._route()
+        if parts == ("healthz",):
+            self._send(200, self.service.health())
+        elif parts == ("metrics",):
+            self._send(200, telemetry.get_metrics().snapshot())
+        elif parts == ("jobs",):
+            self._send(200, {"jobs": self.service.queue.list_jobs()})
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self.service.queue.snapshot(parts[1])
+            if job is None:
+                self._send(404, {"error": "unknown-job", "id": parts[1]})
+            else:
+                self._send(200, job)
+        elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "result":
+            self._get_result(parts[1])
+        else:
+            self._send(404, {"error": "not-found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802
+        telemetry.count("service.http.requests")
+        parts = self._route()
+        if parts == ("jobs",):
+            self._submit()
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._cancel(parts[1])
+        else:
+            self._send(404, {"error": "not-found", "path": self.path})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        telemetry.count("service.http.requests")
+        parts = self._route()
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._cancel(parts[1])
+        else:
+            self._send(404, {"error": "not-found", "path": self.path})
+
+    # -- handlers --------------------------------------------------------------
+
+    def _submit(self) -> None:
+        try:
+            data = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": "invalid-json", "detail": str(exc)})
+            return
+        priority = 0
+        if isinstance(data, dict) and "priority" in data:
+            raw_priority = data.pop("priority")
+            if not isinstance(raw_priority, int):
+                self._send(400, {
+                    "error": "invalid-spec",
+                    "detail": "priority must be an integer",
+                })
+                return
+            priority = raw_priority
+        try:
+            spec = JobSpec.from_json(data)
+        except SpecValidationError as exc:
+            self._send(400, {"error": "invalid-spec", "detail": str(exc)})
+            return
+        try:
+            job, deduped = self.service.queue.submit(spec, priority=priority)
+        except QueueFullError as exc:
+            # Backpressure: a structured 429 the client can act on.
+            self._send(
+                429,
+                {
+                    "error": "queue-full",
+                    "detail": str(exc),
+                    "depth": exc.depth,
+                    "limit": exc.limit,
+                    "retry_after": exc.retry_after,
+                },
+                extra_headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return
+        payload = self.service.queue.snapshot(job.id) or job.to_json()
+        self._send(200 if deduped else 202, {
+            "job": payload, "deduped": deduped,
+        })
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if job is None:
+            self._send(404, {"error": "unknown-job", "id": job_id})
+            return
+        if job.state is not JobState.DONE:
+            self._send(409, {
+                "error": "not-done",
+                "id": job_id,
+                "state": job.state.value,
+                "error_type": job.error_type,
+                "detail": job.error,
+            })
+            return
+        payload = self.service.store.get(job.address)
+        if payload is None:
+            # DONE but evicted/expired meanwhile: the client must
+            # resubmit (the queue no longer dedupes onto this job once
+            # the address misses, because the scheduler recomputes).
+            self._send(410, {
+                "error": "result-evicted",
+                "id": job_id,
+                "address": job.address,
+            })
+            return
+        self._send(200, payload)
+
+    def _cancel(self, job_id: str) -> None:
+        job = self.service.queue.cancel(job_id)
+        if job is None:
+            self._send(404, {"error": "unknown-job", "id": job_id})
+            return
+        self._send(200, self.service.queue.snapshot(job_id) or {})
+
+
+class _Server(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: "SweepService"
+
+
+class SweepService:
+    """Queue + store + scheduler + HTTP server, wired together.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port`/:attr:`url` after construction) — the test suite's
+    default.  Use as a context manager for deterministic teardown::
+
+        with SweepService(port=0) as service:
+            client = ServiceClient(service.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        queue_limit: int = 64,
+        workers: int = 1,
+        store_dir: Optional[str] = None,
+        store_max: int = 128,
+        store_ttl: Optional[float] = None,
+        work_dir: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        enable_telemetry: bool = True,
+    ) -> None:
+        self.queue = JobQueue(limit=queue_limit)
+        self.store = ResultStore(
+            root=store_dir, max_entries=store_max, ttl=store_ttl
+        )
+        self.scheduler = Scheduler(
+            self.queue,
+            self.store,
+            workers=workers,
+            work_dir=work_dir,
+            retry_policy=retry_policy,
+        )
+        self.enable_telemetry = enable_telemetry
+        self.started_at: Optional[float] = None
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.service = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- addressing ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "SweepService":
+        """Start the scheduler and serve HTTP on a background thread."""
+        if self.enable_telemetry:
+            telemetry.enable()
+        self.started_at = time.time()
+        self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Foreground variant used by ``repro-partial-faults serve``."""
+        if self.enable_telemetry:
+            telemetry.enable()
+        self.started_at = time.time()
+        self.scheduler.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.scheduler.stop()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.scheduler.stop()
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        uptime = (
+            time.time() - self.started_at
+            if self.started_at is not None else 0.0
+        )
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(uptime, 3),
+            "queue": {
+                "depth": self.queue.depth(),
+                "limit": self.queue.limit,
+            },
+            "jobs": self.queue.counts(),
+            "store": {
+                "entries": len(self.store),
+                "max_entries": self.store.max_entries,
+                "ttl": self.store.ttl,
+            },
+            "workers": self.scheduler.workers,
+        }

@@ -1,0 +1,176 @@
+"""A small stdlib client for the sweep-service HTTP API.
+
+:class:`ServiceClient` wraps ``urllib.request`` with JSON encoding and
+the service's error conventions: any non-2xx response raises
+:class:`ServiceUnavailableError` (connection refused / timeout) or
+:class:`ServiceResponseError` (a structured error payload, with the
+HTTP status and the decoded body attached).  :meth:`wait` polls a job
+to a terminal state and returns the result payload —
+``repro-partial-faults submit --wait`` is a thin wrapper around
+:meth:`submit_and_wait`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import ReproError
+from .jobs import JobSpec
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponseError",
+    "ServiceUnavailableError",
+]
+
+
+class ServiceError(ReproError):
+    """Base class of client-side service errors."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached at all (refused, DNS, timeout)."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        self.url = url
+        self.reason = reason
+        super().__init__(f"cannot reach sweep service at {url}: {reason}")
+
+
+class ServiceResponseError(ServiceError):
+    """The service answered with an error status.
+
+    ``status`` is the HTTP code, ``payload`` the decoded JSON error
+    document (``{"error": ..., "detail": ...}``; a 429 rejection also
+    carries ``depth``/``limit``/``retry_after``).
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        self.status = status
+        self.payload = payload
+        detail = payload.get("detail") or payload.get("error") or "error"
+        super().__init__(f"service returned {status}: {detail}")
+
+
+class ServiceClient:
+    """Talk to one sweep service instance."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                payload = {"error": "http-error", "detail": str(exc)}
+            raise ServiceResponseError(exc.code, payload) from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ServiceUnavailableError(self.url, str(reason)) from None
+        return payload
+
+    # -- API calls -------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """POST the spec; returns ``{"job": ..., "deduped": ...}``."""
+        body = spec.to_json() if isinstance(spec, JobSpec) else dict(spec)
+        if priority:
+            body["priority"] = priority
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    # -- convenience -----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 600.0,
+        poll: float = 0.25,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; return its result payload.
+
+        Raises :class:`ServiceResponseError` if the job FAILED or was
+        CANCELLED (the job record rides in the error payload), and
+        ``TimeoutError`` if it is still running after ``timeout``
+        seconds.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            record = self.job(job_id)
+            state = record.get("state")
+            if state == "done":
+                return self.result(job_id)
+            if state in ("failed", "cancelled"):
+                raise ServiceResponseError(
+                    409, {"error": f"job-{state}", "detail": record.get(
+                        "error") or f"job {job_id} is {state}",
+                        "job": record},
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout:g} s"
+                )
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        priority: int = 0,
+        timeout: Optional[float] = 600.0,
+        poll: float = 0.25,
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Submit and block; returns ``(job record, result payload)``."""
+        submitted = self.submit(spec, priority=priority)
+        job_id = submitted["job"]["id"]
+        payload = self.wait(job_id, timeout=timeout, poll=poll)
+        return self.job(job_id), payload

@@ -1,0 +1,555 @@
+"""Job specifications and content addressing for the sweep service.
+
+A :class:`JobSpec` names one experiment run — which experiment, which
+open locations, which sweep grid, which execution flags — in a plain,
+JSON-round-trippable form.  Its :attr:`~JobSpec.address` is a *content
+address*: a stable digest of every field that can change the result,
+with the sweep grids folded in through
+:meth:`~repro.core.analysis.SweepGrid.signature` (the same digest the
+checkpoint unit keys embed, see ``docs/ROBUSTNESS.md``).  Two
+submissions with the same address are the same computation, so the
+queue coalesces them into one job and the result store serves repeats
+without recomputation (``docs/SERVICE.md``).
+
+Execution *hints* — ``jobs`` (worker-process count) and ``batch_u`` —
+are deliberately **excluded** from the address: the fan-out and the
+batched U-axis are bit-identical to their serial/scalar twins (see
+``docs/PERFORMANCE.md``), so a 1-worker and an 8-worker submission of
+the same sweep rightly dedupe to one result.
+
+:data:`SERVICE_EXPERIMENTS` is the registry the scheduler dispatches
+on: every CLI experiment is servable; the sweep experiments accept grid
+overrides, ``table1`` also the completion-search depth and the marginal
+check.  :func:`result_payload` converts a runner's result object into
+the JSON document the result store keeps — with the rendered report
+*without* the telemetry timing block, so a served report is
+byte-identical to the direct CLI run's output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..circuit.defects import OpenLocation
+from ..circuit.network import GuardPolicy
+from ..core.analysis import default_grid_for
+from ..errors import SpecValidationError
+from ..io import dump_fp, dump_quarantined_point
+
+__all__ = [
+    "ExperimentProfile",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "SERVICE_EXPERIMENTS",
+    "result_payload",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """How the service runs (and addresses) one experiment.
+
+    ``sweep`` experiments take grid overrides (``n_r``/``n_u``) whose
+    resolved per-location grid signatures enter the content address;
+    ``takes_opens``/``takes_completion`` gate the ``table1``-only spec
+    fields.  ``run`` receives the validated spec plus the resilience
+    bundle and returns the experiment's result object (``.report``
+    carries the rendered output).
+    """
+
+    name: str
+    run: Callable[["JobSpec", Any], Any]
+    sweep: bool = False
+    takes_opens: bool = False
+    takes_completion: bool = False
+    default_n_r: int = 0
+    default_n_u: int = 0
+
+
+def _run_table1(spec: "JobSpec", resilience: Any) -> Any:
+    from ..experiments.table1 import run_table1
+
+    return run_table1(
+        opens=spec.locations() or None,
+        n_r=spec.resolved_n_r(),
+        n_u=spec.resolved_n_u(),
+        max_extra_ops=spec.resolved_max_extra_ops(),
+        jobs=spec.jobs,
+        batch_u=spec.batch_u,
+        resilience=resilience,
+        guard_policy=spec.resolved_guard_policy(),
+        check_marginal=spec.check_marginal,
+    )
+
+
+def _run_fig3(spec: "JobSpec", resilience: Any) -> Any:
+    from ..experiments.fig3 import run_fig3
+
+    return run_fig3(
+        n_r=spec.resolved_n_r(),
+        n_u=spec.resolved_n_u(),
+        jobs=spec.jobs,
+        resilience=resilience,
+        guard_policy=spec.resolved_guard_policy(),
+    )
+
+
+def _run_fig4(spec: "JobSpec", resilience: Any) -> Any:
+    from ..experiments.fig4 import run_fig4
+
+    return run_fig4(
+        n_r=spec.resolved_n_r(),
+        n_u=spec.resolved_n_u(),
+        jobs=spec.jobs,
+        resilience=resilience,
+        guard_policy=spec.resolved_guard_policy(),
+    )
+
+
+def _run_march(spec: "JobSpec", resilience: Any) -> Any:
+    from ..experiments.march_pf import run_march_pf
+
+    return run_march_pf(
+        jobs=spec.jobs,
+        resilience=resilience,
+        guard_policy=spec.resolved_guard_policy(),
+    )
+
+
+def _plain_runner(module: str, func: str) -> Callable[["JobSpec", Any], Any]:
+    def run(spec: "JobSpec", resilience: Any) -> Any:
+        import importlib
+
+        return getattr(importlib.import_module(module), func)()
+
+    return run
+
+
+#: Experiments the service can execute, by JobSpec.experiment name.
+#: Mirrors the CLI's experiment set; tests may register extra entries.
+SERVICE_EXPERIMENTS: Dict[str, ExperimentProfile] = {
+    "table1": ExperimentProfile(
+        "table1", _run_table1, sweep=True, takes_opens=True,
+        takes_completion=True, default_n_r=16, default_n_u=12,
+    ),
+    "fig3": ExperimentProfile(
+        "fig3", _run_fig3, sweep=True, default_n_r=16, default_n_u=12,
+    ),
+    "fig4": ExperimentProfile(
+        "fig4", _run_fig4, sweep=True, default_n_r=20, default_n_u=12,
+    ),
+    "march": ExperimentProfile("march", _run_march),
+    "fp-space": ExperimentProfile(
+        "fp-space", _plain_runner("repro.experiments.fp_space", "run_fp_space")
+    ),
+    "ablation": ExperimentProfile(
+        "ablation", _plain_runner("repro.experiments.ablation", "run_ablation")
+    ),
+    "bridges": ExperimentProfile(
+        "bridges", _plain_runner("repro.experiments.bridges", "run_bridges")
+    ),
+    "retention": ExperimentProfile(
+        "retention",
+        _plain_runner("repro.experiments.retention", "run_retention"),
+    ),
+    "escapes": ExperimentProfile(
+        "escapes", _plain_runner("repro.experiments.escapes", "run_escapes")
+    ),
+    "diagnosis": ExperimentProfile(
+        "diagnosis",
+        _plain_runner("repro.experiments.diagnosis", "run_diagnosis"),
+    ),
+}
+
+#: Completion-search depth run_table1 defaults to; resolved into the
+#: address so a submission overriding it is a different computation.
+_DEFAULT_MAX_EXTRA_OPS = 3
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One service job: an experiment plus everything that shapes it.
+
+    ``opens`` holds :class:`~repro.circuit.defects.OpenLocation` *names*
+    (``None`` = every location), keeping the spec JSON-native; the same
+    goes for ``guard_policy`` (a :class:`GuardPolicy` value string).
+    ``n_r``/``n_u``/``max_extra_ops`` of ``None`` mean the experiment's
+    own defaults — :meth:`canonical` resolves them, so an explicit
+    default and an omitted field address identically.
+    """
+
+    experiment: str
+    opens: Optional[Tuple[str, ...]] = None
+    n_r: Optional[int] = None
+    n_u: Optional[int] = None
+    max_extra_ops: Optional[int] = None
+    guard_policy: Optional[str] = None
+    check_marginal: bool = False
+    #: Execution hints — identical results for any value (docs/PERFORMANCE.md),
+    #: therefore NOT part of the content address.
+    jobs: int = 1
+    batch_u: bool = True
+
+    # -- validation ------------------------------------------------------------
+
+    def profile(self) -> ExperimentProfile:
+        profile = SERVICE_EXPERIMENTS.get(self.experiment)
+        if profile is None:
+            raise SpecValidationError(
+                "JobSpec", "experiment", self.experiment,
+                "one of " + ", ".join(sorted(SERVICE_EXPERIMENTS)),
+            )
+        return profile
+
+    def validate(self) -> "JobSpec":
+        """Check every field against the experiment's profile; return self."""
+        profile = self.profile()
+        if self.opens is not None:
+            if not profile.takes_opens:
+                raise SpecValidationError(
+                    "JobSpec", "opens", self.opens,
+                    f"nothing — {self.experiment} has no open-location "
+                    "selection",
+                )
+            for name in self.opens:
+                if name not in OpenLocation.__members__:
+                    raise SpecValidationError(
+                        "JobSpec", "opens", name,
+                        "OpenLocation names ("
+                        + ", ".join(OpenLocation.__members__) + ")",
+                    )
+        for grid_field in ("n_r", "n_u"):
+            value = getattr(self, grid_field)
+            if value is None:
+                continue
+            if not profile.sweep:
+                raise SpecValidationError(
+                    "JobSpec", grid_field, value,
+                    f"nothing — {self.experiment} has no sweep grid",
+                )
+            if not isinstance(value, int) or value < 2:
+                raise SpecValidationError(
+                    "JobSpec", grid_field, value, "an integer >= 2",
+                    hint="each grid axis needs at least two points",
+                )
+        if self.max_extra_ops is not None:
+            if not profile.takes_completion:
+                raise SpecValidationError(
+                    "JobSpec", "max_extra_ops", self.max_extra_ops,
+                    f"nothing — {self.experiment} runs no completion search",
+                )
+            if not isinstance(self.max_extra_ops, int) or self.max_extra_ops < 0:
+                raise SpecValidationError(
+                    "JobSpec", "max_extra_ops", self.max_extra_ops,
+                    "an integer >= 0",
+                )
+        if self.check_marginal and not profile.takes_completion:
+            raise SpecValidationError(
+                "JobSpec", "check_marginal", self.check_marginal,
+                "False — only table1 has the marginal-point check",
+            )
+        if self.guard_policy is not None:
+            try:
+                GuardPolicy(self.guard_policy)
+            except ValueError:
+                raise SpecValidationError(
+                    "JobSpec", "guard_policy", self.guard_policy,
+                    "one of " + ", ".join(p.value for p in GuardPolicy),
+                ) from None
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise SpecValidationError(
+                "JobSpec", "jobs", self.jobs, "an integer >= 1"
+            )
+        return self
+
+    # -- resolved views --------------------------------------------------------
+
+    def locations(self) -> Tuple[OpenLocation, ...]:
+        """The open locations this job analyzes (sweep experiments)."""
+        if not self.profile().takes_opens:
+            return ()
+        if self.opens is None:
+            return tuple(OpenLocation)
+        return tuple(OpenLocation[name] for name in self.opens)
+
+    def resolved_n_r(self) -> int:
+        return self.n_r if self.n_r is not None else self.profile().default_n_r
+
+    def resolved_n_u(self) -> int:
+        return self.n_u if self.n_u is not None else self.profile().default_n_u
+
+    def resolved_max_extra_ops(self) -> int:
+        if self.max_extra_ops is not None:
+            return self.max_extra_ops
+        return _DEFAULT_MAX_EXTRA_OPS
+
+    def resolved_guard_policy(self) -> Optional[GuardPolicy]:
+        return GuardPolicy(self.guard_policy) if self.guard_policy else None
+
+    def grid_signatures(self) -> Dict[str, str]:
+        """Per-location sweep-grid digests, via ``SweepGrid.signature()``.
+
+        The default grid depends on the location (its natural resistance
+        range), so the address carries one signature per analyzed
+        location — exactly the digests the checkpoint unit keys embed.
+        """
+        profile = self.profile()
+        if not profile.sweep:
+            return {}
+        n_r, n_u = self.resolved_n_r(), self.resolved_n_u()
+        if profile.takes_opens:
+            locations = self.locations()
+        else:
+            # Figs. 3/4 sweep fixed locations; the grid parameters still
+            # shape every map, so digest the canonical default grid.
+            locations = (OpenLocation.BL_PRECHARGE_CELLS,)
+        return {
+            location.name: default_grid_for(
+                location, n_r=n_r, n_u=n_u
+            ).signature()
+            for location in locations
+        }
+
+    # -- content address -------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The computation identity: every result-shaping field, resolved.
+
+        Execution hints (``jobs``, ``batch_u``) are absent by design;
+        grids appear as their point-exact signatures.
+        """
+        profile = self.profile()
+        payload: Dict[str, Any] = {"experiment": self.experiment}
+        if profile.takes_opens:
+            payload["opens"] = sorted(
+                location.name for location in self.locations()
+            )
+        if profile.sweep:
+            payload["grids"] = self.grid_signatures()
+        if profile.takes_completion:
+            payload["max_extra_ops"] = self.resolved_max_extra_ops()
+            payload["check_marginal"] = self.check_marginal
+        payload["guard_policy"] = self.guard_policy
+        return payload
+
+    @property
+    def address(self) -> str:
+        """Stable content address of this computation (hex digest)."""
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        ).encode("ascii")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    # -- JSON round trip -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "opens": list(self.opens) if self.opens is not None else None,
+            "n_r": self.n_r,
+            "n_u": self.n_u,
+            "max_extra_ops": self.max_extra_ops,
+            "guard_policy": self.guard_policy,
+            "check_marginal": self.check_marginal,
+            "jobs": self.jobs,
+            "batch_u": self.batch_u,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise SpecValidationError(
+                "JobSpec", "body", data, "a JSON object"
+            )
+        known = {
+            "experiment", "opens", "n_r", "n_u", "max_extra_ops",
+            "guard_policy", "check_marginal", "jobs", "batch_u",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecValidationError(
+                "JobSpec", "body", unknown[0],
+                "only the fields " + ", ".join(sorted(known)),
+            )
+        if "experiment" not in data:
+            raise SpecValidationError(
+                "JobSpec", "experiment", None, "a named experiment"
+            )
+        opens = data.get("opens")
+        if opens is not None:
+            if not isinstance(opens, (list, tuple)) or not all(
+                isinstance(name, str) for name in opens
+            ):
+                raise SpecValidationError(
+                    "JobSpec", "opens", opens, "a list of OpenLocation names"
+                )
+            opens = tuple(opens)
+        spec = cls(
+            experiment=data["experiment"],
+            opens=opens,
+            n_r=data.get("n_r"),
+            n_u=data.get("n_u"),
+            max_extra_ops=data.get("max_extra_ops"),
+            guard_policy=data.get("guard_policy"),
+            check_marginal=bool(data.get("check_marginal", False)),
+            jobs=data.get("jobs", 1),
+            batch_u=bool(data.get("batch_u", True)),
+        )
+        return spec.validate()
+
+    def with_jobs(self, jobs: int) -> "JobSpec":
+        """The same computation under a different worker count."""
+        return replace(self, jobs=jobs)
+
+
+# -- job records ----------------------------------------------------------------
+
+class JobState(Enum):
+    """Lifecycle of a queued computation."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One admitted computation and its progress record.
+
+    Mutable fields are guarded by the owning queue's lock; handlers read
+    a :meth:`to_json` snapshot taken under that lock.  ``events`` is the
+    progress trail the scheduler appends to (queued, started, cache-hit,
+    resilience summary, finished/failed/cancelled).
+    """
+
+    spec: JobSpec
+    address: str
+    priority: int = 0
+    id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    cancel_requested: bool = False
+    #: Identical submissions coalesced into this job (>= 1).
+    submissions: int = 1
+    #: True when the result came from the store without recomputation.
+    cache_hit: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def emit(self, event: str, **detail: Any) -> None:
+        """Append one progress event (timestamped, JSON-native)."""
+        self.events.append({"at": time.time(), "event": event, **detail})
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_json(self, verbose: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "experiment": self.spec.experiment,
+            "address": self.address,
+            "state": self.state.value,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration": self.duration,
+            "submissions": self.submissions,
+            "cache_hit": self.cache_hit,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+        if verbose:
+            payload["spec"] = self.spec.to_json()
+            payload["events"] = list(self.events)
+        return payload
+
+
+# -- result payloads ------------------------------------------------------------
+
+_PAYLOAD_FORMAT = "repro-v1"
+
+#: Module-level guard: result_payload temporarily clears report.timing.
+_RENDER_LOCK = threading.Lock()
+
+
+def result_payload(spec: JobSpec, result: Any) -> Dict[str, Any]:
+    """The JSON document stored (and served) for one finished job.
+
+    ``report`` is rendered with the telemetry timing block suppressed —
+    the service keeps telemetry on for its own counters, but a stored
+    report must be byte-identical to the direct CLI run's (telemetry
+    off) output, and wall times have no place in a content-addressed
+    document anyway.  Structured extras ride along per experiment:
+    ``table1`` adds its inventory rows (completed FPs via the
+    :mod:`repro.io` codec) and any quarantined grid points.
+    """
+    report = getattr(result, "report", result)
+    with _RENDER_LOCK:
+        saved_timing = getattr(report, "timing", None)
+        report.timing = None
+        try:
+            rendered = report.render()
+        finally:
+            report.timing = saved_timing
+    payload: Dict[str, Any] = {
+        "format": _PAYLOAD_FORMAT,
+        "kind": "job-result",
+        "experiment": spec.experiment,
+        "address": spec.address,
+        "report": rendered,
+        "claims": [
+            {
+                "name": claim.name,
+                "paper": claim.paper,
+                "measured": claim.measured,
+                "holds": claim.holds,
+            }
+            for claim in report.claims
+        ],
+        "holding": report.holding,
+        "all_hold": report.all_hold,
+    }
+    rows = getattr(result, "rows", None)
+    if spec.experiment == "table1" and rows is not None:
+        payload["rows"] = [
+            {
+                "ffm_sim": row.ffm_sim.name,
+                "ffm_com": row.ffm_com.name,
+                "open": row.open_number,
+                "completed": (
+                    None if row.completed is None else dump_fp(row.completed)
+                ),
+                "completed_text": row.completed_text,
+                "floating": row.floating,
+                "marginal": row.marginal,
+            }
+            for row in rows
+        ]
+    quarantined = getattr(result, "quarantined", None)
+    if quarantined:
+        payload["quarantined"] = [
+            dump_quarantined_point(point) for point in quarantined
+        ]
+    return payload

@@ -1,0 +1,244 @@
+"""Bounded, deduplicating priority queue of service jobs.
+
+The queue is the admission-control point of the sweep service
+(``docs/SERVICE.md``):
+
+* **dedup** — a submission whose content address matches a live job
+  (queued, running, or done) coalesces into it instead of enqueueing a
+  duplicate computation (``service.jobs.deduped``);
+* **backpressure** — once ``limit`` jobs are queued, further
+  submissions raise :class:`~repro.errors.QueueFullError`, which the
+  HTTP API maps to a structured ``429`` (``service.jobs.rejected``);
+* **cancellation** — a queued job is cancelled in place and its queue
+  slot freed immediately; a running job gets a cooperative
+  ``cancel_requested`` flag the scheduler honours at its next
+  checkpoint.
+
+All state lives behind one condition variable; scheduler workers block
+in :meth:`claim` and are woken by submissions.  Terminal jobs are kept
+as history (for ``GET /jobs/<id>``) up to ``max_history`` entries;
+evicting a DONE job's record does not lose its result — that lives in
+the content-addressed store.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..errors import QueueFullError
+from .jobs import Job, JobSpec, JobState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue with admission control, dedup, and cancellation.
+
+    ``limit`` bounds *queued* jobs only — running and finished jobs
+    don't consume admission slots.  Higher ``priority`` runs first;
+    ties run in submission order.
+    """
+
+    def __init__(self, limit: int = 64, max_history: int = 256) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = limit
+        self.max_history = max_history
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._by_address: Dict[str, str] = {}  # address -> live job id
+        self._queued = 0
+        self._history: List[str] = []  # terminal job ids, oldest first
+
+    # -- introspection ---------------------------------------------------------
+
+    def depth(self) -> int:
+        """Jobs currently waiting for a worker."""
+        with self._cond:
+            return self._queued
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (for ``GET /healthz``)."""
+        with self._cond:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+            return counts
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def snapshot(self, job_id: str) -> Optional[dict]:
+        """A consistent JSON view of one job (taken under the lock)."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.to_json()
+
+    def list_jobs(self) -> List[dict]:
+        """Summaries of every known job, newest submission first."""
+        with self._cond:
+            jobs = sorted(
+                self._jobs.values(), key=lambda j: j.submitted_at,
+                reverse=True,
+            )
+            return [job.to_json(verbose=False) for job in jobs]
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, priority: int = 0) -> Tuple[Job, bool]:
+        """Admit one spec; returns ``(job, deduped)``.
+
+        ``deduped=True`` means an identical live computation already
+        existed and the submission coalesced into it.  Raises
+        :class:`~repro.errors.QueueFullError` when admission control
+        refuses (and only then).
+        """
+        spec.validate()
+        address = spec.address
+        with self._cond:
+            existing = self._live_job(address)
+            if existing is not None:
+                existing.submissions += 1
+                telemetry.count("service.jobs.deduped")
+                return existing, True
+            if self._queued >= self.limit:
+                telemetry.count("service.jobs.rejected")
+                raise QueueFullError(depth=self._queued, limit=self.limit)
+            job = Job(spec=spec, address=address, priority=priority)
+            job.emit("queued", address=address, priority=priority)
+            self._jobs[job.id] = job
+            self._by_address[address] = job.id
+            heapq.heappush(
+                self._heap, (-priority, next(self._seq), job.id)
+            )
+            self._queued += 1
+            telemetry.count("service.jobs.submitted")
+            telemetry.gauge("service.queue.depth", self._queued)
+            self._cond.notify()
+            return job, False
+
+    def _live_job(self, address: str) -> Optional[Job]:
+        """The queued/running/done job owning ``address``, if any.
+
+        A FAILED or CANCELLED job does not block resubmission of the
+        same computation — its address binding is dropped when it
+        reaches that state.
+        """
+        job_id = self._by_address.get(address)
+        if job_id is None:
+            return None
+        job = self._jobs.get(job_id)
+        if job is None or job.state in (JobState.FAILED, JobState.CANCELLED):
+            return None
+        return job
+
+    # -- worker side -----------------------------------------------------------
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority queued job; block up to ``timeout``.
+
+        Returns ``None`` on timeout.  The claimed job transitions to
+        RUNNING under the lock.
+        """
+        with self._cond:
+            while True:
+                job = self._pop_queued()
+                if job is not None:
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    job.emit("started")
+                    self._queued -= 1
+                    telemetry.gauge("service.queue.depth", self._queued)
+                    return job
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def _pop_queued(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            # Cancelled-while-queued jobs stay in the heap (lazy
+            # deletion); their admission slot was freed at cancel time.
+            if job is not None and job.state is JobState.QUEUED:
+                return job
+        return None
+
+    # -- lifecycle transitions -------------------------------------------------
+
+    def finish(self, job: Job, cache_hit: bool = False) -> None:
+        with self._cond:
+            self._settle(job, JobState.DONE)
+            job.cache_hit = cache_hit
+            job.emit("finished", cache_hit=cache_hit)
+            telemetry.count("service.jobs.completed")
+            if job.duration is not None:
+                telemetry.observe("service.jobs.seconds", job.duration)
+
+    def fail(self, job: Job, exc: BaseException) -> None:
+        with self._cond:
+            self._settle(job, JobState.FAILED)
+            job.error = str(exc)
+            job.error_type = type(exc).__name__
+            job.emit("failed", error_type=job.error_type, error=job.error)
+            self._by_address.pop(job.address, None)
+            telemetry.count("service.jobs.failed")
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel one job; returns it, or ``None`` if unknown.
+
+        A QUEUED job is terminal immediately and its admission slot is
+        freed; a RUNNING job only gets ``cancel_requested`` set — the
+        scheduler marks it CANCELLED at its next cooperative check.
+        Cancelling a terminal job is a no-op.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state is JobState.QUEUED:
+                self._settle(job, JobState.CANCELLED)
+                job.cancel_requested = True
+                job.emit("cancelled", while_state="queued")
+                self._queued -= 1
+                self._by_address.pop(job.address, None)
+                telemetry.count("service.jobs.cancelled")
+                telemetry.gauge("service.queue.depth", self._queued)
+            elif job.state is JobState.RUNNING and not job.cancel_requested:
+                job.cancel_requested = True
+                job.emit("cancel-requested")
+            return job
+
+    def mark_cancelled(self, job: Job) -> None:
+        """Scheduler-side: a RUNNING job honoured its cancel request."""
+        with self._cond:
+            if job.state.terminal:
+                return
+            self._settle(job, JobState.CANCELLED)
+            job.emit("cancelled", while_state="running")
+            self._by_address.pop(job.address, None)
+            telemetry.count("service.jobs.cancelled")
+
+    def _settle(self, job: Job, state: JobState) -> None:
+        """Move a job to a terminal state (caller holds the lock)."""
+        job.state = state
+        job.finished_at = time.time()
+        self._history.append(job.id)
+        self._trim_history()
+
+    def _trim_history(self) -> None:
+        while len(self._history) > self.max_history:
+            oldest_id = self._history.pop(0)
+            job = self._jobs.get(oldest_id)
+            if job is None or not job.state.terminal:
+                continue
+            del self._jobs[oldest_id]
+            if self._by_address.get(job.address) == oldest_id:
+                del self._by_address[job.address]

@@ -1,0 +1,196 @@
+"""Scheduler: drains the job queue into the fault-analysis engine.
+
+Each worker thread loops ``claim -> serve-from-store-or-run -> settle``:
+
+* a claimed job whose content address is already in the
+  :class:`~repro.service.store.ResultStore` finishes immediately as a
+  **cache hit** — no solver work at all (``service.store.hits``);
+* otherwise the job runs through the experiment's registered runner,
+  which fans out over ``repro.parallel`` with the PR-3 resilience
+  layer: the scheduler builds a :class:`~repro.parallel.Resilience`
+  bundle from its :class:`~repro.parallel.RetryPolicy` and a per-address
+  :class:`~repro.io.CheckpointStore` under ``work_dir``, so a job that
+  fails (or a service that crashes) resumes from the units that
+  completed when the same computation is submitted again;
+* the finished result is converted to its JSON payload
+  (:func:`~repro.service.jobs.result_payload`), written to the store,
+  and the job settles DONE — or FAILED with the structured error on the
+  job record (the queue frees the address for resubmission).
+
+Cancellation is cooperative: the flag is honoured before the run starts
+and again before the result is published (a mid-run cancel still stores
+the computed result — it is valid and content-addressed — but the job
+settles CANCELLED).
+
+Progress events land on ``job.events`` (started, cache-hit, resilience
+summary, finished/failed/cancelled); recovery activity recorded by the
+parallel layer is drained per job and attached as a ``resilience``
+event when anything happened.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import List, Optional
+
+from .. import telemetry
+from ..io import CheckpointStore
+from ..parallel import Resilience, RetryPolicy, drain_resilience_log
+from .jobs import Job, result_payload
+from .queue import JobQueue
+from .store import ResultStore
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Worker threads executing queued jobs against the engine.
+
+    ``workers`` is the number of concurrent *jobs* (each job may itself
+    fan out over ``spec.jobs`` worker processes); ``work_dir`` enables
+    per-address checkpoint files; ``retry_policy`` governs unit
+    recovery inside each job's fan-out.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        workers: int = 1,
+        work_dir: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.queue = queue
+        self.store = store
+        self.workers = workers
+        self.work_dir = work_dir
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        if work_dir is not None:
+            os.makedirs(work_dir, exist_ok=True)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("scheduler already started")
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop,
+                name=f"repro-scheduler-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the workers and wait for the in-flight jobs."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=self.poll_interval)
+            if job is None:
+                continue
+            try:
+                self._execute(job)
+            except Exception as exc:  # noqa: BLE001 — never kill the worker
+                self.queue.fail(job, exc)
+
+    def _checkpoint_for(self, job: Job) -> Optional[CheckpointStore]:
+        if self.work_dir is None:
+            return None
+        return CheckpointStore(
+            os.path.join(self.work_dir, job.address + ".ckpt")
+        )
+
+    def _execute(self, job: Job) -> None:
+        if job.cancel_requested:
+            self.queue.mark_cancelled(job)
+            return
+        cached = self.store.get(job.address)
+        if cached is not None:
+            job.emit("cache-hit", address=job.address)
+            self.queue.finish(job, cache_hit=True)
+            return
+        profile = job.spec.profile()
+        checkpoint = self._checkpoint_for(job)
+        resumable = checkpoint is not None and os.path.exists(checkpoint.path)
+        if resumable:
+            job.emit("resuming", checkpoint=checkpoint.path)
+        resilience = Resilience(
+            policy=self.retry_policy, checkpoint=checkpoint
+        )
+        drain_resilience_log()  # events before this job are not ours
+        try:
+            with telemetry.span(
+                "service.job", experiment=job.spec.experiment, job=job.id
+            ):
+                result = profile.run(job.spec, resilience)
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            job.emit(
+                "error",
+                error_type=type(exc).__name__,
+                traceback=traceback.format_exc(limit=8),
+            )
+            self._attach_resilience(job)
+            self.queue.fail(job, exc)
+            return
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+        self._attach_resilience(job)
+        payload = result_payload(job.spec, result)
+        self.store.put(job.address, payload)
+        if checkpoint is not None:
+            # The result is in the store; the unit-level checkpoint has
+            # served its purpose and would only grow the work dir.
+            try:
+                os.remove(checkpoint.path)
+            except OSError:
+                pass
+        if job.cancel_requested:
+            self.queue.mark_cancelled(job)
+            return
+        self.queue.finish(job, cache_hit=False)
+
+    @staticmethod
+    def _attach_resilience(job: Job) -> None:
+        """Fold the parallel layer's recovery log into the job's events.
+
+        The log is process-global; with several scheduler workers the
+        numbers may include a concurrent job's recoveries — they are a
+        diagnostic trail, not an exact ledger (the telemetry counters
+        are exact).
+        """
+        log = drain_resilience_log()
+        if not log.any():
+            return
+        job.emit(
+            "resilience",
+            retries=log.retries,
+            timeouts=log.timeouts,
+            fallbacks=log.fallbacks,
+            pool_breaks=log.pool_breaks,
+            resumed=log.resumed,
+            failures=len(log.failures),
+        )

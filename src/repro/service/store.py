@@ -1,0 +1,184 @@
+"""Content-addressed result store with TTL and LRU eviction.
+
+Results are keyed by the :class:`~repro.service.jobs.JobSpec` content
+address — a digest over the experiment, its resolved parameters, and
+the exact sweep grids (via ``SweepGrid.signature()``) — so a repeated
+submission of the same computation is served from here without touching
+the solver (``service.store.hits``).
+
+Two backings share one interface:
+
+* **in-memory** (``root=None``) — payload dicts in an ordered map;
+* **on-disk** — one ``<address>.json`` document per result under
+  ``root``, written atomically (temp file + ``os.replace``), with the
+  index rebuilt from the directory on restart so a redeployed service
+  keeps its cache warm.
+
+Eviction: entries older than ``ttl`` seconds are dropped at lookup time
+(``service.store.expired``); beyond ``max_entries`` the
+least-recently-*used* entry goes first (``service.store.evictions``).
+A ``get`` refreshes recency, a ``put`` counts as first use.
+
+Payloads are the JSON documents of
+:func:`repro.service.jobs.result_payload`, whose nested objects (fault
+primitives, quarantined points) are encoded with the :mod:`repro.io`
+codecs — the same dump/load pairs the checkpoint JSONL lines use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from .. import telemetry
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Bounded ``address -> result payload`` cache (thread-safe)."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_entries: int = 128,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.root = root
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        #: address -> stored_at wall time, in least-recently-used order
+        #: (oldest first).
+        self._index: "OrderedDict[str, float]" = OrderedDict()
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._rebuild_index()
+
+    # -- internals -------------------------------------------------------------
+
+    def _path(self, address: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, address + ".json")
+
+    def _rebuild_index(self) -> None:
+        """Re-adopt existing result documents after a restart.
+
+        Recency is approximated by file modification time — good enough
+        to seed the LRU order; TTL keeps honouring the original write
+        time.
+        """
+        entries = []
+        for name in os.listdir(self.root):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                entries.append((os.path.getmtime(path), name[: -len(".json")]))
+            except OSError:
+                continue
+        for mtime, address in sorted(entries):
+            self._index[address] = mtime
+
+    def _evict(self, address: str, counter: Optional[str]) -> None:
+        """Drop one entry (caller holds the lock)."""
+        self._index.pop(address, None)
+        self._memory.pop(address, None)
+        if self.root is not None:
+            try:
+                os.remove(self._path(address))
+            except OSError:
+                pass
+        if counter is not None:
+            telemetry.count(counter)
+
+    def _read(self, address: str) -> Optional[Dict[str, Any]]:
+        if self.root is None:
+            return self._memory.get(address)
+        try:
+            with open(self._path(address), encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, address: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``address``, or ``None``.
+
+        Counts ``service.store.hits`` / ``service.store.misses``; an
+        entry past its TTL is evicted and counted as a miss (plus
+        ``service.store.expired``).
+        """
+        with self._lock:
+            stored_at = self._index.get(address)
+            if stored_at is not None and self.ttl is not None:
+                if time.time() - stored_at > self.ttl:
+                    self._evict(address, "service.store.expired")
+                    stored_at = None
+            if stored_at is None:
+                telemetry.count("service.store.misses")
+                return None
+            payload = self._read(address)
+            if payload is None:
+                # The document vanished (manual cleanup, disk error);
+                # drop the stale index entry and treat as a miss.
+                self._evict(address, None)
+                telemetry.count("service.store.misses")
+                return None
+            self._index.move_to_end(address)
+            telemetry.count("service.store.hits")
+            return payload
+
+    def contains(self, address: str) -> bool:
+        """TTL-aware presence check that records no hit/miss counters."""
+        with self._lock:
+            stored_at = self._index.get(address)
+            if stored_at is None:
+                return False
+            if self.ttl is not None and time.time() - stored_at > self.ttl:
+                return False
+            return True
+
+    def put(self, address: str, payload: Dict[str, Any]) -> None:
+        """Store one result document; evicts LRU entries over the cap."""
+        with self._lock:
+            if self.root is None:
+                self._memory[address] = payload
+            else:
+                path = self._path(address)
+                tmp = path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, sort_keys=True)
+                os.replace(tmp, path)
+            self._index[address] = time.time()
+            self._index.move_to_end(address)
+            telemetry.count("service.store.puts")
+            while len(self._index) > self.max_entries:
+                oldest = next(iter(self._index))
+                self._evict(oldest, "service.store.evictions")
+            telemetry.gauge("service.store.entries", len(self._index))
+
+    def addresses(self) -> Tuple[str, ...]:
+        """Every stored address, least-recently-used first."""
+        with self._lock:
+            return tuple(self._index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def clear(self) -> None:
+        with self._lock:
+            for address in list(self._index):
+                self._evict(address, None)

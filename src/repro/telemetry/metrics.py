@@ -11,11 +11,19 @@ The registry is a flat namespace of dotted metric names (see
   times (``experiment.seconds``).
 
 Instruments are created lazily on first use and live for the process
-lifetime; :meth:`MetricsRegistry.reset` zeroes them between runs.  All
-mutation goes through plain attribute arithmetic, so recording a sample
-costs an attribute lookup and an add — cheap enough for the solver's
-inner loop once the module-level enable flag (checked by the helpers in
-:mod:`repro.telemetry`) has let the call through.
+lifetime; :meth:`MetricsRegistry.reset` zeroes them between runs.
+
+Thread safety: the registry owns a single re-entrant lock, shared by
+every instrument it creates — the sweep service's HTTP handler threads,
+scheduler workers, and the main thread all record into the same
+process-global registry concurrently.  Every mutation (``inc``/``set``/
+``observe``/``merge``) and every multi-instrument read
+(:meth:`MetricsRegistry.snapshot`) takes that one lock, so counts are
+exact and snapshots are internally consistent.  The *disabled* path
+stays lock-free: the module-level enable flag in :mod:`repro.telemetry`
+is checked before any instrument (and therefore the lock) is touched,
+so instrumenting a hot loop still costs one function call and one
+attribute test when telemetry is off.
 """
 
 from __future__ import annotations
@@ -30,14 +38,16 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 class Counter:
     """A monotonically increasing event counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
         self.value = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def snapshot(self) -> int:
         return self.value
@@ -46,14 +56,16 @@ class Counter:
 class Gauge:
     """A last-value-wins instrument."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def snapshot(self) -> float:
         return self.value
@@ -62,22 +74,24 @@ class Gauge:
 class Histogram:
     """A streaming summary of observed samples (no bucket storage)."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> Optional[float]:
@@ -88,29 +102,38 @@ class Histogram:
         count = int(summary.get("count") or 0)
         if not count:
             return
-        self.count += count
-        self.total += float(summary.get("sum") or 0.0)
-        lo, hi = summary.get("min"), summary.get("max")
-        if lo is not None and lo < self.min:
-            self.min = lo
-        if hi is not None and hi > self.max:
-            self.max = hi
+        with self._lock:
+            self.count += count
+            self.total += float(summary.get("sum") or 0.0)
+            lo, hi = summary.get("min"), summary.get("max")
+            if lo is not None and lo < self.min:
+                self.min = lo
+            if hi is not None and hi > self.max:
+                self.max = hi
 
     def snapshot(self) -> Dict[str, Optional[float]]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.mean,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "mean": self.mean,
+            }
 
 
 class MetricsRegistry:
-    """A process-global, name-indexed collection of instruments."""
+    """A process-global, name-indexed collection of instruments.
+
+    One re-entrant lock (``RLock``: :meth:`merge_snapshot` mutates
+    instruments while holding it) covers instrument creation, every
+    instrument mutation, and the multi-instrument reads, so concurrent
+    recorders — API handler threads, scheduler workers, the main thread
+    — never lose updates and never observe a half-merged snapshot.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -121,21 +144,23 @@ class MetricsRegistry:
         inst = self._counters.get(name)
         if inst is None:
             with self._lock:
-                inst = self._counters.setdefault(name, Counter(name))
+                inst = self._counters.setdefault(name, Counter(name, self._lock))
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
             with self._lock:
-                inst = self._gauges.setdefault(name, Gauge(name))
+                inst = self._gauges.setdefault(name, Gauge(name, self._lock))
         return inst
 
     def histogram(self, name: str) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
             with self._lock:
-                inst = self._histograms.setdefault(name, Histogram(name))
+                inst = self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
         return inst
 
     # -- read side -------------------------------------------------------------
@@ -154,28 +179,39 @@ class MetricsRegistry:
         return not (self._counters or self._gauges or self._histograms)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-serializable dump of every instrument."""
-        return {
-            "counters": {n: c.snapshot() for n, c in self._counters.items()},
-            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
-            "histograms": {
-                n: h.snapshot() for n, h in self._histograms.items()
-            },
-        }
+        """JSON-serializable dump of every instrument.
+
+        Taken under the registry lock, so a snapshot read while other
+        threads record is internally consistent (no instrument is seen
+        mid-update, no half-merged worker snapshot).
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.snapshot() for n, c in self._counters.items()
+                },
+                "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.snapshot() for n, h in self._histograms.items()
+                },
+            }
 
     def merge_snapshot(self, snap: Dict[str, Dict[str, object]]) -> None:
         """Fold a :meth:`snapshot` dict (e.g. from a worker process) in.
 
         Counters and histogram summaries add; gauges are last-write-wins,
         so the merged-in worker's value overwrites the local one (the
-        callers merge snapshots in deterministic submission order).
+        callers merge snapshots in deterministic submission order).  The
+        whole merge happens under the registry lock, so concurrent
+        readers see either none or all of a worker's contribution.
         """
-        for name, value in snap.get("counters", {}).items():
-            self.counter(name).inc(int(value))
-        for name, value in snap.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
-        for name, summary in snap.get("histograms", {}).items():
-            self.histogram(name).merge_summary(summary)
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self.counter(name).inc(int(value))
+            for name, value in snap.get("gauges", {}).items():
+                self.gauge(name).set(float(value))
+            for name, summary in snap.get("histograms", {}).items():
+                self.histogram(name).merge_summary(summary)
 
     def reset(self) -> None:
         """Drop every instrument (names are re-created on next use)."""

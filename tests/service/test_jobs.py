@@ -1,0 +1,193 @@
+"""JobSpec content addressing, validation, and result payloads."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.circuit.defects import OpenLocation
+from repro.errors import SpecValidationError
+from repro.service.jobs import JobSpec, JobState, result_payload
+
+from .conftest import make_report
+
+
+class TestContentAddress:
+    def test_explicit_defaults_address_like_omitted(self):
+        implicit = JobSpec("table1")
+        explicit = JobSpec(
+            "table1",
+            opens=tuple(sorted(OpenLocation.__members__)),
+            n_r=16,
+            n_u=12,
+            max_extra_ops=3,
+        )
+        assert implicit.address == explicit.address
+
+    def test_execution_hints_do_not_change_the_address(self):
+        spec = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        assert spec.with_jobs(8).address == spec.address
+        assert replace(spec, batch_u=False).address == spec.address
+
+    def test_grid_change_changes_the_address(self):
+        base = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        assert replace(base, n_r=5).address != base.address
+        assert replace(base, n_u=4).address != base.address
+
+    def test_opens_order_is_canonicalized(self):
+        a = JobSpec("table1", opens=("CELL", "WORD_LINE"), n_r=4, n_u=3)
+        b = JobSpec("table1", opens=("WORD_LINE", "CELL"), n_r=4, n_u=3)
+        assert a.address == b.address
+
+    def test_result_shaping_fields_change_the_address(self):
+        base = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        assert replace(base, max_extra_ops=1).address != base.address
+        assert replace(base, check_marginal=True).address != base.address
+        assert (
+            replace(base, guard_policy="quarantine").address != base.address
+        )
+
+    def test_experiments_address_differently(self):
+        assert JobSpec("fig3").address != JobSpec("fig4").address
+        assert JobSpec("march").address != JobSpec("fp-space").address
+
+    def test_grid_signatures_are_per_location(self):
+        spec = JobSpec("table1", opens=("CELL", "WORD_LINE"), n_r=4, n_u=3)
+        signatures = spec.grid_signatures()
+        assert set(signatures) == {"CELL", "WORD_LINE"}
+        # Different natural resistance ranges -> different grid digests.
+        assert signatures["CELL"] != signatures["WORD_LINE"]
+
+    def test_non_sweep_experiments_have_no_grids(self):
+        assert JobSpec("march").grid_signatures() == {}
+        assert "grids" not in JobSpec("march").canonical()
+
+
+class TestValidation:
+    def test_unknown_experiment(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("table9").validate()
+
+    def test_opens_rejected_on_non_table1(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("fig3", opens=("CELL",)).validate()
+
+    def test_unknown_open_location(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("table1", opens=("CELLAR",)).validate()
+
+    def test_grid_rejected_on_non_sweep(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("march", n_r=8).validate()
+
+    def test_grid_axis_needs_two_points(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("table1", n_r=1).validate()
+
+    def test_completion_fields_are_table1_only(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("fig3", max_extra_ops=2).validate()
+        with pytest.raises(SpecValidationError):
+            JobSpec("fig3", check_marginal=True).validate()
+
+    def test_bad_guard_policy(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("table1", guard_policy="panic").validate()
+
+    def test_bad_jobs(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec("table1", jobs=0).validate()
+
+    def test_valid_spec_validates_to_itself(self):
+        spec = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        assert spec.validate() is spec
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self):
+        spec = JobSpec(
+            "table1", opens=("CELL",), n_r=4, n_u=3, max_extra_ops=2,
+            guard_policy="quarantine", check_marginal=True, jobs=2,
+            batch_u=False,
+        )
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec.from_json({"experiment": "march", "n_rows": 4})
+
+    def test_missing_experiment_rejected(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec.from_json({"opens": ["CELL"]})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec.from_json(["table1"])
+
+    def test_bad_opens_type_rejected(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec.from_json({"experiment": "table1", "opens": "CELL"})
+
+    def test_from_json_validates(self):
+        with pytest.raises(SpecValidationError):
+            JobSpec.from_json({"experiment": "table1", "n_r": 1})
+
+
+class TestJobState:
+    def test_terminal_states(self):
+        assert not JobState.QUEUED.terminal
+        assert not JobState.RUNNING.terminal
+        assert JobState.DONE.terminal
+        assert JobState.FAILED.terminal
+        assert JobState.CANCELLED.terminal
+
+
+class TestResultPayload:
+    def test_report_and_claims(self):
+        spec = JobSpec("fp-space")
+        report = make_report(title="fp-space", block="hello")
+        payload = result_payload(spec, SimpleNamespace(report=report))
+        assert payload["format"] == "repro-v1"
+        assert payload["kind"] == "job-result"
+        assert payload["experiment"] == "fp-space"
+        assert payload["address"] == spec.address
+        assert payload["report"] == report.render()
+        assert payload["claims"] == [
+            {
+                "name": "stub claim", "paper": "paper",
+                "measured": "measured", "holds": True,
+            }
+        ]
+        assert payload["holding"] == 1 and payload["all_hold"] is True
+
+    def test_timing_block_is_stripped_and_restored(self):
+        spec = JobSpec("fp-space")
+        report = make_report()
+        timing = {"experiment": "fp-space", "seconds": 1.0}
+        report.timing = timing
+        payload = result_payload(spec, SimpleNamespace(report=report))
+        assert "-- timing:" not in payload["report"]
+        assert report.timing is timing  # restored for the caller
+
+    def test_table1_rows_ride_along(self):
+        spec = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        row = SimpleNamespace(
+            ffm_sim=SimpleNamespace(name="RDF0"),
+            ffm_com=SimpleNamespace(name="TF1"),
+            open_number=3,
+            completed=None,
+            completed_text="Not possible",
+            floating="CELL",
+            marginal=False,
+        )
+        payload = result_payload(
+            spec, SimpleNamespace(report=make_report(), rows=[row])
+        )
+        assert payload["rows"] == [
+            {
+                "ffm_sim": "RDF0", "ffm_com": "TF1", "open": 3,
+                "completed": None, "completed_text": "Not possible",
+                "floating": "CELL", "marginal": False,
+            }
+        ]
+        assert "quarantined" not in payload

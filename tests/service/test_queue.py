@@ -1,0 +1,205 @@
+"""Job queue: lifecycle, dedup, backpressure, and cancellation."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import QueueFullError
+from repro.service.jobs import JobSpec, JobState
+from repro.service.queue import JobQueue
+
+
+def _spec(name):
+    return JobSpec(experiment=name)
+
+
+@pytest.fixture
+def experiments(register_experiment):
+    for name in ("svc-a", "svc-b", "svc-c"):
+        register_experiment(name)
+
+
+class TestLifecycle:
+    def test_submit_claim_finish(self, experiments):
+        queue = JobQueue(limit=4)
+        job, deduped = queue.submit(_spec("svc-a"))
+        assert not deduped
+        assert job.state is JobState.QUEUED and queue.depth() == 1
+        claimed = queue.claim(timeout=0.1)
+        assert claimed is job
+        assert job.state is JobState.RUNNING and queue.depth() == 0
+        queue.finish(job)
+        assert job.state is JobState.DONE
+        assert job.duration is not None and job.duration >= 0
+        assert [e["event"] for e in job.events] == [
+            "queued", "started", "finished",
+        ]
+
+    def test_claim_times_out_empty(self, experiments):
+        assert JobQueue().claim(timeout=0.01) is None
+
+    def test_counts_and_snapshots(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        assert queue.counts()["queued"] == 1
+        snapshot = queue.snapshot(job.id)
+        assert snapshot["state"] == "queued"
+        assert snapshot["spec"]["experiment"] == "svc-a"
+        summaries = queue.list_jobs()
+        assert len(summaries) == 1 and "spec" not in summaries[0]
+        assert queue.snapshot("nope") is None and queue.get("nope") is None
+
+    def test_invalid_spec_is_rejected_before_admission(self):
+        queue = JobQueue()
+        with pytest.raises(Exception):
+            queue.submit(_spec("no-such-experiment"))
+        assert queue.depth() == 0
+
+
+class TestDedup:
+    def test_identical_submission_coalesces(self, experiments):
+        queue = JobQueue()
+        first, _ = queue.submit(_spec("svc-a"))
+        second, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and second is first
+        assert first.submissions == 2
+        assert queue.depth() == 1  # one computation queued, not two
+
+    def test_dedup_onto_running_and_done(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        again, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and again is job
+        queue.finish(job)
+        done_again, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and done_again is job
+        assert job.submissions == 3
+
+    def test_different_addresses_do_not_coalesce(self, experiments):
+        queue = JobQueue()
+        a, _ = queue.submit(_spec("svc-a"))
+        b, deduped = queue.submit(_spec("svc-b"))
+        assert not deduped and a is not b
+
+    def test_failed_job_frees_the_address(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        queue.fail(job, ValueError("boom"))
+        assert job.state is JobState.FAILED
+        assert job.error == "boom" and job.error_type == "ValueError"
+        retry, deduped = queue.submit(_spec("svc-a"))
+        assert not deduped and retry is not job
+
+
+class TestBackpressure:
+    def test_queue_full_is_structured(self, experiments):
+        queue = JobQueue(limit=1)
+        queue.submit(_spec("svc-a"))
+        with pytest.raises(QueueFullError) as err:
+            queue.submit(_spec("svc-b"))
+        assert err.value.depth == 1
+        assert err.value.limit == 1
+        assert err.value.retry_after > 0
+        assert "full" in str(err.value)
+
+    def test_running_jobs_do_not_hold_admission_slots(self, experiments):
+        queue = JobQueue(limit=1)
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)  # now RUNNING; the slot is free
+        queue.submit(_spec("svc-b"))
+        assert queue.depth() == 1
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(limit=0)
+
+
+class TestPriority:
+    def test_higher_priority_claims_first(self, experiments):
+        queue = JobQueue()
+        low, _ = queue.submit(_spec("svc-a"), priority=0)
+        high, _ = queue.submit(_spec("svc-b"), priority=5)
+        mid, _ = queue.submit(_spec("svc-c"), priority=1)
+        order = [queue.claim(timeout=0.1) for _ in range(3)]
+        assert order == [high, mid, low]
+
+    def test_ties_run_in_submission_order(self, experiments):
+        queue = JobQueue()
+        first, _ = queue.submit(_spec("svc-a"))
+        second, _ = queue.submit(_spec("svc-b"))
+        assert queue.claim(timeout=0.1) is first
+        assert queue.claim(timeout=0.1) is second
+
+
+class TestCancellation:
+    def test_cancel_queued_frees_the_slot(self, experiments):
+        queue = JobQueue(limit=1)
+        job, _ = queue.submit(_spec("svc-a"))
+        cancelled = queue.cancel(job.id)
+        assert cancelled is job and job.state is JobState.CANCELLED
+        assert queue.depth() == 0
+        # The freed slot admits a new job, and the lazily deleted heap
+        # entry is skipped by the next claim.
+        other, _ = queue.submit(_spec("svc-b"))
+        assert queue.claim(timeout=0.1) is other
+
+    def test_cancelled_address_is_resubmittable(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.cancel(job.id)
+        retry, deduped = queue.submit(_spec("svc-a"))
+        assert not deduped and retry is not job
+
+    def test_cancel_running_is_cooperative(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        queue.cancel(job.id)
+        assert job.state is JobState.RUNNING  # still running ...
+        assert job.cancel_requested  # ... until the scheduler checks
+        queue.mark_cancelled(job)
+        assert job.state is JobState.CANCELLED
+
+    def test_cancel_unknown_and_terminal(self, experiments):
+        queue = JobQueue()
+        assert queue.cancel("nope") is None
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        queue.finish(job)
+        assert queue.cancel(job.id) is job  # no-op on a terminal job
+        assert job.state is JobState.DONE
+
+
+class TestHistoryTrim:
+    def test_old_terminal_jobs_are_dropped(self, experiments):
+        queue = JobQueue(max_history=2)
+        ids = []
+        for name in ("svc-a", "svc-b", "svc-c"):
+            job, _ = queue.submit(_spec(name))
+            ids.append(job.id)
+            queue.claim(timeout=0.1)
+            queue.finish(job)
+        assert queue.get(ids[0]) is None  # oldest record evicted
+        assert queue.get(ids[1]) is not None
+        assert queue.get(ids[2]) is not None
+
+
+class TestCounters:
+    def test_queue_counters(self, experiments):
+        telemetry.enable()
+        telemetry.reset()
+        metrics = telemetry.get_metrics()
+        queue = JobQueue(limit=1)
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.submit(_spec("svc-a"))
+        with pytest.raises(QueueFullError):
+            queue.submit(_spec("svc-b"))
+        assert metrics.counter_value("service.jobs.submitted") == 1
+        assert metrics.counter_value("service.jobs.deduped") == 1
+        assert metrics.counter_value("service.jobs.rejected") == 1
+        assert metrics.gauge_value("service.queue.depth") == 1
+        queue.claim(timeout=0.1)
+        queue.finish(job)
+        assert metrics.counter_value("service.jobs.completed") == 1
+        assert metrics.gauge_value("service.queue.depth") == 0

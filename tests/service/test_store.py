@@ -1,0 +1,126 @@
+"""Content-addressed result store: caching, LRU, TTL, persistence."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.service.store import ResultStore
+
+
+def _payload(n):
+    return {"format": "repro-v1", "kind": "job-result", "n": n}
+
+
+class TestMemoryStore:
+    def test_round_trip_and_miss(self):
+        store = ResultStore()
+        assert store.get("aa") is None
+        store.put("aa", _payload(1))
+        assert store.get("aa") == _payload(1)
+        assert store.contains("aa") and not store.contains("bb")
+        assert len(store) == 1 and store.addresses() == ("aa",)
+
+    def test_clear(self):
+        store = ResultStore()
+        store.put("aa", _payload(1))
+        store.clear()
+        assert len(store) == 0 and store.get("aa") is None
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        store = ResultStore(max_entries=2)
+        store.put("aa", _payload(1))
+        store.put("bb", _payload(2))
+        store.get("aa")  # refresh: "bb" is now least recently used
+        store.put("cc", _payload(3))
+        assert store.get("bb") is None
+        assert store.get("aa") == _payload(1)
+        assert store.get("cc") == _payload(3)
+
+    def test_ttl_expires_entries(self):
+        store = ResultStore(ttl=0.05)
+        store.put("aa", _payload(1))
+        assert store.get("aa") == _payload(1)
+        time.sleep(0.12)
+        assert not store.contains("aa")
+        assert store.get("aa") is None
+        assert len(store) == 0  # expired entry was evicted at lookup
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ResultStore(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultStore(ttl=0)
+
+
+class TestDiskStore:
+    def test_round_trip_writes_one_document_per_address(self, tmp_path):
+        root = str(tmp_path / "results")
+        store = ResultStore(root=root)
+        store.put("aa", _payload(1))
+        path = os.path.join(root, "aa.json")
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh) == _payload(1)
+        assert store.get("aa") == _payload(1)
+
+    def test_index_survives_restart(self, tmp_path):
+        root = str(tmp_path / "results")
+        ResultStore(root=root).put("aa", _payload(1))
+        reopened = ResultStore(root=root)
+        assert len(reopened) == 1
+        assert reopened.get("aa") == _payload(1)
+
+    def test_eviction_removes_the_document(self, tmp_path):
+        root = str(tmp_path / "results")
+        store = ResultStore(root=root, max_entries=1)
+        store.put("aa", _payload(1))
+        store.put("bb", _payload(2))
+        assert not os.path.exists(os.path.join(root, "aa.json"))
+        assert store.get("aa") is None
+        assert store.get("bb") == _payload(2)
+
+    def test_vanished_document_is_a_miss(self, tmp_path):
+        root = str(tmp_path / "results")
+        store = ResultStore(root=root)
+        store.put("aa", _payload(1))
+        os.remove(os.path.join(root, "aa.json"))
+        assert store.get("aa") is None
+        assert len(store) == 0  # stale index entry dropped
+
+    def test_foreign_files_are_ignored_on_rebuild(self, tmp_path):
+        root = str(tmp_path / "results")
+        os.makedirs(root)
+        with open(os.path.join(root, "notes.txt"), "w") as fh:
+            fh.write("not a result")
+        assert len(ResultStore(root=root)) == 0
+
+
+class TestCounters:
+    def test_hit_miss_put_eviction_expiry(self):
+        telemetry.enable()
+        telemetry.reset()
+        metrics = telemetry.get_metrics()
+        store = ResultStore(max_entries=1, ttl=0.05)
+        store.get("aa")
+        store.put("aa", _payload(1))
+        store.get("aa")
+        store.put("bb", _payload(2))  # evicts "aa" (cap 1)
+        time.sleep(0.12)
+        store.get("bb")  # expired
+        assert metrics.counter_value("service.store.misses") == 2
+        assert metrics.counter_value("service.store.hits") == 1
+        assert metrics.counter_value("service.store.puts") == 2
+        assert metrics.counter_value("service.store.evictions") == 1
+        assert metrics.counter_value("service.store.expired") == 1
+        assert metrics.gauge_value("service.store.entries") == 1
+
+    def test_contains_records_no_counters(self):
+        telemetry.enable()
+        telemetry.reset()
+        metrics = telemetry.get_metrics()
+        store = ResultStore()
+        store.contains("aa")
+        assert metrics.counter_value("service.store.misses") == 0

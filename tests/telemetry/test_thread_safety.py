@@ -1,0 +1,147 @@
+"""Thread safety of the metrics registry.
+
+The sweep service records into the process-global registry from HTTP
+handler threads and scheduler workers concurrently; these tests assert
+the single-registry-lock design gives exact counts and internally
+consistent snapshots under contention.
+"""
+
+import threading
+
+from repro.telemetry import MetricsRegistry
+
+
+def _run_threads(n, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentMutation:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        workers, per_worker = 8, 2000
+
+        def work(_):
+            counter = registry.counter("contended")
+            for _unused in range(per_worker):
+                counter.inc()
+
+        _run_threads(workers, work)
+        assert registry.counter_value("contended") == workers * per_worker
+
+    def test_lazy_instrument_creation_is_race_free(self):
+        registry = MetricsRegistry()
+        instances = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def work(_):
+            barrier.wait()
+            counter = registry.counter("first-use")
+            counter.inc()
+            with lock:
+                instances.append(counter)
+
+        _run_threads(8, work)
+        # Every thread must have incremented the same instrument.
+        assert all(inst is instances[0] for inst in instances)
+        assert registry.counter_value("first-use") == 8
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        workers, per_worker = 6, 500
+
+        def work(index):
+            histogram = registry.histogram("samples")
+            for unit in range(per_worker):
+                histogram.observe(index * per_worker + unit)
+
+        _run_threads(workers, work)
+        summary = registry.histogram("samples").snapshot()
+        total = workers * per_worker
+        assert summary["count"] == total
+        assert summary["sum"] == sum(range(total))
+        assert summary["min"] == 0 and summary["max"] == total - 1
+
+    def test_merge_snapshot_concurrent_with_increments(self):
+        registry = MetricsRegistry()
+        workers, per_worker = 4, 300
+
+        def merger(_):
+            for _unused in range(per_worker):
+                registry.merge_snapshot({
+                    "counters": {"merged": 1},
+                    "histograms": {
+                        "h": {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0}
+                    },
+                })
+
+        def incrementer(_):
+            for _unused in range(per_worker):
+                registry.counter("merged").inc()
+
+        threads = [
+            threading.Thread(target=merger, args=(i,)) for i in range(workers)
+        ] + [
+            threading.Thread(target=incrementer, args=(i,))
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = 2 * workers * per_worker
+        assert registry.counter_value("merged") == expected
+        histogram = registry.histogram("h").snapshot()
+        assert histogram["count"] == workers * per_worker
+        assert histogram["sum"] == 2.0 * workers * per_worker
+
+
+class TestConcurrentSnapshots:
+    def test_snapshots_stay_internally_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        bad = []
+
+        def snapshotter():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                # "a" is always incremented before "b", both under the
+                # registry lock, so a consistent snapshot can never show
+                # b ahead of a.
+                a = snap["counters"].get("a", 0)
+                b = snap["counters"].get("b", 0)
+                if b > a:
+                    bad.append((a, b))
+
+        def writer():
+            for _unused in range(3000):
+                registry.counter("a").inc()
+                registry.counter("b").inc()
+
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+        _run_threads(2, lambda _i: writer())
+        stop.set()
+        reader.join()
+        assert not bad
+        assert registry.counter_value("a") == 6000
+        assert registry.counter_value("b") == 6000
+
+
+class TestSharedLockDesign:
+    def test_instruments_share_the_registry_lock(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c")._lock is registry._lock
+        assert registry.gauge("g")._lock is registry._lock
+        assert registry.histogram("h")._lock is registry._lock
+
+    def test_standalone_instruments_get_their_own_lock(self):
+        from repro.telemetry import Counter
+
+        counter = Counter("solo")
+        counter.inc()
+        assert counter.snapshot() == 1

@@ -1,6 +1,7 @@
 """Round-trip tests for the JSON serialization layer."""
 
 import json
+import os
 
 import pytest
 
@@ -247,3 +248,67 @@ class TestCheckpointStore:
         store = CheckpointStore(str(tmp_path / "store.jsonl"))
         with pytest.raises(KeyError):
             store.record("k", 1, codec="martian")
+
+
+class TestCheckpointConcurrentWriters:
+    """O_APPEND + single-write() records interleave whole, never torn."""
+
+    def test_concurrent_writers_interleave_whole_records(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "shared.jsonl")
+        writers, per_writer = 8, 50
+        barrier = threading.Barrier(writers)
+        # A bulky payload makes a torn interleave (one record landing
+        # inside another) far more likely if the append were not atomic.
+        filler = "x" * 512
+
+        def append(writer_index):
+            with CheckpointStore(path) as store:
+                barrier.wait()
+                for unit in range(per_writer):
+                    store.record(
+                        f"w{writer_index}-u{unit}",
+                        {"writer": writer_index, "unit": unit,
+                         "filler": filler},
+                    )
+
+        threads = [
+            threading.Thread(target=append, args=(index,))
+            for index in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == writers * per_writer
+        for line in lines:
+            json.loads(line)  # every line is one whole record
+        loaded = CheckpointStore(path).load()
+        assert len(loaded) == writers * per_writer
+        for writer_index in range(writers):
+            for unit in range(per_writer):
+                assert loaded[f"w{writer_index}-u{unit}"]["unit"] == unit
+
+    def test_crash_torn_tail_loses_only_the_last_record(self, tmp_path):
+        path = str(tmp_path / "crashed.jsonl")
+        with CheckpointStore(path) as store:
+            for unit in range(5):
+                store.record(f"u{unit}", unit)
+        # Simulate a hard kill mid-write: truncate into the last record.
+        size = os.path.getsize(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(size - 7)
+        loaded = CheckpointStore(path).load()
+        assert loaded == {f"u{unit}": unit for unit in range(4)}
+
+    def test_record_after_close_reopens_the_descriptor(self, tmp_path):
+        path = str(tmp_path / "reopen.jsonl")
+        store = CheckpointStore(path)
+        store.record("a", 1)
+        store.close()
+        store.record("b", 2)  # appends, never truncates
+        store.close()
+        assert CheckpointStore(path).load() == {"a": 1, "b": 2}
