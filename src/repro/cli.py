@@ -307,6 +307,7 @@ def _submit_main(argv) -> int:
     from .circuit.defects import OpenLocation
     from .service import (
         SERVICE_EXPERIMENTS, JobSpec, ServiceClient, ServiceError,
+        ServiceResponseError,
     )
 
     parser = argparse.ArgumentParser(
@@ -423,6 +424,13 @@ def _submit_main(argv) -> int:
         payload = client.wait(
             job["id"], timeout=args.timeout, poll=args.poll
         )
+        try:
+            record = client.job(job["id"])
+        except ServiceResponseError:
+            # The job record can be trimmed from queue history between
+            # wait() and this refresh; the submission-time snapshot is
+            # enough for the closing status line.
+            record = job
     except ServiceError as exc:
         print(f"repro-partial-faults submit: {exc}", file=sys.stderr)
         return 3
@@ -432,7 +440,6 @@ def _submit_main(argv) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
-    record = client.job(job["id"])
     print(payload["report"])
     print()
     print(

@@ -327,7 +327,11 @@ class CheckpointStore:
     ``O_APPEND``, so concurrent writers sharing one checkpoint file —
     sweep-service scheduler workers, a CLI run resuming alongside them —
     interleave whole records rather than tearing each other's lines
-    (POSIX appends to a regular file are atomic per ``write()``).
+    (POSIX appends to a regular file are atomic per ``write()``; the
+    guarantee covers the normal complete-write case — a partial write,
+    possible on a full disk or signal delivery, raises instead of being
+    continued, because a follow-up ``write()`` could land inside a
+    concurrent writer's record).
     :meth:`load` tolerates a hard interrupt: a torn (half-written) tail
     line, unknown codecs, and undecodable payloads are skipped rather
     than failing the resume — those units simply re-run.  Duplicate keys
@@ -373,7 +377,12 @@ class CheckpointStore:
         The whole line (record + newline) goes to the OS in a single
         ``os.write`` on an ``O_APPEND`` descriptor — no userspace
         buffering, no flush window — so another writer appending to the
-        same file can never land *inside* this record.
+        same file can never land *inside* this record.  If the kernel
+        accepts only part of the line (disk full, signal), ``OSError``
+        is raised rather than writing the remainder: a second ``write``
+        would not be atomic with the first and could interleave with a
+        concurrent writer, tearing both records.  The abandoned partial
+        line is exactly the torn tail :meth:`load` already skips.
         """
         dump, _ = CHECKPOINT_CODECS[codec]
         entry = {
@@ -388,13 +397,13 @@ class CheckpointStore:
             self._fd = os.open(
                 self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
             )
-        # A short write can only happen on disk-full/signal delivery;
-        # finishing the record keeps the file parseable (and load()
-        # skips a torn tail if even that fails).
-        view = memoryview(data)
-        while view:
-            written = os.write(self._fd, view)
-            view = view[written:]
+        written = os.write(self._fd, data)
+        if written != len(data):
+            raise OSError(
+                f"short checkpoint append to {self.path}: "
+                f"{written}/{len(data)} bytes; record for key {key!r} "
+                "abandoned (load() skips the torn tail)"
+            )
 
     def close(self) -> None:
         if self._fd is not None:

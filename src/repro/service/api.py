@@ -190,8 +190,9 @@ class _Handler(BaseHTTPRequestHandler):
         payload = self.service.store.get(job.address)
         if payload is None:
             # DONE but evicted/expired meanwhile: the client must
-            # resubmit (the queue no longer dedupes onto this job once
-            # the address misses, because the scheduler recomputes).
+            # resubmit.  The queue checks the store on submission, so
+            # the resubmitted spec enqueues a fresh computation instead
+            # of coalescing onto this unservable record.
             self._send(410, {
                 "error": "result-evicted",
                 "id": job_id,
@@ -239,9 +240,13 @@ class SweepService:
         retry_policy: Optional[RetryPolicy] = None,
         enable_telemetry: bool = True,
     ) -> None:
-        self.queue = JobQueue(limit=queue_limit)
         self.store = ResultStore(
             root=store_dir, max_entries=store_max, ttl=store_ttl
+        )
+        # The queue consults the store so a DONE job whose result was
+        # evicted/expired stops capturing resubmissions of its address.
+        self.queue = JobQueue(
+            limit=queue_limit, result_exists=self.store.contains
         )
         self.scheduler = Scheduler(
             self.queue,

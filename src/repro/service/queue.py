@@ -4,8 +4,12 @@ The queue is the admission-control point of the sweep service
 (``docs/SERVICE.md``):
 
 * **dedup** — a submission whose content address matches a live job
-  (queued, running, or done) coalesces into it instead of enqueueing a
-  duplicate computation (``service.jobs.deduped``);
+  (queued, running, or done-with-a-stored-result) coalesces into it
+  instead of enqueueing a duplicate computation
+  (``service.jobs.deduped``); a DONE job whose result has since been
+  evicted from the store, a failed/cancelled job, or a running job that
+  has a pending cancel request does *not* capture resubmissions — those
+  enqueue a fresh computation;
 * **backpressure** — once ``limit`` jobs are queued, further
   submissions raise :class:`~repro.errors.QueueFullError`, which the
   HTTP API maps to a structured ``429`` (``service.jobs.rejected``);
@@ -27,7 +31,7 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..errors import QueueFullError
@@ -42,13 +46,25 @@ class JobQueue:
     ``limit`` bounds *queued* jobs only — running and finished jobs
     don't consume admission slots.  Higher ``priority`` runs first;
     ties run in submission order.
+
+    ``result_exists`` is the result store's TTL-aware presence check
+    (:meth:`~repro.service.store.ResultStore.contains`): a DONE job only
+    dedupes resubmissions while its address is still in the store —
+    once the result is evicted or expired, the same spec enqueues a
+    fresh computation instead of pointing at an unservable record.
     """
 
-    def __init__(self, limit: int = 64, max_history: int = 256) -> None:
+    def __init__(
+        self,
+        limit: int = 64,
+        max_history: int = 256,
+        result_exists: Optional[Callable[[str], bool]] = None,
+    ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
         self.limit = limit
         self.max_history = max_history
+        self._result_exists = result_exists
         self._cond = threading.Condition()
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
         self._seq = itertools.count()
@@ -107,6 +123,19 @@ class JobQueue:
             existing = self._live_job(address)
             if existing is not None:
                 existing.submissions += 1
+                if (
+                    existing.state is JobState.QUEUED
+                    and priority > existing.priority
+                ):
+                    # A duplicate submission can only make the shared
+                    # computation more urgent.  The old heap entry stays
+                    # behind (lazy deletion: claiming via this one flips
+                    # the state off QUEUED, so the stale entry is
+                    # skipped).
+                    existing.priority = priority
+                    heapq.heappush(
+                        self._heap, (-priority, next(self._seq), existing.id)
+                    )
                 telemetry.count("service.jobs.deduped")
                 return existing, True
             if self._queued >= self.limit:
@@ -126,17 +155,36 @@ class JobQueue:
             return job, False
 
     def _live_job(self, address: str) -> Optional[Job]:
-        """The queued/running/done job owning ``address``, if any.
+        """The job owning ``address`` that can still serve it, if any.
 
         A FAILED or CANCELLED job does not block resubmission of the
         same computation — its address binding is dropped when it
-        reaches that state.
+        reaches that state.  Two further cases must enqueue fresh work
+        rather than coalesce:
+
+        * a RUNNING job with a pending cancel request — the scheduler
+          will settle it CANCELLED, so a new submitter riding on it
+          would wait on a computation that never publishes;
+        * a DONE job whose result has been evicted/expired from the
+          store — ``GET /jobs/<id>/result`` answers 410 for it, so
+          dedup would pin every resubmission to an unservable record.
+          Its binding is dropped here so the new job can take over the
+          address.
         """
         job_id = self._by_address.get(address)
         if job_id is None:
             return None
         job = self._jobs.get(job_id)
         if job is None or job.state in (JobState.FAILED, JobState.CANCELLED):
+            return None
+        if job.state is JobState.RUNNING and job.cancel_requested:
+            return None
+        if (
+            job.state is JobState.DONE
+            and self._result_exists is not None
+            and not self._result_exists(job.address)
+        ):
+            del self._by_address[address]
             return None
         return job
 
@@ -173,6 +221,27 @@ class JobQueue:
 
     # -- lifecycle transitions -------------------------------------------------
 
+    def emit(self, job: Job, event: str, **detail: Any) -> None:
+        """Append a progress event to ``job`` under the queue lock.
+
+        Scheduler threads must use this instead of ``job.emit`` — HTTP
+        handlers copy ``job.events`` inside :meth:`snapshot` under the
+        same lock, which is the Job contract for its mutable fields.
+        """
+        with self._cond:
+            job.emit(event, **detail)
+
+    def _release_address(self, job: Job) -> None:
+        """Drop ``job``'s address binding — only if it still owns it.
+
+        A fresh job may have taken over the address while this one was
+        settling (cancel-requested running jobs and result-evicted DONE
+        jobs stop owning their address before they leave the map); an
+        unconditional pop would orphan the successor's binding.
+        """
+        if self._by_address.get(job.address) == job.id:
+            del self._by_address[job.address]
+
     def finish(self, job: Job, cache_hit: bool = False) -> None:
         with self._cond:
             self._settle(job, JobState.DONE)
@@ -188,7 +257,7 @@ class JobQueue:
             job.error = str(exc)
             job.error_type = type(exc).__name__
             job.emit("failed", error_type=job.error_type, error=job.error)
-            self._by_address.pop(job.address, None)
+            self._release_address(job)
             telemetry.count("service.jobs.failed")
 
     def cancel(self, job_id: str) -> Optional[Job]:
@@ -208,7 +277,7 @@ class JobQueue:
                 job.cancel_requested = True
                 job.emit("cancelled", while_state="queued")
                 self._queued -= 1
-                self._by_address.pop(job.address, None)
+                self._release_address(job)
                 telemetry.count("service.jobs.cancelled")
                 telemetry.gauge("service.queue.depth", self._queued)
             elif job.state is JobState.RUNNING and not job.cancel_requested:
@@ -223,7 +292,7 @@ class JobQueue:
                 return
             self._settle(job, JobState.CANCELLED)
             job.emit("cancelled", while_state="running")
-            self._by_address.pop(job.address, None)
+            self._release_address(job)
             telemetry.count("service.jobs.cancelled")
 
     def _settle(self, job: Job, state: JobState) -> None:
@@ -240,5 +309,4 @@ class JobQueue:
             if job is None or not job.state.terminal:
                 continue
             del self._jobs[oldest_id]
-            if self._by_address.get(job.address) == oldest_id:
-                del self._by_address[job.address]
+            self._release_address(job)

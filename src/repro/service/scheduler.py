@@ -129,14 +129,14 @@ class Scheduler:
             return
         cached = self.store.get(job.address)
         if cached is not None:
-            job.emit("cache-hit", address=job.address)
+            self.queue.emit(job, "cache-hit", address=job.address)
             self.queue.finish(job, cache_hit=True)
             return
         profile = job.spec.profile()
         checkpoint = self._checkpoint_for(job)
         resumable = checkpoint is not None and os.path.exists(checkpoint.path)
         if resumable:
-            job.emit("resuming", checkpoint=checkpoint.path)
+            self.queue.emit(job, "resuming", checkpoint=checkpoint.path)
         resilience = Resilience(
             policy=self.retry_policy, checkpoint=checkpoint
         )
@@ -147,7 +147,8 @@ class Scheduler:
             ):
                 result = profile.run(job.spec, resilience)
         except Exception as exc:  # noqa: BLE001 — report, don't crash
-            job.emit(
+            self.queue.emit(
+                job,
                 "error",
                 error_type=type(exc).__name__,
                 traceback=traceback.format_exc(limit=8),
@@ -173,8 +174,7 @@ class Scheduler:
             return
         self.queue.finish(job, cache_hit=False)
 
-    @staticmethod
-    def _attach_resilience(job: Job) -> None:
+    def _attach_resilience(self, job: Job) -> None:
         """Fold the parallel layer's recovery log into the job's events.
 
         The log is process-global; with several scheduler workers the
@@ -185,7 +185,8 @@ class Scheduler:
         log = drain_resilience_log()
         if not log.any():
             return
-        job.emit(
+        self.queue.emit(
+            job,
             "resilience",
             retries=log.retries,
             timeouts=log.timeouts,

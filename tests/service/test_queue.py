@@ -81,6 +81,35 @@ class TestDedup:
         b, deduped = queue.submit(_spec("svc-b"))
         assert not deduped and a is not b
 
+    def test_done_job_with_evicted_result_is_not_deduped(self, experiments):
+        stored = set()
+        queue = JobQueue(result_exists=stored.__contains__)
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        stored.add(job.address)  # scheduler published the result
+        queue.finish(job)
+        hit, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and hit is job  # result still stored: coalesce
+        stored.discard(job.address)  # TTL expiry / LRU eviction
+        fresh, deduped = queue.submit(_spec("svc-a"))
+        assert not deduped and fresh is not job
+        assert fresh.state is JobState.QUEUED
+        # The fresh job took over the address for future dedup.
+        again, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and again is fresh
+
+    def test_cancel_requested_running_job_is_not_deduped(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"))
+        queue.claim(timeout=0.1)
+        queue.cancel(job.id)  # cooperative: job is still RUNNING
+        fresh, deduped = queue.submit(_spec("svc-a"))
+        assert not deduped and fresh is not job
+        # The doomed job settling must not orphan the fresh binding.
+        queue.mark_cancelled(job)
+        again, deduped = queue.submit(_spec("svc-a"))
+        assert deduped and again is fresh
+
     def test_failed_job_frees_the_address(self, experiments):
         queue = JobQueue()
         job, _ = queue.submit(_spec("svc-a"))
@@ -130,6 +159,24 @@ class TestPriority:
         second, _ = queue.submit(_spec("svc-b"))
         assert queue.claim(timeout=0.1) is first
         assert queue.claim(timeout=0.1) is second
+
+    def test_duplicate_submission_raises_queued_priority(self, experiments):
+        queue = JobQueue()
+        low, _ = queue.submit(_spec("svc-a"), priority=0)
+        mid, _ = queue.submit(_spec("svc-b"), priority=3)
+        bumped, deduped = queue.submit(_spec("svc-a"), priority=5)
+        assert deduped and bumped is low and low.priority == 5
+        assert queue.claim(timeout=0.1) is low  # now outranks mid
+        assert queue.claim(timeout=0.1) is mid
+        # The stale pre-bump heap entry is skipped (lazy deletion).
+        assert queue.claim(timeout=0.05) is None
+        assert queue.depth() == 0
+
+    def test_lower_priority_duplicate_does_not_demote(self, experiments):
+        queue = JobQueue()
+        job, _ = queue.submit(_spec("svc-a"), priority=5)
+        same, deduped = queue.submit(_spec("svc-a"), priority=1)
+        assert deduped and same is job and job.priority == 5
 
 
 class TestCancellation:

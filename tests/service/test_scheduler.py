@@ -72,6 +72,29 @@ class TestExecution:
         assert calls.count == 1
         assert any(e["event"] == "cache-hit" for e in job2.events)
 
+    def test_evicted_result_recomputes_on_resubmission(
+        self, register_experiment
+    ):
+        calls = register_experiment("svc-evict")
+        store = ResultStore(max_entries=1)
+        queue = JobQueue(result_exists=store.contains)
+        scheduler = Scheduler(queue, store, poll_interval=0.02)
+        scheduler.start()
+        try:
+            spec = JobSpec("svc-evict")
+            job, _ = queue.submit(spec)
+            _wait_terminal(job)
+            assert calls.count == 1
+            store.clear()  # stands in for TTL expiry / LRU eviction
+            job2, deduped = queue.submit(spec)
+            assert not deduped and job2 is not job
+            _wait_terminal(job2)
+        finally:
+            scheduler.stop()
+        assert job2.state is JobState.DONE and not job2.cache_hit
+        assert calls.count == 2
+        assert store.get(job2.address) is not None
+
     def test_failure_settles_failed_with_error(self, rig, register_experiment):
         def exploding(spec, resilience):
             raise RuntimeError("solver exploded")

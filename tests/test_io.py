@@ -312,3 +312,27 @@ class TestCheckpointConcurrentWriters:
         store.record("b", 2)  # appends, never truncates
         store.close()
         assert CheckpointStore(path).load() == {"a": 1, "b": 2}
+
+    def test_partial_write_raises_without_a_continuation_write(
+        self, tmp_path, monkeypatch
+    ):
+        # A follow-up write after a short one would not be atomic with
+        # it and could interleave with a concurrent writer — record()
+        # must raise and leave only the torn tail load() already skips.
+        path = str(tmp_path / "short.jsonl")
+        store = CheckpointStore(path)
+        store.record("ok", 1)
+        real_write = os.write
+        writes = []
+
+        def short_write(fd, data):
+            writes.append(bytes(data))
+            return real_write(fd, data[: len(data) // 2])
+
+        monkeypatch.setattr(os, "write", short_write)
+        with pytest.raises(OSError, match="short checkpoint append"):
+            store.record("torn", 2)
+        monkeypatch.undo()
+        assert len(writes) == 1  # no second write for the remainder
+        store.close()
+        assert CheckpointStore(path).load() == {"ok": 1}
