@@ -62,7 +62,13 @@ jobs are deduplicated by content address, executed through the parallel
 fan-out with retry/checkpoint resilience, and their results cached in a
 TTL/LRU store, so repeated submissions are served without recomputing.
 ``submit`` posts one job (optionally ``--wait``-ing for and printing
-the report, which is byte-identical to the direct CLI run's).
+the report, which is byte-identical to the direct CLI run's;
+``--follow`` additionally renders the job's live progress events on
+stderr while waiting).  ``serve --trace FILE`` appends the service's
+span trace — including re-parented worker-process spans — to FILE as
+each job settles, and ``--log-json FILE`` (on ``serve`` and the classic
+invocations alike) writes the structured event log of
+``docs/OBSERVABILITY.md``.
 ``--version`` prints the package version.  The classic single-shot
 experiment invocations are completely unaffected by service mode.
 
@@ -74,6 +80,10 @@ Observability flags (any of them switches telemetry on for the run; see
                          derived ratios (analyzer cache hit ratio)
     --profile            run the experiments under cProfile and print the
                          hottest functions afterwards
+    --log-json FILE      append structured JSONL events (experiment
+                         lifecycle, retries, quarantines) to FILE; unlike
+                         the flags above it does not by itself switch the
+                         ``[telemetry]`` summary on
 
 With a telemetry flag set, a one-line ``[telemetry]`` timing summary is
 printed after each experiment.  ``repro-partial-faults all`` always
@@ -91,7 +101,7 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from . import __version__, telemetry
 from .circuit.network import GuardPolicy
@@ -103,6 +113,7 @@ from .experiments import (
 from .experiments.reporting import format_table
 from .io import CheckpointStore
 from .parallel import Resilience, RetryPolicy, drain_resilience_log
+from .telemetry import events as event_log
 from .telemetry import profiled
 
 #: Experiment runners; each takes the ``--jobs`` worker count, the
@@ -253,6 +264,17 @@ def _serve_main(argv) -> int:
         help="cancel a sweep unit still running after SECONDS (default: "
         "no timeout)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="append the telemetry span trace to FILE as JSONL after "
+        "each job settles (worker-process spans included, re-parented "
+        "under their job's service.job span)",
+    )
+    parser.add_argument(
+        "--log-json", metavar="FILE", default=None,
+        help="append structured JSONL events (job lifecycle, store "
+        "eviction, retries) to FILE",
+    )
     args = parser.parse_args(argv)
     if args.port < 0:
         parser.error("--port must be >= 0")
@@ -268,6 +290,14 @@ def _serve_main(argv) -> int:
         parser.error("--max-retries must be >= 0")
     if args.unit_timeout is not None and args.unit_timeout <= 0:
         parser.error("--unit-timeout must be > 0")
+    for path in (args.trace, args.log_json):
+        if path:
+            try:
+                _probe_writable(path)
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+    if args.log_json:
+        event_log.configure(args.log_json)
     try:
         service = SweepService(
             host=args.host,
@@ -281,6 +311,7 @@ def _serve_main(argv) -> int:
             retry_policy=RetryPolicy(
                 max_retries=args.max_retries, unit_timeout=args.unit_timeout
             ),
+            trace_export=args.trace,
         )
     except OSError as exc:
         print(f"repro-partial-faults serve: cannot bind "
@@ -294,12 +325,76 @@ def _serve_main(argv) -> int:
           + (f", store dir {args.store_dir}" if args.store_dir else "")
           + (f", work dir {args.work_dir}" if args.work_dir else ""),
           flush=True)
+    if args.trace:
+        print(f"[serve] appending span trace to {args.trace}", flush=True)
+    if args.log_json:
+        print(f"[serve] appending event log to {args.log_json}", flush=True)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
         print("[serve] interrupted; shutting down", flush=True)
         service.scheduler.stop()
+    finally:
+        event_log.close()
     return 0
+
+
+def _render_event(event: Dict[str, object]) -> Optional[str]:
+    """One progress event as a short human-readable phrase."""
+    name = str(event.get("event") or "?")
+    if name == "progress":
+        kind = str(event.get("kind") or "progress")
+        done, total = event.get("done"), event.get("total")
+        if isinstance(done, int) and isinstance(total, int) and total:
+            return f"{kind} {done}/{total} units"
+        return kind
+    if name == "overflow":
+        return f"overflow: {event.get('dropped', 0)} event(s) dropped"
+    if name == "resilience":
+        return (
+            f"resilience: {event.get('retries', 0)} retried, "
+            f"{event.get('fallbacks', 0)} ran in-process, "
+            f"{event.get('failures', 0)} failed"
+        )
+    if name == "error":
+        return f"error: {event.get('error_type', 'Exception')}"
+    return name
+
+
+def _follow_job(client, job_id: str) -> None:
+    """Render a job's SSE progress stream as a live stderr line.
+
+    On a tty the line is carriage-return-overwritten in place;
+    otherwise each event prints on its own line.  A stream that cannot
+    be established or drops for good degrades silently — the caller's
+    ``wait()`` still settles the job.
+    """
+    from .service import ServiceError
+
+    tty = sys.stderr.isatty()
+    width = 0
+    wrote = False
+    try:
+        for event in client.stream_events(job_id):
+            text = _render_event(event)
+            if text is None:
+                continue
+            line = f"[follow] {job_id}: {text}"
+            if tty:
+                pad = " " * max(0, width - len(line))
+                sys.stderr.write("\r" + line + pad)
+                width = max(width, len(line))
+            else:
+                sys.stderr.write(line + "\n")
+            sys.stderr.flush()
+            wrote = True
+    except ServiceError as exc:
+        sys.stderr.write(f"[follow] event stream unavailable ({exc}); "
+                         "falling back to polling\n")
+    finally:
+        if tty and wrote:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
 
 
 def _submit_main(argv) -> int:
@@ -373,6 +468,11 @@ def _submit_main(argv) -> int:
         help="block until the job finishes and print its report",
     )
     parser.add_argument(
+        "--follow", action="store_true",
+        help="with --wait (implied): render the job's live progress "
+        "events on stderr while it runs, streamed over SSE",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=600.0, metavar="SECONDS",
         help="--wait deadline (default 600)",
     )
@@ -418,9 +518,11 @@ def _submit_main(argv) -> int:
                if submitted.get("deduped") else ""),
             file=sys.stderr, flush=True,
         )
-        if not args.wait:
+        if not (args.wait or args.follow):
             print(job["id"])
             return 0
+        if args.follow:
+            _follow_job(client, job["id"])
         payload = client.wait(
             job["id"], timeout=args.timeout, poll=args.poll
         )
@@ -492,6 +594,13 @@ def main(argv=None) -> int:
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest functions",
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="FILE",
+        default=None,
+        help="append structured JSONL events (experiment lifecycle, "
+        "unit retries, quarantines) to FILE; see docs/OBSERVABILITY.md",
     )
     parser.add_argument(
         "--jobs",
@@ -573,7 +682,8 @@ def main(argv=None) -> int:
     )
     # Fail on unwritable output paths now, not after minutes of
     # simulation — without leaving behind empty files the run never wrote.
-    for path in (args.trace, args.metrics_json, checkpoint_path):
+    for path in (args.trace, args.metrics_json, args.log_json,
+                 checkpoint_path):
         if path:
             try:
                 _probe_writable(path)
@@ -589,6 +699,11 @@ def main(argv=None) -> int:
     if use_telemetry:
         telemetry.reset()
         telemetry.enable()
+    if args.log_json:
+        event_log.configure(args.log_json)
+        event_log.emit(
+            "cli.run.started", experiments=names, jobs=args.jobs,
+        )
     resilience = None
     if resilience_flags:
         policy = RetryPolicy(
@@ -680,6 +795,9 @@ def main(argv=None) -> int:
     finally:
         if resilience is not None and resilience.checkpoint is not None:
             resilience.checkpoint.close()
+        if args.log_json:
+            event_log.emit("cli.run.finished", failed=sorted(failed))
+            event_log.close()
         if use_telemetry:
             telemetry.disable()
     if args.trace:
@@ -692,6 +810,8 @@ def main(argv=None) -> int:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"[telemetry] wrote metrics to {args.metrics_json}")
+    if args.log_json:
+        print(f"[events] wrote structured log to {args.log_json}")
     if run_all:
         print(_summary_table())
         if failed:

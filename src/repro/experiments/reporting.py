@@ -8,9 +8,11 @@ paper's table/figure conveys.
 
 Harness entry points are wrapped in :func:`instrumented`, which opens one
 telemetry span per experiment (``experiment.<name>``) and, when telemetry
-is recording, attaches a timing/metrics block to the report.  With
-telemetry disabled the wrapper leaves the report untouched, so rendered
-output is identical to an uninstrumented run.
+is recording, attaches a timing/metrics block to the report.  The wrapper
+also emits ``experiment.started``/``experiment.finished`` entries to the
+structured event log when one is configured (``--log-json``).  With
+telemetry disabled and no event log the wrapper leaves the report
+untouched, so rendered output is identical to an uninstrumented run.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from .. import telemetry
+from ..telemetry import events as event_log
 
 __all__ = [
     "Claim", "ExperimentReport", "format_table", "guards_block",
@@ -99,9 +102,17 @@ def instrumented(name: str) -> Callable[[_RunFn], _RunFn]:
     def decorate(fn):
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
+            event_log.emit("experiment.started", experiment=name)
             with telemetry.span(f"experiment.{name}", experiment=name) as sp:
                 start = time.perf_counter()
-                result = fn(*args, **kwargs)
+                try:
+                    result = fn(*args, **kwargs)
+                except Exception as exc:
+                    event_log.emit(
+                        "experiment.failed", experiment=name,
+                        error_type=type(exc).__name__,
+                    )
+                    raise
                 elapsed = time.perf_counter() - start
                 report = getattr(result, "report", None)
                 if report is not None:
@@ -109,6 +120,12 @@ def instrumented(name: str) -> Callable[[_RunFn], _RunFn]:
                         claims=len(report.claims),
                         claims_held=report.holding,
                         all_hold=report.all_hold,
+                    )
+                    event_log.emit(
+                        "experiment.finished", experiment=name,
+                        seconds=round(elapsed, 3),
+                        claims=len(report.claims),
+                        claims_held=report.holding,
                     )
                     if telemetry.enabled():
                         telemetry.observe("experiment.seconds", elapsed)

@@ -43,18 +43,31 @@ Telemetry: each worker records into its own process-global registry
 (reset before every unit) and ships the snapshot back with the result;
 the parent folds the snapshots into its registry in submission order via
 :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_snapshot`.
-Counters and histograms therefore aggregate exactly; worker *spans* are
-not transported (the parent's experiment span still brackets the whole
-fan-out).  Analyzer observation-cache and propagator-cache statistics
-are merged the same way and reported by :class:`FanoutStats`.  The
-recovery paths count as ``parallel.retries`` / ``parallel.timeouts`` /
+Counters and histograms therefore aggregate exactly.  Worker *spans*
+ride the same channel: each unit ships its tracer state
+(:meth:`~repro.telemetry.tracer.Tracer.export_state`) back with the
+snapshot, and the parent re-parents the unit's span tree under the
+trace context captured when the fan-out started
+(:meth:`~repro.telemetry.tracer.Tracer.adopt_state`) — a ``--jobs N``
+JSONL export is one connected tree.  Analyzer observation-cache and
+propagator-cache statistics are merged the same way and reported by
+:class:`FanoutStats`.  The recovery paths count as
+``parallel.retries`` / ``parallel.timeouts`` /
 ``parallel.fallback_units`` / ``parallel.pool_breaks`` /
 ``parallel.failures`` / ``parallel.resumed_units``.
+
+Live progress: callers (the sweep scheduler's SSE feed) may register a
+per-thread listener via :func:`add_progress_listener`; the fan-out then
+reports unit completions, retries, timeouts, fallbacks, and resumes as
+they happen.  With no listener registered the hooks cost one
+thread-local read.  The same milestones go to the structured event log
+(:mod:`repro.telemetry.events`) when one is configured.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -64,6 +77,7 @@ from typing import (
 )
 
 from . import telemetry
+from .telemetry import events
 from .circuit.defects import FloatingNode, OpenLocation
 from .circuit.network import GuardPolicy, propagator_cache_info
 from .circuit.technology import Technology
@@ -90,7 +104,55 @@ __all__ = [
     "region_map_unit",
     "survey_locations",
     "survey_unit_key",
+    "add_progress_listener",
+    "remove_progress_listener",
 ]
+
+
+# -- live progress hooks -------------------------------------------------------
+#
+# Listeners are *per-thread*: the sweep scheduler registers one around the
+# experiment call it runs for a job, and concurrent jobs (other scheduler
+# threads) never see each other's events.  A listener is a callable
+# ``(kind: str, info: dict) -> None``; it must not raise (exceptions are
+# swallowed so a broken observer cannot fail the fan-out).
+
+_progress_local = threading.local()
+
+
+def _progress_listeners() -> List[Callable[[str, Dict[str, Any]], None]]:
+    listeners = getattr(_progress_local, "listeners", None)
+    if listeners is None:
+        listeners = _progress_local.listeners = []
+    return listeners
+
+
+def add_progress_listener(
+    listener: Callable[[str, Dict[str, Any]], None],
+) -> None:
+    """Register a fan-out progress observer for the calling thread."""
+    _progress_listeners().append(listener)
+
+
+def remove_progress_listener(
+    listener: Callable[[str, Dict[str, Any]], None],
+) -> None:
+    """Unregister a previously added observer (no-op if absent)."""
+    try:
+        _progress_listeners().remove(listener)
+    except ValueError:
+        pass
+
+
+def _notify_progress(kind: str, **info: Any) -> None:
+    listeners = getattr(_progress_local, "listeners", None)
+    if not listeners:
+        return
+    for listener in list(listeners):
+        try:
+            listener(kind, info)
+        except Exception:  # noqa: BLE001 — observers must not kill the run
+            pass
 
 
 @dataclass(frozen=True)
@@ -366,22 +428,30 @@ class SurveyOutcome:
 # -- the generic fan-out -------------------------------------------------------
 
 def _run_unit(func: Callable[[Any], Any], payload: Any,
-              telemetry_on: bool) -> Tuple[Any, Optional[dict]]:
-    """Worker-side wrapper: run one unit, capture its telemetry snapshot.
+              telemetry_on: bool) -> Tuple[Any, Optional[dict], Optional[dict]]:
+    """Worker-side wrapper: run one unit, capture its telemetry state.
 
-    The worker's registry is reset before the unit so that each returned
-    snapshot covers exactly one unit — workers are reused across units,
-    and cumulative snapshots would double-count on merge.
+    The worker's registry and tracer are reset before the unit so that
+    each returned snapshot/trace covers exactly one unit — workers are
+    reused across units, and cumulative state would double-count on
+    merge.  Returns ``(result, metrics snapshot, tracer state)``; the
+    parent merges the snapshot and adopts the spans
+    (:meth:`~repro.telemetry.tracer.Tracer.adopt_state`) under the
+    fan-out's trace context.
     """
     if not telemetry_on:
-        return func(payload), None
+        return func(payload), None, None
     telemetry.reset()
     telemetry.enable()
     try:
         result = func(payload)
     finally:
         telemetry.disable()
-    return result, telemetry.get_metrics().snapshot()
+    return (
+        result,
+        telemetry.get_metrics().snapshot(),
+        telemetry.get_tracer().export_state(),
+    )
 
 
 class _FanoutRun:
@@ -400,8 +470,13 @@ class _FanoutRun:
         self.attempts: Dict[int, int] = {}
         self.first_start: Dict[int, float] = {}
         self.snapshots: Dict[int, dict] = {}
+        self.trace_states: Dict[int, dict] = {}
         self.completed: set = set()
         self.telemetry_on = telemetry.enabled()
+        # Captured up front, in the submitting thread: worker spans are
+        # re-parented under whatever span was open when the fan-out began
+        # (the experiment's root span, or the scheduler's service.job).
+        self.trace_parent = telemetry.current_context()
 
     def key_of(self, index: int) -> str:
         return self.keys[index] if self.keys is not None else f"unit-{index}"
@@ -411,24 +486,43 @@ class _FanoutRun:
         self.completed.add(index)
         if self.checkpoint is not None:
             self.checkpoint.record(self.key_of(index), result, self.codec)
+        _notify_progress(
+            "unit.done",
+            key=self.key_of(index), index=index,
+            done=len(self.completed), total=len(self.payloads),
+        )
 
     def note_retry(self, index: int) -> None:
         telemetry.count("parallel.retries")
         _SESSION_LOG.retries += 1
+        _notify_progress(
+            "unit.retry",
+            key=self.key_of(index), index=index,
+            attempt=self.attempts.get(index, 1),
+        )
+        events.emit(
+            "parallel.unit.retry",
+            key=self.key_of(index), attempt=self.attempts.get(index, 1),
+        )
 
     def merge_snapshots(self) -> None:
-        """Fold collected worker snapshots in, in submission order.
+        """Fold collected worker snapshots and spans in, in submission order.
 
         Called on the success path *and* before a strict-mode raise, so
         telemetry gathered from units that did complete is never lost
         when a later unit fails (the pre-resilience orchestrator dropped
         both the snapshots and the finished results on that path).
         """
-        if not self.telemetry_on or not self.snapshots:
+        if not self.telemetry_on:
             return
         registry = telemetry.get_metrics()
         for index in sorted(self.snapshots):
             registry.merge_snapshot(self.snapshots.pop(index))
+        tracer = telemetry.get_tracer()
+        for index in sorted(self.trace_states):
+            tracer.adopt_state(
+                self.trace_states.pop(index), self.trace_parent
+            )
 
     def fail(self, index: int, exc: BaseException) -> None:
         """Record a unit's final failure; in strict mode, raise it.
@@ -451,6 +545,15 @@ class _FanoutRun:
         self.outcome.failures.append(failure)
         _SESSION_LOG.failures.append(failure)
         telemetry.count("parallel.failures")
+        _notify_progress(
+            "unit.failed",
+            key=failure.key, index=index, error=failure.error_type,
+        )
+        events.emit(
+            "parallel.unit.failed",
+            key=failure.key, error=failure.error_type,
+            message=failure.message, attempts=failure.attempts,
+        )
         if self.strict:
             self.merge_snapshots()
             exc.partial_results = {
@@ -556,7 +659,7 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
             for future in done:
                 index, _start = inflight.pop(future)
                 try:
-                    result, snap = future.result()
+                    result, snap, tstate = future.result()
                 except BrokenProcessPool:
                     broken = True
                     broken_indices.append(index)
@@ -565,6 +668,8 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
                 else:
                     if snap:
                         run.snapshots[index] = snap
+                    if tstate:
+                        run.trace_states[index] = tstate
                     run.finish(index, result)
             if broken:
                 break
@@ -578,6 +683,14 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
                     timed_out = True
                     telemetry.count("parallel.timeouts")
                     _SESSION_LOG.timeouts += 1
+                    _notify_progress(
+                        "unit.timeout", key=run.key_of(index), index=index,
+                    )
+                    events.emit(
+                        "parallel.unit.timeout",
+                        key=run.key_of(index),
+                        timeout_s=policy.unit_timeout,
+                    )
                     unit_failed(index, TimeoutError(
                         f"unit {run.key_of(index)!r} exceeded "
                         f"{policy.unit_timeout} s"
@@ -585,6 +698,8 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
         if broken:
             telemetry.count("parallel.pool_breaks")
             _SESSION_LOG.pool_breaks += 1
+            _notify_progress("pool.broken")
+            events.emit("parallel.pool.broken")
             broken_indices.extend(index for index, _ in inflight.values())
             inflight.clear()
             while delayed:
@@ -606,6 +721,8 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
     for index in sorted(set(fallback_queue)):
         telemetry.count("parallel.fallback_units")
         _SESSION_LOG.fallbacks += 1
+        _notify_progress("unit.fallback", key=run.key_of(index), index=index)
+        events.emit("parallel.unit.fallback", key=run.key_of(index))
         run.run_in_process(index, with_retries=False)
 
 
@@ -663,6 +780,14 @@ def parallel_map_ex(
             collect = getattr(result, "quarantined_points", None)
             if callable(collect):
                 outcome.quarantined.extend(collect())
+        if outcome.quarantined:
+            _notify_progress(
+                "units.quarantined", count=len(outcome.quarantined)
+            )
+            events.emit(
+                "parallel.units.quarantined",
+                count=len(outcome.quarantined),
+            )
         return outcome
 
     done = [False] * n
@@ -677,6 +802,8 @@ def parallel_map_ex(
         if outcome.resumed:
             telemetry.count("parallel.resumed_units", outcome.resumed)
             _SESSION_LOG.resumed += outcome.resumed
+            _notify_progress("units.resumed", count=outcome.resumed, total=n)
+            events.emit("parallel.units.resumed", count=outcome.resumed)
     pending = [index for index in range(n) if not done[index]]
     if not pending:
         return finish()

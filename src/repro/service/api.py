@@ -11,12 +11,22 @@ POST     ``/jobs``                   submit a JobSpec; 202 queued, 200 when
                                      400 on an invalid spec
 GET      ``/jobs``                   summaries of every known job
 GET      ``/jobs/<id>``              full job record incl. progress events
+GET      ``/jobs/<id>/events``       live progress: SSE stream (Accept:
+                                     text/event-stream or ``?stream=sse``,
+                                     resumable via ``Last-Event-ID``) or
+                                     JSON long-poll (``?after=N&wait=S``)
 GET      ``/jobs/<id>/result``       the stored result payload; 409 + state
                                      while not DONE, 404 for unknown ids
 POST     ``/jobs/<id>/cancel``       cancel (also ``DELETE /jobs/<id>``)
 GET      ``/healthz``                liveness: version, uptime, queue depth,
-                                     per-state job counts, store size
-GET      ``/metrics``                the telemetry registry snapshot
+                                     per-state job counts, store occupancy
+                                     and eviction counters, per-worker
+                                     heartbeat ages; 503 when every
+                                     scheduler worker is dead
+GET      ``/metrics``                the telemetry registry snapshot (JSON),
+                                     or Prometheus text exposition with
+                                     ``?format=prometheus`` / an Accept
+                                     header asking for text
 =======  ==========================  ========================================
 
 :class:`SweepService` bundles queue + store + scheduler + HTTP server
@@ -38,10 +48,12 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from .. import __version__, telemetry
 from ..errors import QueueFullError, SpecValidationError
 from ..parallel import RetryPolicy
+from ..telemetry import exposition
 from .jobs import JobSpec, JobState
 from .queue import JobQueue
 from .scheduler import Scheduler
@@ -50,6 +62,12 @@ from .store import ResultStore
 __all__ = ["SweepService"]
 
 _JSON = "application/json; charset=utf-8"
+_SSE = "text/event-stream; charset=utf-8"
+
+#: Seconds between SSE keepalive comments while a job is idle.  Short
+#: enough that a vanished client is detected (write -> BrokenPipeError)
+#: before it ties up a handler thread for long.
+_SSE_KEEPALIVE = 15.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -78,6 +96,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -89,15 +115,23 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].strip("/")
         return tuple(part for part in path.split("/") if part)
 
+    def _query(self) -> Dict[str, str]:
+        """Last-value-wins view of the query string."""
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlparse(self.path).query).items()
+        }
+
     # -- verbs -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         telemetry.count("service.http.requests")
         parts = self._route()
         if parts == ("healthz",):
-            self._send(200, self.service.health())
+            payload = self.service.health()
+            self._send(200 if payload["status"] == "ok" else 503, payload)
         elif parts == ("metrics",):
-            self._send(200, telemetry.get_metrics().snapshot())
+            self._get_metrics()
         elif parts == ("jobs",):
             self._send(200, {"jobs": self.service.queue.list_jobs()})
         elif len(parts) == 2 and parts[0] == "jobs":
@@ -108,6 +142,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, job)
         elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "result":
             self._get_result(parts[1])
+        elif len(parts) == 3 and parts[:1] == ("jobs",) and parts[2] == "events":
+            self._get_events(parts[1])
         else:
             self._send(404, {"error": "not-found", "path": self.path})
 
@@ -130,6 +166,142 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": "not-found", "path": self.path})
 
     # -- handlers --------------------------------------------------------------
+
+    def _get_metrics(self) -> None:
+        """JSON snapshot by default; Prometheus text when asked.
+
+        Negotiation: ``?format=prometheus`` wins, else an ``Accept``
+        header naming ``text/plain`` or ``openmetrics`` (a Prometheus
+        scraper's default) selects the exposition format; JSON remains
+        the fallback so existing clients are untouched.
+        """
+        accept = (self.headers.get("Accept") or "").lower()
+        wants_text = (
+            self._query().get("format") == "prometheus"
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        snapshot = telemetry.get_metrics().snapshot()
+        if wants_text:
+            self._send_text(
+                200,
+                exposition.render_prometheus(snapshot),
+                exposition.CONTENT_TYPE,
+            )
+        else:
+            self._send(200, snapshot)
+
+    def _get_events(self, job_id: str) -> None:
+        """Live progress for one job: SSE stream or JSON long-poll."""
+        if self.service.queue.get(job_id) is None:
+            self._send(404, {"error": "unknown-job", "id": job_id})
+            return
+        query = self._query()
+        accept = (self.headers.get("Accept") or "").lower()
+        if "text/event-stream" in accept or query.get("stream") == "sse":
+            self._stream_events(job_id, query)
+        else:
+            self._poll_events(job_id, query)
+
+    def _event_cursor(self, query: Dict[str, str]) -> int:
+        """The resume cursor: ``Last-Event-ID`` header beats ``?after``."""
+        raw = self.headers.get("Last-Event-ID") or query.get("after") or "0"
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return 0
+
+    def _poll_events(self, job_id: str, query: Dict[str, str]) -> None:
+        """Chunked-polling fallback: one bounded wait, one JSON page."""
+        after = self._event_cursor(query)
+        try:
+            wait_s = min(30.0, max(0.0, float(query.get("wait") or 0.0)))
+        except ValueError:
+            wait_s = 0.0
+        answer = self.service.queue.wait_events(
+            job_id, after=after, timeout=wait_s
+        )
+        if answer is None:  # evicted from history between check and wait
+            self._send(404, {"error": "unknown-job", "id": job_id})
+            return
+        events, overflow, terminal, dropped = answer
+        record = self.service.queue.get(job_id)
+        # ``next`` is the cursor for the follow-up request; an overflow
+        # means seqs up to ``dropped`` are gone, so skip past them.
+        next_cursor = events[-1]["seq"] if events else max(after, dropped)
+        self._send(200, {
+            "id": job_id,
+            "events": events,
+            "next": next_cursor,
+            "overflow": overflow,
+            "events_dropped": dropped,
+            "terminal": terminal,
+            "state": record.state.value if record is not None else None,
+        })
+
+    def _stream_events(self, job_id: str, query: Dict[str, str]) -> None:
+        """Serve one SSE connection until the job settles.
+
+        Frames carry ``id:`` (the event ``seq``, which is also the
+        ``Last-Event-ID`` resume cursor), ``event:`` (the job event
+        name), and ``data:`` (the full event object as JSON).  A ring-
+        buffer overrun is announced as an id-less ``overflow`` frame;
+        idle periods produce comment keepalives.  The stream is
+        EOF-terminated (``Connection: close``) — no chunked encoding,
+        so a plain ``curl`` renders it as it arrives.
+        """
+        after = self._event_cursor(query)
+        telemetry.count("service.http.event_streams")
+        self.send_response(200)
+        self.send_header("Content-Type", _SSE)
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        overflow_sent = False
+        try:
+            while True:
+                answer = self.service.queue.wait_events(
+                    job_id, after=after, timeout=_SSE_KEEPALIVE
+                )
+                if answer is None:  # job evicted from history mid-stream
+                    self._write_frame(
+                        None, "gone", {"id": job_id, "event": "gone"}
+                    )
+                    return
+                events, overflow, terminal, dropped = answer
+                if overflow and not overflow_sent:
+                    overflow_sent = True
+                    self._write_frame(None, "overflow", {
+                        "event": "overflow", "dropped": dropped,
+                        "after": after,
+                    })
+                if overflow:
+                    # The dropped range is gone for good; move the
+                    # cursor past it or wait_events would keep
+                    # reporting the same overflow immediately.
+                    after = max(after, dropped)
+                for event in events:
+                    after = event["seq"]
+                    self._write_frame(event["seq"], event["event"], event)
+                if terminal and not events:
+                    return
+                if not events and not overflow:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _write_frame(
+        self, seq: Optional[int], event: str, data: Dict[str, Any]
+    ) -> None:
+        frame = ""
+        if seq is not None:
+            frame += f"id: {seq}\n"
+        frame += f"event: {event}\n"
+        frame += f"data: {json.dumps(data, sort_keys=True)}\n\n"
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
 
     def _submit(self) -> None:
         try:
@@ -239,6 +411,7 @@ class SweepService:
         work_dir: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         enable_telemetry: bool = True,
+        trace_export: Optional[str] = None,
     ) -> None:
         self.store = ResultStore(
             root=store_dir, max_entries=store_max, ttl=store_ttl
@@ -254,6 +427,7 @@ class SweepService:
             workers=workers,
             work_dir=work_dir,
             retry_policy=retry_policy,
+            trace_export=trace_export,
         )
         self.enable_telemetry = enable_telemetry
         self.started_at: Optional[float] = None
@@ -319,12 +493,22 @@ class SweepService:
     # -- health ----------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document.
+
+        ``status`` is ``"ok"`` while at least one scheduler worker
+        thread is alive and ``"dead-workers"`` once all have died after
+        start — the handler maps the latter to a 503, so a liveness
+        probe restarts a service whose workers were lost (queued jobs
+        would otherwise wait forever on a listening-but-dead service).
+        """
         uptime = (
             time.time() - self.started_at
             if self.started_at is not None else 0.0
         )
+        started = self.started_at is not None
+        alive = self.scheduler.running
         return {
-            "status": "ok",
+            "status": "ok" if (alive or not started) else "dead-workers",
             "version": __version__,
             "uptime_seconds": round(uptime, 3),
             "queue": {
@@ -332,10 +516,10 @@ class SweepService:
                 "limit": self.queue.limit,
             },
             "jobs": self.queue.counts(),
-            "store": {
-                "entries": len(self.store),
-                "max_entries": self.store.max_entries,
-                "ttl": self.store.ttl,
-            },
+            "store": self.store.stats(),
             "workers": self.scheduler.workers,
+            "scheduler": {
+                "alive": alive,
+                "heartbeat_age_seconds": self.scheduler.heartbeats(),
+            },
         }

@@ -8,6 +8,13 @@ HTTP status and the decoded body attached).  :meth:`wait` polls a job
 to a terminal state and returns the result payload —
 ``repro-partial-faults submit --wait`` is a thin wrapper around
 :meth:`submit_and_wait`.
+
+Live progress: :meth:`stream_events` consumes the SSE endpoint
+(``GET /jobs/<id>/events``) as a generator of event dicts, resuming
+with ``Last-Event-ID`` across reconnects; :meth:`events` is the JSON
+long-poll twin for environments where a held-open connection is
+awkward.  ``submit --wait --follow`` renders either into a live
+progress line.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import ReproError
 from .jobs import JobSpec
@@ -126,6 +133,104 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of ``/metrics``."""
+        request = urllib.request.Request(
+            self.url + "/metrics?format=prometheus",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceResponseError(
+                exc.code, {"error": "http-error", "detail": str(exc)}
+            ) from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ServiceUnavailableError(self.url, str(reason)) from None
+
+    def events(
+        self,
+        job_id: str,
+        after: int = 0,
+        wait: float = 0.0,
+    ) -> Dict[str, Any]:
+        """One JSON long-poll page of progress events (``seq > after``)."""
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?after={int(after)}&wait={wait:g}"
+        )
+
+    def stream_events(
+        self,
+        job_id: str,
+        after: int = 0,
+        reconnect: int = 3,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield progress events live from the SSE endpoint.
+
+        Generates each event's ``data`` object (the overflow marker
+        appears as ``{"event": "overflow", ...}``) and returns when the
+        stream ends — the server closes it once the job settles.  A
+        dropped connection is retried up to ``reconnect`` times, resuming
+        from the last seen ``seq`` via ``Last-Event-ID``; the retries
+        reset whenever the stream makes progress.
+        """
+        attempts = 0
+        while True:
+            request = urllib.request.Request(
+                self.url + f"/jobs/{job_id}/events?stream=sse",
+                headers={
+                    "Accept": "text/event-stream",
+                    "Last-Event-ID": str(int(after)),
+                },
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    for data in self._parse_sse(response):
+                        if isinstance(data.get("seq"), int):
+                            after = data["seq"]
+                            attempts = 0
+                        yield data
+                return  # clean EOF: the job is terminal
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                except (ValueError, OSError):
+                    payload = {"error": "http-error", "detail": str(exc)}
+                raise ServiceResponseError(exc.code, payload) from None
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                attempts += 1
+                if attempts > reconnect:
+                    reason = getattr(exc, "reason", None) or exc
+                    raise ServiceUnavailableError(
+                        self.url, str(reason)
+                    ) from None
+                time.sleep(min(2.0, 0.2 * attempts))
+
+    @staticmethod
+    def _parse_sse(response: Any) -> Iterator[Dict[str, Any]]:
+        """Decode one SSE byte stream into event ``data`` objects."""
+        data_lines = []
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if not line:  # blank line = frame boundary
+                if data_lines:
+                    try:
+                        yield json.loads("\n".join(data_lines))
+                    except ValueError:
+                        pass  # a malformed frame is dropped, not fatal
+                    data_lines = []
+                continue
+            if line.startswith(":"):
+                continue  # keepalive comment
+            if line.startswith("data:"):
+                data_lines.append(line[len("data:"):].lstrip())
 
     # -- convenience -----------------------------------------------------------
 

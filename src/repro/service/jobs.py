@@ -44,6 +44,7 @@ from ..errors import SpecValidationError
 from ..io import dump_fp, dump_quarantined_point
 
 __all__ = [
+    "EVENT_BUFFER",
     "ExperimentProfile",
     "Job",
     "JobSpec",
@@ -426,6 +427,14 @@ class JobState(Enum):
         return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
 
+#: Per-job event ring-buffer size.  A fine-grained fan-out (one event
+#: per completed unit) can emit thousands of events; the buffer keeps
+#: the most recent ones and counts the rest in ``events_dropped`` so an
+#: SSE consumer that fell behind sees an explicit overflow marker
+#: instead of a silent gap.
+EVENT_BUFFER = 256
+
+
 @dataclass
 class Job:
     """One admitted computation and its progress record.
@@ -433,7 +442,9 @@ class Job:
     Mutable fields are guarded by the owning queue's lock; handlers read
     a :meth:`to_json` snapshot taken under that lock.  ``events`` is the
     progress trail the scheduler appends to (queued, started, cache-hit,
-    resilience summary, finished/failed/cancelled).
+    per-unit progress, resilience summary, finished/failed/cancelled) —
+    a bounded ring buffer whose entries carry a monotone ``seq``, the
+    resume cursor of the SSE endpoint (``Last-Event-ID``).
     """
 
     spec: JobSpec
@@ -452,10 +463,24 @@ class Job:
     #: True when the result came from the store without recomputation.
     cache_hit: bool = False
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Monotone sequence number of the latest event (0 = none yet).
+    event_seq: int = 0
+    #: Events pushed out of the ring buffer (their seqs are 1..dropped).
+    events_dropped: int = 0
+    #: Trace correlation, set by the scheduler when telemetry is on.
+    trace_id: Optional[str] = None
+    root_span: Optional[int] = None
 
     def emit(self, event: str, **detail: Any) -> None:
-        """Append one progress event (timestamped, JSON-native)."""
-        self.events.append({"at": time.time(), "event": event, **detail})
+        """Append one progress event (timestamped, sequenced, bounded)."""
+        self.event_seq += 1
+        self.events.append({
+            "seq": self.event_seq, "at": time.time(), "event": event,
+            **detail,
+        })
+        while len(self.events) > EVENT_BUFFER:
+            self.events.pop(0)
+            self.events_dropped += 1
 
     @property
     def duration(self) -> Optional[float]:
@@ -479,6 +504,10 @@ class Job:
             "cancel_requested": self.cancel_requested,
             "error": self.error,
             "error_type": self.error_type,
+            "event_seq": self.event_seq,
+            "events_dropped": self.events_dropped,
+            "trace": self.trace_id,
+            "root_span": self.root_span,
         }
         if verbose:
             payload["spec"] = self.spec.to_json()

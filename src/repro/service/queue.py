@@ -18,8 +18,11 @@ The queue is the admission-control point of the sweep service
   ``cancel_requested`` flag the scheduler honours at its next
   checkpoint.
 
-All state lives behind one condition variable; scheduler workers block
-in :meth:`claim` and are woken by submissions.  Terminal jobs are kept
+All state lives behind one lock with two condition variables on it:
+scheduler workers block in :meth:`claim` and are woken by submissions;
+event streamers (the SSE endpoint) block in :meth:`wait_events` and are
+woken by every progress event and state transition — the two waiter
+populations never steal each other's wakeups.  Terminal jobs are kept
 as history (for ``GET /jobs/<id>``) up to ``max_history`` entries;
 evicting a DONE job's record does not lose its result — that lives in
 the content-addressed store.
@@ -35,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..errors import QueueFullError
+from ..telemetry import events as event_log
 from .jobs import Job, JobSpec, JobState
 
 __all__ = ["JobQueue"]
@@ -65,7 +69,11 @@ class JobQueue:
         self.limit = limit
         self.max_history = max_history
         self._result_exists = result_exists
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        #: Wakes scheduler workers blocked in :meth:`claim`.
+        self._cond = threading.Condition(self._lock)
+        #: Wakes event streamers blocked in :meth:`wait_events`.
+        self._event_cond = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
         self._seq = itertools.count()
         self._jobs: Dict[str, Job] = {}
@@ -137,9 +145,19 @@ class JobQueue:
                         self._heap, (-priority, next(self._seq), existing.id)
                     )
                 telemetry.count("service.jobs.deduped")
+                event_log.emit(
+                    "service.job.deduped",
+                    job=existing.id, address=address,
+                    submissions=existing.submissions,
+                )
                 return existing, True
             if self._queued >= self.limit:
                 telemetry.count("service.jobs.rejected")
+                event_log.emit(
+                    "service.job.rejected",
+                    experiment=spec.experiment, address=address,
+                    depth=self._queued, limit=self.limit,
+                )
                 raise QueueFullError(depth=self._queued, limit=self.limit)
             job = Job(spec=spec, address=address, priority=priority)
             job.emit("queued", address=address, priority=priority)
@@ -151,7 +169,13 @@ class JobQueue:
             self._queued += 1
             telemetry.count("service.jobs.submitted")
             telemetry.gauge("service.queue.depth", self._queued)
+            event_log.emit(
+                "service.job.queued",
+                job=job.id, experiment=spec.experiment, address=address,
+                priority=priority, depth=self._queued,
+            )
             self._cond.notify()
+            self._event_cond.notify_all()
             return job, False
 
     def _live_job(self, address: str) -> Optional[Job]:
@@ -205,6 +229,16 @@ class JobQueue:
                     job.emit("started")
                     self._queued -= 1
                     telemetry.gauge("service.queue.depth", self._queued)
+                    telemetry.observe(
+                        "service.jobs.wait_seconds",
+                        job.started_at - job.submitted_at,
+                    )
+                    event_log.emit(
+                        "service.job.started",
+                        job=job.id, experiment=job.spec.experiment,
+                        waited_s=round(job.started_at - job.submitted_at, 6),
+                    )
+                    self._event_cond.notify_all()
                     return job
                 if not self._cond.wait(timeout=timeout):
                     return None
@@ -227,9 +261,49 @@ class JobQueue:
         Scheduler threads must use this instead of ``job.emit`` — HTTP
         handlers copy ``job.events`` inside :meth:`snapshot` under the
         same lock, which is the Job contract for its mutable fields.
+        Streamers blocked in :meth:`wait_events` are woken.
         """
         with self._cond:
             job.emit(event, **detail)
+            self._event_cond.notify_all()
+
+    def wait_events(
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Optional[Tuple[List[dict], bool, bool, int]]:
+        """Events of ``job_id`` with ``seq > after``; block up to ``timeout``.
+
+        Returns ``(events, overflow, terminal, dropped)`` — ``overflow``
+        is True when the ring buffer has discarded events the cursor
+        never saw (``after < dropped``), ``terminal`` when the job is
+        settled (no further events will come), ``dropped`` the total
+        discard count.  Returns ``None`` for an unknown job.  Blocks
+        only while there is nothing to report *and* the job is live; a
+        timeout simply returns an empty event list.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._event_cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return None
+                fresh = [e for e in job.events if e["seq"] > after]
+                overflow = after < job.events_dropped
+                terminal = job.state.terminal
+                if fresh or overflow or terminal:
+                    return [dict(e) for e in fresh], overflow, terminal, (
+                        job.events_dropped
+                    )
+                if deadline is None:
+                    self._event_cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._event_cond.wait(remaining):
+                        return [], False, False, job.events_dropped
 
     def _release_address(self, job: Job) -> None:
         """Drop ``job``'s address binding — only if it still owns it.
@@ -250,6 +324,12 @@ class JobQueue:
             telemetry.count("service.jobs.completed")
             if job.duration is not None:
                 telemetry.observe("service.jobs.seconds", job.duration)
+            event_log.emit(
+                "service.job.finished",
+                job=job.id, experiment=job.spec.experiment,
+                cache_hit=cache_hit, seconds=job.duration,
+            )
+            self._event_cond.notify_all()
 
     def fail(self, job: Job, exc: BaseException) -> None:
         with self._cond:
@@ -259,6 +339,12 @@ class JobQueue:
             job.emit("failed", error_type=job.error_type, error=job.error)
             self._release_address(job)
             telemetry.count("service.jobs.failed")
+            event_log.emit(
+                "service.job.failed",
+                job=job.id, experiment=job.spec.experiment,
+                error_type=job.error_type, error=job.error,
+            )
+            self._event_cond.notify_all()
 
     def cancel(self, job_id: str) -> Optional[Job]:
         """Cancel one job; returns it, or ``None`` if unknown.
@@ -280,9 +366,14 @@ class JobQueue:
                 self._release_address(job)
                 telemetry.count("service.jobs.cancelled")
                 telemetry.gauge("service.queue.depth", self._queued)
+                event_log.emit(
+                    "service.job.cancelled", job=job.id, while_state="queued"
+                )
             elif job.state is JobState.RUNNING and not job.cancel_requested:
                 job.cancel_requested = True
                 job.emit("cancel-requested")
+                event_log.emit("service.job.cancel_requested", job=job.id)
+            self._event_cond.notify_all()
             return job
 
     def mark_cancelled(self, job: Job) -> None:
@@ -294,6 +385,10 @@ class JobQueue:
             job.emit("cancelled", while_state="running")
             self._release_address(job)
             telemetry.count("service.jobs.cancelled")
+            event_log.emit(
+                "service.job.cancelled", job=job.id, while_state="running"
+            )
+            self._event_cond.notify_all()
 
     def _settle(self, job: Job, state: JobState) -> None:
         """Move a job to a terminal state (caller holds the lock)."""

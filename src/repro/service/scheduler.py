@@ -22,22 +22,36 @@ and again before the result is published (a mid-run cancel still stores
 the computed result — it is valid and content-addressed — but the job
 settles CANCELLED).
 
-Progress events land on ``job.events`` (started, cache-hit, resilience
-summary, finished/failed/cancelled); recovery activity recorded by the
-parallel layer is drained per job and attached as a ``resilience``
-event when anything happened.
+Progress events land on ``job.events`` (started, cache-hit, per-unit
+progress via the parallel layer's listener hook, resilience summary,
+finished/failed/cancelled) and feed the SSE endpoint live; recovery
+activity recorded by the parallel layer is drained per job and attached
+as a ``resilience`` event when anything happened.
+
+Observability: each worker thread stamps a heartbeat every loop
+iteration (:meth:`Scheduler.heartbeats` — surfaced by ``/healthz``),
+each job runs under a ``service.job`` span whose trace/span ids are
+recorded on the job record, worker-process spans are re-parented under
+it by the parallel layer, and — when ``trace_export`` names a file —
+the tracer's new spans are appended after every job settles, so a
+long-running ``serve`` exports incrementally.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 import traceback
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .. import telemetry
 from ..io import CheckpointStore
-from ..parallel import Resilience, RetryPolicy, drain_resilience_log
+from ..parallel import (
+    Resilience, RetryPolicy, add_progress_listener, drain_resilience_log,
+    remove_progress_listener,
+)
+from ..telemetry import events as event_log
 from .jobs import Job, result_payload
 from .queue import JobQueue
 from .store import ResultStore
@@ -62,6 +76,7 @@ class Scheduler:
         work_dir: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         poll_interval: float = 0.2,
+        trace_export: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -73,8 +88,11 @@ class Scheduler:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.poll_interval = poll_interval
+        self.trace_export = trace_export
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
+        self._heartbeats: Dict[str, float] = {}
+        self._export_lock = threading.Lock()
         if work_dir is not None:
             os.makedirs(work_dir, exist_ok=True)
 
@@ -104,17 +122,45 @@ class Scheduler:
     def running(self) -> bool:
         return any(thread.is_alive() for thread in self._threads)
 
+    def heartbeats(self) -> Dict[str, float]:
+        """Per-worker seconds since the last loop iteration.
+
+        A worker inside a long job beats only between claims, so a large
+        age on an *alive* thread usually means "busy", not "wedged";
+        ``/healthz`` pairs these ages with thread liveness.
+        """
+        now = time.time()
+        return {
+            name: round(now - beat, 3)
+            for name, beat in sorted(self._heartbeats.items())
+        }
+
     # -- the worker loop -------------------------------------------------------
 
     def _loop(self) -> None:
+        name = threading.current_thread().name
         while not self._stop.is_set():
+            self._heartbeats[name] = time.time()
             job = self.queue.claim(timeout=self.poll_interval)
             if job is None:
                 continue
+            with event_log.bind(job=job.id, experiment=job.spec.experiment):
+                try:
+                    self._execute(job)
+                except Exception as exc:  # noqa: BLE001 — never kill the worker
+                    self.queue.fail(job, exc)
+            self._heartbeats[name] = time.time()
+            self._export_trace()
+
+    def _export_trace(self) -> None:
+        """Append not-yet-exported spans to ``trace_export`` (if set)."""
+        if self.trace_export is None or not telemetry.enabled():
+            return
+        with self._export_lock:
             try:
-                self._execute(job)
-            except Exception as exc:  # noqa: BLE001 — never kill the worker
-                self.queue.fail(job, exc)
+                telemetry.get_tracer().export_jsonl(self.trace_export, mode="a")
+            except OSError:
+                pass  # a full/readonly disk must not kill the worker
 
     def _checkpoint_for(self, job: Job) -> Optional[CheckpointStore]:
         if self.work_dir is None:
@@ -141,10 +187,24 @@ class Scheduler:
             policy=self.retry_policy, checkpoint=checkpoint
         )
         drain_resilience_log()  # events before this job are not ours
+
+        def on_progress(kind: str, info: dict) -> None:
+            # Fan-out milestones (unit completions, retries, timeouts,
+            # fallbacks, resumes, quarantines) become job progress
+            # events, which feed GET /jobs/<id>/events live.
+            self.queue.emit(job, "progress", kind=kind, **info)
+
+        add_progress_listener(on_progress)
         try:
             with telemetry.span(
                 "service.job", experiment=job.spec.experiment, job=job.id
-            ):
+            ) as sp:
+                if telemetry.enabled():
+                    # Correlate the job record with the trace: worker
+                    # spans re-parent under this span (it is the one
+                    # open in this thread when the fan-out starts).
+                    job.trace_id = telemetry.get_tracer().trace_id
+                    job.root_span = sp.span_id
                 result = profile.run(job.spec, resilience)
         except Exception as exc:  # noqa: BLE001 — report, don't crash
             self.queue.emit(
@@ -157,6 +217,7 @@ class Scheduler:
             self.queue.fail(job, exc)
             return
         finally:
+            remove_progress_listener(on_progress)
             if checkpoint is not None:
                 checkpoint.close()
         self._attach_resilience(job)

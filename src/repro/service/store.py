@@ -35,6 +35,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from .. import telemetry
+from ..telemetry import events as event_log
 
 __all__ = ["ResultStore"]
 
@@ -55,6 +56,10 @@ class ResultStore:
         self.root = root
         self.max_entries = max_entries
         self.ttl = ttl
+        #: Local lifetime counters (telemetry-independent, so /healthz
+        #: can report them even when telemetry is disabled).
+        self.evictions = 0
+        self.expired = 0
         self._lock = threading.Lock()
         #: address -> stored_at wall time, in least-recently-used order
         #: (oldest first).
@@ -100,6 +105,12 @@ class ResultStore:
                 pass
         if counter is not None:
             telemetry.count(counter)
+            if counter == "service.store.evictions":
+                self.evictions += 1
+                event_log.emit("service.store.evicted", address=address)
+            elif counter == "service.store.expired":
+                self.expired += 1
+                event_log.emit("service.store.expired", address=address)
 
     def _read(self, address: str) -> Optional[Dict[str, Any]]:
         if self.root is None:
@@ -168,6 +179,17 @@ class ResultStore:
                 oldest = next(iter(self._index))
                 self._evict(oldest, "service.store.evictions")
             telemetry.gauge("service.store.entries", len(self._index))
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy and lifetime eviction counters (for ``/healthz``)."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "max_entries": self.max_entries,
+                "ttl": self.ttl,
+                "evictions": self.evictions,
+                "expired": self.expired,
+            }
 
     def addresses(self) -> Tuple[str, ...]:
         """Every stored address, least-recently-used first."""

@@ -28,16 +28,17 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .context import TraceContext, new_trace_id
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import ProfileSession, profiled
 from .tracer import Span, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "Span", "Tracer",
+    "Span", "Tracer", "TraceContext", "new_trace_id",
     "ProfileSession", "profiled",
     "enabled", "enable", "disable", "reset",
-    "get_metrics", "get_tracer",
+    "get_metrics", "get_tracer", "current_context",
     "count", "gauge", "observe", "span", "timer",
 ]
 
@@ -82,6 +83,18 @@ def get_metrics() -> MetricsRegistry:
 def get_tracer() -> Tracer:
     """The process-global tracer."""
     return _TRACER
+
+
+def current_context() -> Optional[TraceContext]:
+    """The calling thread's trace position, or ``None`` while disabled.
+
+    Capture this before handing work to another thread or process; the
+    receiving side's spans can then be re-parented under it with
+    :meth:`Tracer.adopt_state`.
+    """
+    if not _ENABLED:
+        return None
+    return _TRACER.current_context()
 
 
 # -- no-op machinery -----------------------------------------------------------

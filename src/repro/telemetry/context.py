@@ -1,0 +1,67 @@
+"""Trace-context propagation across thread and process boundaries.
+
+A :class:`TraceContext` names one position in a trace: the trace's
+process-spanning ``trace_id`` plus the id (and depth) of the span that
+is open at capture time.  It is deliberately tiny and JSON-native so it
+can ride along worker-dispatch payloads (``repro.parallel``) and HTTP
+headers without dragging tracer state across the boundary.
+
+The flow (``docs/OBSERVABILITY.md``):
+
+1. the submitting side captures ``telemetry.current_context()`` — the
+   tracer's ``trace_id`` and the innermost open span of the calling
+   thread;
+2. the context crosses the boundary as a plain dict
+   (:meth:`TraceContext.to_dict`);
+3. the remote side records spans into its own tracer as usual; its
+   finished spans are shipped back with the telemetry snapshot
+   (:meth:`~repro.telemetry.tracer.Tracer.export_state`);
+4. the submitting side re-parents them under the captured span
+   (:meth:`~repro.telemetry.tracer.Tracer.adopt_state`), so the
+   exported JSONL trace forms one connected tree even for a ``--jobs N``
+   or served run.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["TraceContext", "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (one per tracer epoch)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One propagatable position in a trace.
+
+    ``span_id``/``depth`` are ``None``/0 when no span is open — the
+    remote side's spans then adopt as roots of the trace.
+    """
+
+    trace_id: str
+    span_id: Optional[int] = None
+    depth: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "depth": self.depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        if not data or not data.get("trace_id"):
+            return None
+        span_id = data.get("span_id")
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=int(span_id) if span_id is not None else None,
+            depth=int(data.get("depth") or 0),
+        )

@@ -1,0 +1,110 @@
+"""Structured JSONL event log built on stdlib :mod:`logging`.
+
+One line per event, machine-first::
+
+    {"ts": 1754550000.123, "event": "service.job.finished",
+     "trace": "9f2c51aa03be47d1", "job": "j-000003", "seconds": 4.2}
+
+The log is process-global and off by default; :func:`configure` attaches
+a file handler (``--log-json PATH`` on both the classic CLI and
+``serve``), :func:`close` detaches it.  :func:`emit` is a strict no-op
+while unconfigured — the default CLI path never touches the logging
+machinery, preserving byte-identical stdout.
+
+Correlation: :func:`emit` merges three layers into each line, innermost
+wins — (1) the current tracer's ``trace`` id when telemetry is enabled,
+(2) the calling thread's bound context (:func:`bind`, used by the sweep
+scheduler to stamp ``job``/``experiment`` onto everything a job does),
+(3) the call's own fields.  Values must be JSON-serializable; anything
+else is stringified rather than dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["configure", "close", "enabled", "emit", "bind"]
+
+_LOGGER_NAME = "repro.events"
+_lock = threading.Lock()
+_handler: Optional[logging.Handler] = None
+_local = threading.local()
+
+
+class _JsonLineFormatter(logging.Formatter):
+    """Render each record's pre-built payload dict as one JSON line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = getattr(record, "payload", None)
+        if payload is None:  # a foreign record strayed onto our logger
+            payload = {"ts": record.created, "event": record.getMessage()}
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(path: str, mode: str = "a") -> None:
+    """Attach a JSONL file handler; subsequent :func:`emit` calls write."""
+    global _handler
+    with _lock:
+        logger = logging.getLogger(_LOGGER_NAME)
+        if _handler is not None:
+            logger.removeHandler(_handler)
+            _handler.close()
+        handler = logging.FileHandler(path, mode=mode, encoding="utf-8")
+        handler.setFormatter(_JsonLineFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        _handler = handler
+
+
+def close() -> None:
+    """Detach and close the handler; :func:`emit` becomes a no-op again."""
+    global _handler
+    with _lock:
+        if _handler is not None:
+            logging.getLogger(_LOGGER_NAME).removeHandler(_handler)
+            _handler.close()
+            _handler = None
+
+
+def enabled() -> bool:
+    return _handler is not None
+
+
+def _bound() -> Dict[str, Any]:
+    ctx = getattr(_local, "ctx", None)
+    if ctx is None:
+        ctx = _local.ctx = {}
+    return ctx
+
+
+@contextmanager
+def bind(**fields: Any) -> Iterator[None]:
+    """Stamp ``fields`` onto every event this thread emits in the block."""
+    ctx = _bound()
+    saved = dict(ctx)
+    ctx.update(fields)
+    try:
+        yield
+    finally:
+        ctx.clear()
+        ctx.update(saved)
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Write one event line (no-op when no handler is configured)."""
+    if _handler is None:
+        return
+    payload: Dict[str, Any] = {"ts": time.time(), "event": event}
+    from repro import telemetry  # late import: telemetry imports us
+
+    if telemetry.enabled():
+        payload["trace"] = telemetry.get_tracer().trace_id
+    payload.update(_bound())
+    payload.update(fields)
+    logging.getLogger(_LOGGER_NAME).info(event, extra={"payload": payload})

@@ -1,0 +1,94 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot` dict
+into the plain-text scrape format::
+
+    # TYPE repro_service_jobs_deduped_total counter
+    repro_service_jobs_deduped_total 3
+    # TYPE repro_service_job_seconds summary
+    repro_service_job_seconds{quantile="0.5"} 0.41
+    repro_service_job_seconds_sum 3.2
+    repro_service_job_seconds_count 7
+
+Naming follows Prometheus conventions: dotted repro names are flattened
+with underscores under a ``repro_`` prefix, counters gain ``_total``,
+and histograms are rendered as summaries whose quantiles come from the
+bounded reservoir (p50/p95/p99).  Output is sorted, so scrapes of the
+same snapshot are byte-stable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Optional
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: Content type for HTTP responses carrying this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEAD_BAD = re.compile(r"^[^a-zA-Z_:]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    """``service.jobs.deduped`` -> ``repro_service_jobs_deduped``."""
+    flat = _NAME_OK.sub("_", name.replace(".", "_"))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if _LEAD_BAD.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, object]], prefix: str = "repro"
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{_escape_label(q)}"}} '
+                f"{_format_value(summary.get(key))}"  # type: ignore[union-attr]
+            )
+        lines.append(f"{metric}_sum {_format_value(summary.get('sum'))}")  # type: ignore[union-attr]
+        lines.append(f"{metric}_count {int(summary.get('count') or 0)}")  # type: ignore[union-attr]
+        lines.append(f"{metric}_min {_format_value(summary.get('min'))}")  # type: ignore[union-attr]
+        lines.append(f"{metric}_max {_format_value(summary.get('max'))}")  # type: ignore[union-attr]
+
+    return "\n".join(lines) + ("\n" if lines else "")

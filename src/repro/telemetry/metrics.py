@@ -6,9 +6,9 @@ The registry is a flat namespace of dotted metric names (see
 * :class:`Counter` — monotonically increasing event counts
   (``solver.settles``, ``analyzer.cache_hits``);
 * :class:`Gauge` — last-written values (``analyzer.cache_size``);
-* :class:`Histogram` — streaming summaries (count/sum/min/max/mean) of
-  observed samples, used both for sizes (``solver.nodes``) and for wall
-  times (``experiment.seconds``).
+* :class:`Histogram` — streaming summaries (count/sum/min/max/mean plus
+  bounded-reservoir p50/p95/p99) of observed samples, used both for
+  sizes (``solver.nodes``) and for wall times (``experiment.seconds``).
 
 Instruments are created lazily on first use and live for the process
 lifetime; :meth:`MetricsRegistry.reset` zeroes them between runs.
@@ -29,10 +29,22 @@ attribute test when telemetry is off.
 from __future__ import annotations
 
 import math
+import random
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Reservoir size for histogram quantiles.  256 samples bound memory per
+#: instrument while keeping p50/p95/p99 stable for the sweep sizes the
+#: experiments produce (hundreds to low thousands of observations).
+RESERVOIR_SIZE = 256
+
+
+def _rank_quantile(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted sample list."""
+    idx = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]
 
 
 class Counter:
@@ -72,9 +84,19 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of observed samples (no bucket storage)."""
+    """A streaming summary of observed samples (no bucket storage).
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    Exact count/sum/min/max plus a bounded reservoir (algorithm R,
+    :data:`RESERVOIR_SIZE` samples) from which snapshot quantiles
+    (p50/p95/p99) are computed.  The reservoir RNG is seeded from the
+    instrument name, so two runs observing the same sequence report the
+    same quantiles — determinism the repro tests rely on.
+    """
+
+    __slots__ = (
+        "name", "count", "total", "min", "max",
+        "_samples", "_seen", "_rng", "_lock",
+    )
 
     def __init__(self, name: str, lock: Optional[threading.RLock] = None) -> None:
         self.name = name
@@ -82,7 +104,20 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: List[float] = []
+        self._seen = 0
+        self._rng = random.Random(name)
         self._lock = lock if lock is not None else threading.RLock()
+
+    def _offer(self, value: float, weight: int = 1) -> None:
+        """Offer one value to the reservoir, representing ``weight`` observations."""
+        self._seen += weight
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(value)
+            return
+        j = self._rng.randrange(self._seen)
+        if j < RESERVOIR_SIZE:
+            self._samples[j] = value
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -92,33 +127,62 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._offer(value)
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
-    def merge_summary(self, summary: Dict[str, Optional[float]]) -> None:
-        """Fold another histogram's :meth:`snapshot` into this one."""
-        count = int(summary.get("count") or 0)
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile estimated from the reservoir."""
+        with self._lock:
+            if not self._samples:
+                return None
+            return _rank_quantile(sorted(self._samples), q)
+
+    def merge_summary(self, summary: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Carries count-weighted sums (deriving the sum from ``mean`` x
+        ``count`` when only a mean is present) and extremes, and folds
+        the incoming reservoir in with each sample weighted by the share
+        of the merged count it represents — repeated merges neither
+        collapse into a mean-of-means nor lose min/max fidelity.
+        """
+        count = int(summary.get("count") or 0)  # type: ignore[arg-type]
         if not count:
             return
         with self._lock:
             self.count += count
-            self.total += float(summary.get("sum") or 0.0)
+            total = summary.get("sum")
+            if total is None:
+                mean = summary.get("mean")
+                total = float(mean) * count if mean is not None else 0.0  # type: ignore[arg-type]
+            self.total += float(total)  # type: ignore[arg-type]
             lo, hi = summary.get("min"), summary.get("max")
-            if lo is not None and lo < self.min:
-                self.min = lo
-            if hi is not None and hi > self.max:
-                self.max = hi
+            if lo is not None and lo < self.min:  # type: ignore[operator]
+                self.min = lo  # type: ignore[assignment]
+            if hi is not None and hi > self.max:  # type: ignore[operator]
+                self.max = hi  # type: ignore[assignment]
+            samples = summary.get("samples") or []
+            if samples:
+                weight = max(1, count // len(samples))  # type: ignore[arg-type]
+                for value in samples:  # type: ignore[union-attr]
+                    self._offer(float(value), weight)
 
-    def snapshot(self) -> Dict[str, Optional[float]]:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
+            ordered = sorted(self._samples)
             return {
                 "count": self.count,
                 "sum": self.total,
                 "min": self.min if self.count else None,
                 "max": self.max if self.count else None,
                 "mean": self.mean,
+                "p50": _rank_quantile(ordered, 0.50) if ordered else None,
+                "p95": _rank_quantile(ordered, 0.95) if ordered else None,
+                "p99": _rank_quantile(ordered, 0.99) if ordered else None,
+                "samples": list(self._samples),
             }
 
 

@@ -1,4 +1,4 @@
-"""Span-based tracing with JSONL export.
+"""Span-based tracing with JSONL export and cross-process propagation.
 
 A *span* is one named, timed region of work, optionally annotated with
 attributes.  Spans nest: opening a span inside another records the outer
@@ -8,19 +8,38 @@ sweeps.  The tracer keeps every *finished* span; :meth:`Tracer.export_jsonl`
 writes them as one JSON object per line (start-ordered), the format
 documented in ``docs/OBSERVABILITY.md``::
 
-    {"span": 1, "parent": null, "depth": 0, "name": "experiment.fig3",
-     "start": 0.0, "duration": 12.3, "attrs": {"claims": 4}}
+    {"trace": "9f2c51aa03be47d1", "span": 1, "parent": null, "depth": 0,
+     "name": "experiment.fig3", "start": 0.0, "duration": 12.3,
+     "attrs": {"claims": 4}}
 
 ``start`` is seconds since the tracer's epoch (its creation or last
 :meth:`Tracer.reset`), ``duration`` is wall seconds measured with
 ``time.perf_counter``.
+
+Concurrency and propagation (new in the observability layer):
+
+* Every tracer owns a ``trace_id`` (regenerated on :meth:`Tracer.reset`)
+  stamped onto each span, and each *thread* gets its own open-span
+  stack — the sweep service's scheduler workers record concurrent
+  ``service.job`` trees without corrupting one another.
+* :meth:`Tracer.export_state` packages the finished spans (plus the
+  tracer's wall-clock epoch) for shipping across a process boundary;
+  :meth:`Tracer.adopt_state` folds such a package back in, renumbering
+  span ids, re-basing start times onto the local epoch, and re-parenting
+  the remote roots under a :class:`~repro.telemetry.context.TraceContext`
+  captured on the submitting side.  ``repro.parallel`` uses the pair to
+  return worker-process spans with the existing telemetry-snapshot
+  merge, so a ``--jobs N`` trace still forms one connected tree.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, List, Optional
+
+from repro.telemetry.context import TraceContext, new_trace_id
 
 __all__ = ["Span", "Tracer"]
 
@@ -29,7 +48,8 @@ class Span:
     """One timed region; use :meth:`set` to attach attributes mid-flight."""
 
     __slots__ = (
-        "span_id", "parent_id", "depth", "name", "attrs", "start", "duration",
+        "trace_id", "span_id", "parent_id", "depth", "name", "attrs",
+        "start", "duration",
     )
 
     def __init__(
@@ -40,7 +60,9 @@ class Span:
         name: str,
         attrs: Dict[str, Any],
         start: float,
+        trace_id: str = "",
     ) -> None:
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
         self.depth = depth
@@ -55,6 +77,7 @@ class Span:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "trace": self.trace_id,
             "span": self.span_id,
             "parent": self.parent_id,
             "depth": self.depth,
@@ -92,52 +115,161 @@ class _SpanContext:
 
 
 class Tracer:
-    """Records nested spans and exports them as JSONL."""
+    """Records nested spans (per-thread stacks) and exports them as JSONL."""
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        self._epoch_wall = time.time()
+        self.trace_id = new_trace_id()
         self._next_id = 1
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._exported_ids: set = set()
+
+    def _thread_stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording -------------------------------------------------------------
 
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a span; use as ``with tracer.span("name", key=val) as sp:``."""
-        parent = self._stack[-1] if self._stack else None
+        stack = self._thread_stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         sp = Span(
-            span_id=self._next_id,
+            span_id=span_id,
             parent_id=parent.span_id if parent is not None else None,
-            depth=len(self._stack),
+            depth=len(stack),
             name=name,
             attrs=dict(attrs),
             start=time.perf_counter() - self._epoch,
+            trace_id=self.trace_id,
         )
-        self._next_id += 1
-        self._stack.append(sp)
+        stack.append(sp)
         return _SpanContext(self, sp)
 
     def _finish(self, span: Span) -> None:
         span.duration = (time.perf_counter() - self._epoch) - span.start
+        stack = self._thread_stack()
         # Close any dangling children first (defensive: a span leaked by a
         # generator that never resumed must not corrupt the stack).
-        while self._stack and self._stack[-1] is not span:
-            dangling = self._stack.pop()
+        closed: List[Span] = []
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
             if dangling.duration is None:
                 dangling.duration = (
                     time.perf_counter() - self._epoch
                 ) - dangling.start
-                self._finished.append(dangling)
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        self._finished.append(span)
+                closed.append(dangling)
+        if stack and stack[-1] is span:
+            stack.pop()
+        closed.append(span)
+        with self._lock:
+            self._finished.extend(closed)
+
+    # -- propagation -----------------------------------------------------------
+
+    def current_context(self) -> TraceContext:
+        """The calling thread's position in the trace, for propagation."""
+        stack = self._thread_stack()
+        if stack:
+            top = stack[-1]
+            return TraceContext(
+                trace_id=self.trace_id,
+                span_id=top.span_id,
+                depth=top.depth,
+            )
+        return TraceContext(trace_id=self.trace_id)
+
+    def export_state(self) -> Dict[str, Any]:
+        """Package finished spans for shipping across a process boundary.
+
+        ``epoch_wall`` lets the receiving tracer re-base relative start
+        times: ``perf_counter`` epochs are process-local and meaningless
+        on the other side, wall clocks are comparable.
+        """
+        with self._lock:
+            spans = list(self._finished)
+        spans.sort(key=lambda s: (s.start, s.span_id))
+        return {
+            "trace": self.trace_id,
+            "epoch_wall": self._epoch_wall,
+            "spans": [sp.to_dict() for sp in spans],
+        }
+
+    def adopt_state(
+        self,
+        state: Optional[Dict[str, Any]],
+        parent: Optional[TraceContext] = None,
+    ) -> int:
+        """Fold an :meth:`export_state` package into this tracer.
+
+        Remote spans get fresh local ids, start times re-based via the
+        wall-clock epochs, this tracer's ``trace_id``, and their roots
+        re-parented under ``parent`` (when it names an open span) — so
+        the exported JSONL stays one connected tree.  Returns the number
+        of spans adopted.
+        """
+        if not state:
+            return 0
+        remote = state.get("spans") or []
+        if not remote:
+            return 0
+        offset = float(state.get("epoch_wall") or self._epoch_wall)
+        offset -= self._epoch_wall
+        base_depth = 0
+        parent_id = None
+        if parent is not None and parent.span_id is not None:
+            parent_id = parent.span_id
+            base_depth = parent.depth + 1
+        id_map: Dict[int, int] = {}
+        adopted: List[Span] = []
+        with self._lock:
+            for rec in remote:
+                new_id = self._next_id
+                self._next_id += 1
+                id_map[int(rec["span"])] = new_id
+            for rec in remote:
+                old_parent = rec.get("parent")
+                if old_parent is not None and int(old_parent) in id_map:
+                    new_parent: Optional[int] = id_map[int(old_parent)]
+                    depth = base_depth + int(rec.get("depth") or 0)
+                else:
+                    new_parent = parent_id
+                    depth = base_depth
+                attrs = dict(rec.get("attrs") or {})
+                attrs.setdefault("remote", True)
+                sp = Span(
+                    span_id=id_map[int(rec["span"])],
+                    parent_id=new_parent,
+                    depth=depth,
+                    name=str(rec.get("name")),
+                    attrs=attrs,
+                    start=float(rec.get("start") or 0.0) + offset,
+                    trace_id=self.trace_id,
+                )
+                sp.duration = (
+                    float(rec["duration"])
+                    if rec.get("duration") is not None else 0.0
+                )
+                adopted.append(sp)
+            self._finished.extend(adopted)
+        return len(adopted)
 
     # -- read side -------------------------------------------------------------
 
     @property
     def spans(self) -> List[Span]:
         """Finished spans, in start order."""
-        return sorted(self._finished, key=lambda s: (s.start, s.span_id))
+        with self._lock:
+            finished = list(self._finished)
+        return sorted(finished, key=lambda s: (s.start, s.span_id))
 
     def spans_named(self, prefix: str) -> List[Span]:
         """Finished spans whose name equals or starts with ``prefix.``."""
@@ -146,18 +278,34 @@ class Tracer:
             if s.name == prefix or s.name.startswith(prefix + ".")
         ]
 
-    def export_jsonl(self, path: str) -> int:
-        """Write one JSON object per finished span; return the span count."""
+    def export_jsonl(self, path: str, mode: str = "w") -> int:
+        """Write one JSON object per finished span; return the span count.
+
+        ``mode="w"`` (the default) truncates and writes every finished
+        span.  ``mode="a"`` appends only spans not yet exported to *any*
+        path — the incremental form a long-running ``serve`` process
+        uses to export after each job without clobbering earlier spans.
+        """
+        if mode not in ("w", "a"):
+            raise ValueError(f"export_jsonl mode must be 'w' or 'a', got {mode!r}")
         spans = self.spans
-        with open(path, "w", encoding="utf-8") as fh:
+        if mode == "a":
+            spans = [sp for sp in spans if sp.span_id not in self._exported_ids]
+        with open(path, mode, encoding="utf-8") as fh:
             for sp in spans:
                 fh.write(json.dumps(sp.to_dict(), sort_keys=True))
                 fh.write("\n")
+        with self._lock:
+            self._exported_ids.update(sp.span_id for sp in spans)
         return len(spans)
 
     def reset(self) -> None:
-        """Drop all spans and restart the epoch."""
-        self._epoch = time.perf_counter()
-        self._next_id = 1
-        self._stack.clear()
-        self._finished.clear()
+        """Drop all spans, restart the epoch, and open a new trace."""
+        with self._lock:
+            self._epoch = time.perf_counter()
+            self._epoch_wall = time.time()
+            self.trace_id = new_trace_id()
+            self._next_id = 1
+            self._local = threading.local()
+            self._finished.clear()
+            self._exported_ids.clear()

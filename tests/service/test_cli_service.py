@@ -69,6 +69,25 @@ class TestSubmitCommand:
             assert len(job_id) == 12 and int(job_id, 16) >= 0
             assert job_id in captured.err
 
+    def test_submit_follow_streams_progress_then_report(
+        self, stub_name, capsys
+    ):
+        with SweepService(port=0) as service:
+            rc = main([
+                "submit", stub_name, "--url", service.url,
+                "--follow", "--timeout", "30", "--poll", "0.05",
+            ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # --follow implies --wait: the report still lands on stdout
+        assert "cli stub output" in captured.out
+        follow_lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith("[follow]")
+        ]
+        assert follow_lines, "no live progress reached stderr"
+        assert any("finished" in line for line in follow_lines)
+
     def test_resubmission_reports_the_dedup(self, stub_name, capsys):
         with SweepService(port=0) as service:
             args = [

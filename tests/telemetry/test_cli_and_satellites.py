@@ -236,3 +236,41 @@ class TestGridSatellites:
         coarse = grid.coarser(every_r=2, every_u=2)
         assert coarse.r_values == (1e3,)
         assert len(coarse.u_values) >= 2
+
+
+class TestLogJsonFlag:
+    def test_log_json_writes_correlated_event_lines(self, capsys, tmp_path):
+        from repro.telemetry import events
+
+        log_file = tmp_path / "events.jsonl"
+        assert cli.main(["fp-space", "--log-json", str(log_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"[events] wrote structured log to {log_file}" in out
+        # the flag alone does not switch the [telemetry] summary on
+        assert "[telemetry]" not in out
+        with open(log_file, encoding="utf-8") as fh:
+            names = [json.loads(line)["event"] for line in fh]
+        assert names[0] == "cli.run.started"
+        assert "experiment.started" in names
+        assert "experiment.finished" in names
+        assert names[-1] == "cli.run.finished"
+        assert not events.enabled()  # handler detached after the run
+
+    def test_stdout_identical_up_to_closing_line(self, capsys, tmp_path):
+        assert cli.main(["fp-space"]) == 0
+        plain = capsys.readouterr().out
+        log_file = tmp_path / "events.jsonl"
+        assert cli.main(["fp-space", "--log-json", str(log_file)]) == 0
+        logged = capsys.readouterr().out
+        assert logged.startswith(plain)
+        assert logged[len(plain):] == (
+            f"[events] wrote structured log to {log_file}\n"
+        )
+
+    def test_unwritable_log_path_rejected_up_front(self, tmp_path):
+        with pytest.raises(SystemExit) as exit_info:
+            cli.main([
+                "fp-space", "--log-json",
+                str(tmp_path / "no-such-dir" / "events.jsonl"),
+            ])
+        assert exit_info.value.code == 2

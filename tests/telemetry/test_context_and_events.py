@@ -1,0 +1,257 @@
+"""Trace-context propagation, span adoption, and the structured event log."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import events
+from repro.telemetry.context import TraceContext, new_trace_id
+from repro.telemetry.tracer import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Telemetry disabled/empty and no event-log handler around each test."""
+    telemetry.disable()
+    telemetry.reset()
+    events.close()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+    events.close()
+
+
+class TestTraceContext:
+    def test_round_trips_through_dict(self):
+        ctx = TraceContext(trace_id="abc123", span_id=7, depth=2)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_from_dict_without_trace_is_none(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"trace": ""}) is None
+
+    def test_new_trace_ids_are_short_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex or raise
+
+    def test_current_context_none_while_disabled(self):
+        assert telemetry.current_context() is None
+
+    def test_current_context_tracks_open_span(self):
+        telemetry.enable()
+        root_ctx = telemetry.current_context()
+        assert root_ctx.span_id is None
+        with telemetry.span("outer") as sp:
+            ctx = telemetry.current_context()
+            assert ctx.trace_id == telemetry.get_tracer().trace_id
+            assert ctx.span_id == sp.span_id
+            assert ctx.depth == 0
+        assert telemetry.current_context().span_id is None
+
+
+class TestThreadLocalStacks:
+    def test_each_thread_roots_its_own_tree(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("thread-root"):
+                with tracer.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = [s for s in tracer.spans if s.parent_id is None]
+        children = [s for s in tracer.spans if s.parent_id is not None]
+        assert len(roots) == 3 and len(children) == 3
+        root_ids = {s.span_id for s in roots}
+        for child in children:
+            assert child.parent_id in root_ids
+            assert child.depth == 1
+        # span ids are allocated from one shared counter: all distinct
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAdoptState:
+    def _remote_state(self):
+        remote = Tracer()
+        with remote.span("worker.unit", index=3):
+            with remote.span("solver"):
+                pass
+        return remote, remote.export_state()
+
+    def test_reparents_renumbers_and_rebrands(self):
+        _, state = self._remote_state()
+        local = Tracer()
+        with local.span("service.job") as job_span:
+            adopted = local.adopt_state(state, local.current_context())
+        assert adopted == 2
+        by_name = {s.name: s for s in local.spans}
+        unit, solver = by_name["worker.unit"], by_name["solver"]
+        assert unit.parent_id == job_span.span_id
+        assert unit.depth == 1
+        assert solver.parent_id == unit.span_id
+        assert solver.depth == 2
+        assert unit.trace_id == local.trace_id
+        assert unit.attrs["remote"] is True
+        assert unit.attrs["index"] == 3  # original attrs survive
+        ids = [s.span_id for s in local.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_without_parent_roots_stay_roots(self):
+        _, state = self._remote_state()
+        local = Tracer()
+        assert local.adopt_state(state, None) == 2
+        unit = {s.name: s for s in local.spans}["worker.unit"]
+        assert unit.parent_id is None
+        assert unit.depth == 0
+
+    def test_empty_state_is_a_noop(self):
+        local = Tracer()
+        assert local.adopt_state(None) == 0
+        assert local.adopt_state({}) == 0
+        assert local.adopt_state({"spans": []}) == 0
+        assert local.spans == []
+
+    def test_start_times_rebase_on_wall_epochs(self):
+        remote = Tracer()
+        with remote.span("worker.unit"):
+            pass
+        state = remote.export_state()
+        state["epoch_wall"] = state["epoch_wall"] + 5.0  # pretend +5 s skew
+        local = Tracer()
+        local.adopt_state(state)
+        span = local.spans[0]
+        remote_start = remote.spans[0].start
+        offset = state["epoch_wall"] - local._epoch_wall
+        assert span.start == pytest.approx(remote_start + offset)
+
+
+class TestExportAppendMode:
+    def test_append_exports_only_new_spans(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "trace.jsonl")
+        with tracer.span("first"):
+            pass
+        assert tracer.export_jsonl(path, mode="a") == 1
+        with tracer.span("second"):
+            pass
+        assert tracer.export_jsonl(path, mode="a") == 1
+        names = [
+            json.loads(line)["name"]
+            for line in open(path, encoding="utf-8")
+        ]
+        assert names == ["first", "second"]
+        # nothing new: an append writes nothing
+        assert tracer.export_jsonl(path, mode="a") == 0
+
+    def test_truncate_mode_still_writes_everything(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "trace.jsonl")
+        with tracer.span("first"):
+            pass
+        tracer.export_jsonl(path, mode="a")
+        with tracer.span("second"):
+            pass
+        assert tracer.export_jsonl(path, mode="w") == 2
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Tracer().export_jsonl(str(tmp_path / "t.jsonl"), mode="x")
+
+    def test_reset_forgets_exported_ids(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "trace.jsonl")
+        with tracer.span("first"):
+            pass
+        tracer.export_jsonl(path, mode="a")
+        tracer.reset()
+        with tracer.span("again"):
+            pass
+        assert tracer.export_jsonl(path, mode="a") == 1
+
+
+class TestEventLog:
+    def read(self, path):
+        with open(path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh]
+
+    def test_emit_is_noop_unconfigured(self):
+        assert not events.enabled()
+        events.emit("anything", value=1)  # must not raise, must not write
+
+    def test_configure_emit_close(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events.configure(path)
+        assert events.enabled()
+        events.emit("unit.test", n=3, label="x")
+        events.close()
+        assert not events.enabled()
+        events.emit("after-close")  # dropped
+        lines = self.read(path)
+        assert len(lines) == 1
+        record = lines[0]
+        assert record["event"] == "unit.test"
+        assert record["n"] == 3 and record["label"] == "x"
+        assert isinstance(record["ts"], float)
+
+    def test_bind_stamps_context_and_restores(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events.configure(path)
+        with events.bind(job="j-1", experiment="table1"):
+            events.emit("inner")
+            with events.bind(job="j-2"):
+                events.emit("nested")
+        events.emit("outer")
+        events.close()
+        inner, nested, outer = self.read(path)
+        assert inner["job"] == "j-1" and inner["experiment"] == "table1"
+        assert nested["job"] == "j-2" and nested["experiment"] == "table1"
+        assert "job" not in outer
+
+    def test_trace_id_correlation_when_telemetry_on(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events.configure(path)
+        events.emit("before")
+        telemetry.enable()
+        events.emit("during")
+        events.close()
+        before, during = self.read(path)
+        assert "trace" not in before
+        assert during["trace"] == telemetry.get_tracer().trace_id
+
+    def test_call_fields_win_over_bound_context(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events.configure(path)
+        with events.bind(job="bound"):
+            events.emit("clash", job="explicit")
+        events.close()
+        assert self.read(path)[0]["job"] == "explicit"
+
+    def test_non_serializable_values_are_stringified(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events.configure(path)
+        events.emit("odd", obj=object())
+        events.close()
+        record = self.read(path)[0]
+        assert isinstance(record["obj"], str)
+
+    def test_reconfigure_replaces_handler(self, tmp_path):
+        first = str(tmp_path / "first.jsonl")
+        second = str(tmp_path / "second.jsonl")
+        events.configure(first)
+        events.emit("one")
+        events.configure(second)
+        events.emit("two")
+        events.close()
+        assert [r["event"] for r in self.read(first)] == ["one"]
+        assert [r["event"] for r in self.read(second)] == ["two"]

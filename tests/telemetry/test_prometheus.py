@@ -1,0 +1,173 @@
+"""Prometheus text exposition and reservoir quantiles."""
+
+import math
+
+import pytest
+
+from repro.telemetry.exposition import (
+    CONTENT_TYPE, _escape_label, _format_value, _metric_name,
+    render_prometheus,
+)
+from repro.telemetry.metrics import RESERVOIR_SIZE, Histogram, MetricsRegistry
+
+
+def scrape(registry):
+    return render_prometheus(registry.snapshot())
+
+
+class TestNaming:
+    def test_dotted_names_flatten_under_prefix(self):
+        assert _metric_name("service.jobs.deduped") == (
+            "repro_service_jobs_deduped"
+        )
+
+    def test_forbidden_characters_sanitized(self):
+        assert _metric_name("cache-hits!") == "repro_cache_hits_"
+
+    def test_leading_digit_without_prefix_gets_underscore(self):
+        assert _metric_name("0bad", prefix="") == "_0bad"
+
+    def test_counters_gain_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("service.jobs.submitted").inc(3)
+        text = scrape(registry)
+        assert "# TYPE repro_service_jobs_submitted_total counter" in text
+        assert "\nrepro_service_jobs_submitted_total 3" in (
+            "\n" + text
+        )
+        # the bare (non-_total) name never appears as a sample line
+        assert "\nrepro_service_jobs_submitted 3" not in "\n" + text
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert _escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_value_formatting(self):
+        assert _format_value(None) == "NaN"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(0.25) == "0.25"
+
+
+class TestRendering:
+    def test_gauge_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("store.entries").set(5.0)
+        text = scrape(registry)
+        assert "# TYPE repro_store_entries gauge" in text
+        assert "repro_store_entries 5.0" in text
+
+    def test_histogram_renders_as_summary_with_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.histogram("job.seconds").observe(value)
+        text = scrape(registry)
+        assert "# TYPE repro_job_seconds summary" in text
+        assert 'repro_job_seconds{quantile="0.5"} 2.0' in text
+        assert 'repro_job_seconds{quantile="0.95"} 4.0' in text
+        assert 'repro_job_seconds{quantile="0.99"} 4.0' in text
+        assert "repro_job_seconds_sum 10.0" in text
+        assert "repro_job_seconds_count 4" in text
+        assert "repro_job_seconds_min 1.0" in text
+        assert "repro_job_seconds_max 4.0" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert render_prometheus({"counters": {}, "gauges": {}}) == ""
+
+    def test_output_is_sorted_and_byte_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        registry.gauge("mid").set(1.0)
+        first, second = scrape(registry), scrape(registry)
+        assert first == second
+        assert first.index("repro_alpha_total") < first.index(
+            "repro_zeta_total"
+        )
+        assert first.endswith("\n")
+
+    def test_content_type_names_the_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestReservoirQuantiles:
+    def test_nearest_rank_on_full_population(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.quantile(0.5) == 50.0
+        assert hist.quantile(0.95) == 95.0
+        assert hist.quantile(0.99) == 99.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["p50"] is None and snap["count"] == 0
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        def build():
+            hist = Histogram("bounded")
+            for value in range(10 * RESERVOIR_SIZE):
+                hist.observe(float(value))
+            return hist
+
+        first, second = build(), build()
+        assert len(first.snapshot()["samples"]) == RESERVOIR_SIZE
+        # seeded per-name RNG: two identical runs sample identically
+        assert first.snapshot()["samples"] == second.snapshot()["samples"]
+        # the quantiles stay in the observed range and ordered
+        p50, p99 = first.quantile(0.5), first.quantile(0.99)
+        assert 0.0 <= p50 <= p99 <= float(10 * RESERVOIR_SIZE - 1)
+
+    def test_merge_summary_weights_by_count(self):
+        left = Histogram("merge")
+        for value in (1.0, 3.0):
+            left.observe(value)
+        right = Histogram("other")
+        for value in (5.0, 7.0, 9.0):
+            right.observe(value)
+        left.merge_summary(right.snapshot())
+        snap = left.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(25.0)
+        assert snap["mean"] == pytest.approx(5.0)
+        assert snap["min"] == 1.0 and snap["max"] == 9.0
+        assert left.quantile(0.5) == 5.0
+
+    def test_merge_summary_derives_sum_from_mean(self):
+        hist = Histogram("legacy")
+        hist.merge_summary({"count": 4, "mean": 2.5, "min": 1.0, "max": 4.0})
+        snap = hist.snapshot()
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["count"] == 4
+
+    def test_merge_summary_empty_is_noop(self):
+        hist = Histogram("noop")
+        hist.merge_summary({"count": 0})
+        hist.merge_summary({})
+        assert hist.snapshot()["count"] == 0
+
+    def test_merged_reservoir_feeds_prometheus_quantiles(self):
+        registry = MetricsRegistry()
+        worker = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            worker.histogram("unit.seconds").observe(value)
+        registry.merge_snapshot(worker.snapshot())
+        text = scrape(registry)
+        assert 'repro_unit_seconds{quantile="0.5"} 2.0' in text
+
+    def test_nan_sum_renders_nan_not_crash(self):
+        text = render_prometheus(
+            {"histograms": {"odd": {
+                "count": 1, "sum": float("nan"), "min": None, "max": None,
+                "p50": None, "p95": None, "p99": None,
+            }}}
+        )
+        assert "repro_odd_sum NaN" in text
+        assert 'repro_odd{quantile="0.5"} NaN' in text
+        assert not math.isnan(text.count("NaN"))  # sanity: parses as text

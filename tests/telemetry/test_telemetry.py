@@ -73,6 +73,7 @@ class TestMetricsRegistry:
         hist = reg.histogram("sizes").snapshot()
         assert hist == {
             "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "p50": 1.0, "p95": 3.0, "p99": 3.0, "samples": [1.0, 3.0],
         }
 
     def test_counter_value_defaults_to_zero(self):
