@@ -1,18 +1,23 @@
 """Sweep-engine acceleration benchmark: before/after the propagator
-cache, batched U-axis execution, and parallel surveys.
+cache, batched U-axis execution, the vectorized grid engine, and
+parallel surveys.
 
-Runs the coarse-grid Table 1 survey in three configurations —
+Runs the coarse-grid Table 1 survey in four configurations —
 
 1. ``baseline``: propagator cache disabled, scalar per-point execution
    (the pre-acceleration engine),
-2. ``cache+batch``: both accelerations on, one process (``jobs=1``),
-3. ``jobs2``: same, fanned over two worker processes —
+2. ``cache+batch``: propagator cache + U-axis batching, grid engine
+   off — the PR-2 configuration,
+3. ``vectorized_grid``: the array-first grid engine (stacked
+   ``(R_def, U)`` tile solves), the default configuration,
+4. ``jobs2``: the default fanned over two worker processes —
 
-asserts the three inventories are identical, and writes the timings,
-speedups, and cache hit rates to ``benchmarks/BENCH_sweep.json``.  The
-acceptance bar from the issue (cache + batching alone at least 5x over
-the baseline) is asserted with slack for machine noise at 3x; the
-recorded JSON carries the actual number.
+asserts the four inventories are identical, and writes the timings,
+speedups, cache hit rates, and grid fallback counts to
+``benchmarks/BENCH_sweep.json``.  Two acceptance bars are asserted
+with slack for machine noise: cache + batching at least 3x over the
+baseline (issue bar 5x), and the grid engine at least 4x over
+cache + batching (the issue bar, measured ~5-6x).
 """
 
 import json
@@ -46,56 +51,95 @@ def _counter(name):
     return telemetry.get_metrics().counter_value(name)
 
 
+_CACHE_COUNTERS = ("solver.propagator_hits", "solver.propagator_misses")
+_GRID_COUNTERS = (
+    "solver.ensemble_hits", "solver.ensemble_misses",
+    "solver.grid_settles", "column.grid_forks", "column.grid_demotions",
+    "analyzer.batch_fallbacks", "analyzer.grid_prefix_reuses",
+)
+
+
 def _timed(**kwargs):
     """Time one configuration; cache stats come from the telemetry
     counters (the bench session enables telemetry), which
     :func:`repro.parallel.parallel_map` also merges back from worker
     processes — so the numbers are correct for any ``jobs``."""
     propagator_cache_clear()
-    before = (_counter("solver.propagator_hits"),
-              _counter("solver.propagator_misses"))
+    before = {
+        name: _counter(name) for name in _CACHE_COUNTERS + _GRID_COUNTERS
+    }
     start = time.perf_counter()
     result = run_table1(**_GRID, **kwargs)
     elapsed = time.perf_counter() - start
-    hits = _counter("solver.propagator_hits") - before[0]
-    misses = _counter("solver.propagator_misses") - before[1]
+    delta = {
+        name: _counter(name) - before[name]
+        for name in _CACHE_COUNTERS + _GRID_COUNTERS
+    }
+    hits = delta["solver.propagator_hits"]
+    misses = delta["solver.propagator_misses"]
     total = hits + misses
-    return _inventory(result), elapsed, {
+    stats = {
         "propagator_hits": hits,
         "propagator_misses": misses,
         "propagator_hit_ratio": round(hits / total, 4) if total else None,
+        "ensemble_hits": delta["solver.ensemble_hits"],
+        "ensemble_misses": delta["solver.ensemble_misses"],
+        "grid_settles": delta["solver.grid_settles"],
+        "grid_forks": delta["column.grid_forks"],
+        "grid_fallback_members": delta["column.grid_demotions"],
+        "batch_fallbacks": delta["analyzer.batch_fallbacks"],
+        "grid_prefix_reuses": delta["analyzer.grid_prefix_reuses"],
     }
+    return _inventory(result), elapsed, stats
 
 
 def test_bench_sweep(benchmark):
     # 1. Baseline: no propagator cache, scalar execution.
     propagator_cache_configure(enabled=False)
     try:
-        inv_base, t_base, _ = _timed(batch_u=False)
+        inv_base, t_base, _ = _timed(batch_u=False, grid_engine=False)
     finally:
         propagator_cache_configure(enabled=True)
 
-    # 2. Cache + batching, single process (the >=5x acceptance config).
-    inv_fast, t_fast, cache_fast = _timed()
+    # 2. Cache + batching without the grid engine (the PR-2 engine).
+    inv_batch, t_batch, cache_batch = _timed(grid_engine=False)
 
-    # 3. Same plus process fan-out.
+    # 3. The vectorized grid engine (the default configuration).
+    inv_grid, t_grid, cache_grid = _timed()
+
+    # 4. Same plus process fan-out.
     inv_jobs, t_jobs, cache_jobs = _timed(jobs=2)
 
-    assert inv_fast == inv_base, "acceleration changed the inventory"
+    assert inv_batch == inv_base, "batching changed the inventory"
+    assert inv_grid == inv_base, "the grid engine changed the inventory"
     assert inv_jobs == inv_base, "parallel fan-out changed the inventory"
-    speedup = t_base / t_fast
-    # Issue bar: >=5x from cache+batching alone; assert with noise slack.
-    assert speedup >= 3.0, f"cache+batch speedup collapsed to {speedup:.1f}x"
+    speedup_batch = t_base / t_batch
+    # Issue bar (PR 2): >=5x from cache+batching; assert with noise slack.
+    assert speedup_batch >= 3.0, (
+        f"cache+batch speedup collapsed to {speedup_batch:.1f}x"
+    )
+    speedup_grid_vs_batch = t_batch / t_grid
+    # Issue bar (this PR): the grid engine >=4x over the PR-2 engine.
+    assert speedup_grid_vs_batch >= 4.0, (
+        f"grid-engine speedup collapsed to {speedup_grid_vs_batch:.1f}x "
+        f"over cache+batch"
+    )
 
     payload = {
         "grid": _GRID,
         "rows": len(inv_base),
         "baseline_seconds": round(t_base, 3),
-        "cache_batch_jobs1_seconds": round(t_fast, 3),
+        "cache_batch_jobs1_seconds": round(t_batch, 3),
+        "vectorized_grid_seconds": round(t_grid, 3),
         "jobs2_seconds": round(t_jobs, 3),
-        "speedup_cache_batch_jobs1": round(speedup, 2),
+        "speedup_cache_batch_jobs1": round(speedup_batch, 2),
+        "speedup_vectorized_grid": round(t_base / t_grid, 2),
+        "speedup_vectorized_grid_vs_cache_batch": round(
+            speedup_grid_vs_batch, 2
+        ),
         "speedup_jobs2": round(t_base / t_jobs, 2),
-        "cache_batch_jobs1": cache_fast,
+        "cache_batch_jobs1": cache_batch,
+        "vectorized_grid": cache_grid,
         "jobs2": cache_jobs,
         "inventories_identical": True,
     }

@@ -44,7 +44,7 @@ import math
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,10 +56,15 @@ __all__ = [
     "GuardPolicy",
     "GuardConfig",
     "Network",
+    "NetworkEnsemble",
+    "GridResult",
     "PropagatorCacheInfo",
     "propagator_cache_info",
     "propagator_cache_clear",
     "propagator_cache_configure",
+    "ensemble_cache_info",
+    "ensemble_cache_clear",
+    "ensemble_cache_configure",
     "solver_guards_configure",
     "solver_guards_info",
 ]
@@ -162,7 +167,10 @@ def solver_guards_info() -> GuardConfig:
 #: Test/chaos seam: when set, called as ``hook(v_t, info)`` on every solve
 #: result *before* the guard checks, and may return a corrupted array —
 #: this is how ``repro.inject`` proves the guards fire.  ``info`` carries
-#: ``{"batch": bool, "n_nodes": int, "n_lanes": int}``.
+#: ``{"batch": bool, "n_nodes": int, "n_lanes": int}``; grid solves add
+#: ``{"grid": True, "member": int, "member_r": float}`` and call the hook
+#: once per ensemble member with that member's ``(n_nodes, n_lanes)``
+#: block.
 _FAULT_HOOK: Optional[Callable[[np.ndarray, dict], np.ndarray]] = None
 
 
@@ -188,6 +196,7 @@ class PropagatorCacheInfo(NamedTuple):
     misses: int
     maxsize: Optional[int]
     currsize: int
+    evictions: int = 0
 
 
 class _PropagatorCache:
@@ -199,7 +208,13 @@ class _PropagatorCache:
     insertion order, process, or warm-up history produced the entry.
     """
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        hit_counter: str = "solver.propagator_hits",
+        miss_counter: str = "solver.propagator_misses",
+        eviction_counter: str = "solver.propagator_evictions",
+    ) -> None:
         self._data: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = (
             OrderedDict()
         )
@@ -207,6 +222,10 @@ class _PropagatorCache:
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._hit_counter = hit_counter
+        self._miss_counter = miss_counter
+        self._eviction_counter = eviction_counter
 
     def lookup(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         if not self.enabled:
@@ -214,11 +233,11 @@ class _PropagatorCache:
         value = self._data.get(key)
         if value is None:
             self.misses += 1
-            telemetry.count("solver.propagator_misses")
+            telemetry.count(self._miss_counter)
             return None
         self._data.move_to_end(key)
         self.hits += 1
-        telemetry.count("solver.propagator_hits")
+        telemetry.count(self._hit_counter)
         return value
 
     def store(self, key: tuple, value: Tuple[np.ndarray, np.ndarray]) -> None:
@@ -226,21 +245,27 @@ class _PropagatorCache:
             return
         while len(self._data) >= self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
+            telemetry.count(self._eviction_counter)
         self._data[key] = value
 
     def evict(self, key: tuple) -> None:
         """Drop one entry (no-op if absent); used when a guard trips."""
-        self._data.pop(key, None)
+        if self._data.pop(key, None) is not None:
+            self.evictions += 1
+            telemetry.count(self._eviction_counter)
 
     def info(self) -> PropagatorCacheInfo:
         return PropagatorCacheInfo(
-            self.hits, self.misses, self.maxsize, len(self._data)
+            self.hits, self.misses, self.maxsize, len(self._data),
+            self.evictions,
         )
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def configure(
         self,
@@ -253,11 +278,24 @@ class _PropagatorCache:
             self.maxsize = maxsize
             while len(self._data) > maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
         if enabled is not None:
             self.enabled = bool(enabled)
 
 
 _PROPAGATORS = _PropagatorCache()
+
+#: Stacked ``(Phi, phi)`` blocks for whole ensembles, keyed by the shared
+#: topology plus the tuple of per-member configurations.  Entries are
+#: assembled *through* the scalar cache (see
+#: :meth:`NetworkEnsemble._propagators`), so the two caches can never
+#: disagree on a member's propagator bits.
+_ENSEMBLES = _PropagatorCache(
+    maxsize=1024,
+    hit_counter="solver.ensemble_hits",
+    miss_counter="solver.ensemble_misses",
+    eviction_counter="solver.ensemble_evictions",
+)
 
 
 def propagator_cache_info() -> PropagatorCacheInfo:
@@ -266,8 +304,14 @@ def propagator_cache_info() -> PropagatorCacheInfo:
 
 
 def propagator_cache_clear() -> None:
-    """Drop every cached propagator and zero the statistics."""
+    """Drop every cached propagator and zero the statistics.
+
+    Also drops the ensemble (stacked-propagator) cache: its entries are
+    assembled from scalar-cache values, and timing comparisons expect a
+    single "cold" switch.
+    """
     _PROPAGATORS.clear()
+    _ENSEMBLES.clear()
 
 
 def propagator_cache_configure(
@@ -278,6 +322,23 @@ def propagator_cache_configure(
     Disabling does not drop existing entries; re-enabling reuses them.
     """
     _PROPAGATORS.configure(maxsize=maxsize, enabled=enabled)
+
+
+def ensemble_cache_info() -> PropagatorCacheInfo:
+    """Hit/miss/size statistics of the stacked-propagator ensemble cache."""
+    return _ENSEMBLES.info()
+
+
+def ensemble_cache_clear() -> None:
+    """Drop every cached ensemble propagator stack and zero the statistics."""
+    _ENSEMBLES.clear()
+
+
+def ensemble_cache_configure(
+    maxsize: Optional[int] = None, enabled: Optional[bool] = None
+) -> None:
+    """Resize or enable/disable the ensemble cache (for tests/benchmarks)."""
+    _ENSEMBLES.configure(maxsize=maxsize, enabled=enabled)
 
 
 class Network:
@@ -395,8 +456,12 @@ class Network:
         return (len(self._names), tuple(self._caps), edges, drivers, duration)
 
     @staticmethod
-    def _compute_propagator(key: tuple) -> Tuple[np.ndarray, np.ndarray]:
-        """Build ``(Phi, phi)`` from a phase signature (a pure function)."""
+    def _augmented_matrix(key: tuple) -> np.ndarray:
+        """The scaled ``(n+1, n+1)`` augmented system matrix of a signature.
+
+        Shared by the scalar and ensemble engines so both exponentiate
+        byte-identical inputs.
+        """
         n, caps, edges, drivers, duration = key
         g = np.zeros((n, n))
         s = np.zeros(n)
@@ -429,7 +494,13 @@ class Network:
         aug = np.zeros((n + 1, n + 1))
         aug[:n, :n] = a * duration
         aug[:n, n] = b * duration
-        exp = _expm(aug)
+        return aug
+
+    @staticmethod
+    def _compute_propagator(key: tuple) -> Tuple[np.ndarray, np.ndarray]:
+        """Build ``(Phi, phi)`` from a phase signature (a pure function)."""
+        n = key[0]
+        exp = _expm(Network._augmented_matrix(key))
         phi = exp[:n, :n].copy()
         offset = exp[:n, n].copy()
         phi.setflags(write=False)
@@ -467,20 +538,23 @@ class Network:
     # -- guard rails ---------------------------------------------------------------
 
     def _apply_once(
-        self, duration: float, v0: np.ndarray, batch: bool
+        self,
+        duration: float,
+        v0: np.ndarray,
+        batch: bool,
+        lanes: Optional[Tuple[int, ...]] = None,
     ) -> np.ndarray:
         """One propagator application, routed through the fault-hook seam."""
         phi, offset = self._propagator(duration)
         v_t = phi @ v0 + (offset if v0.ndim == 1 else offset[:, None])
         if _FAULT_HOOK is not None:
-            lanes = 1 if v0.ndim == 1 else v0.shape[1]
-            v_t = np.asarray(
-                _FAULT_HOOK(
-                    v_t,
-                    {"batch": batch, "n_nodes": v0.shape[0], "n_lanes": lanes},
-                ),
-                dtype=float,
-            )
+            n_lanes = 1 if v0.ndim == 1 else v0.shape[1]
+            info = {"batch": batch, "n_nodes": v0.shape[0], "n_lanes": n_lanes}
+            if lanes is not None:
+                # A forked sub-batch carries only some of the caller's
+                # lanes; advertise the original indices for targeting.
+                info["lanes"] = lanes
+            v_t = np.asarray(_FAULT_HOOK(v_t, info), dtype=float)
         return v_t
 
     def _check_result(
@@ -549,11 +623,15 @@ class Network:
         return v
 
     def _guarded_apply(
-        self, duration: float, v0: np.ndarray, batch: bool
+        self,
+        duration: float,
+        v0: np.ndarray,
+        batch: bool,
+        lanes: Optional[Tuple[int, ...]] = None,
     ) -> np.ndarray:
         guards = _GUARDS
         try:
-            v_t = self._apply_once(duration, v0, batch)
+            v_t = self._apply_once(duration, v0, batch, lanes)
         except SolverDivergenceError as err:
             self._on_trip(err.guard, duration)
             if guards.policy is GuardPolicy.FALLBACK:
@@ -594,7 +672,12 @@ class Network:
         self._volts = [float(x) for x in v_t]
         return self.voltages()
 
-    def run_batch(self, duration: float, v0_matrix) -> np.ndarray:
+    def run_batch(
+        self,
+        duration: float,
+        v0_matrix,
+        lanes: Optional[Tuple[int, ...]] = None,
+    ) -> np.ndarray:
         """Advance many initial states through one phase in lock-step.
 
         ``v0_matrix`` has one row per node and one column per batch lane;
@@ -602,6 +685,10 @@ class Network:
         left untouched: batch state lives with the caller.  One propagator
         lookup serves the whole batch — the U axis of a sweep costs a
         single matrix-matrix product instead of one solve per lane.
+
+        ``lanes`` optionally names the caller-side lane index behind each
+        column (a forked sub-batch passes the original lane indices); it
+        only feeds the fault-injection hook's targeting info.
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
@@ -619,7 +706,7 @@ class Network:
         if not self._edges and not self._drivers:
             telemetry.count("solver.floating_skips")
             return v0
-        return self._guarded_apply(duration, v0, batch=True)
+        return self._guarded_apply(duration, v0, batch=True, lanes=lanes)
 
     def steady_state_then(self, duration: float) -> Dict[str, float]:
         """Alias of :meth:`run` kept for API symmetry/readability."""
@@ -662,3 +749,583 @@ def _expm(m: np.ndarray) -> np.ndarray:
         np.matmul(result, result, out=buf)
         result, buf = buf, result
     return result
+
+
+def _expm_stack(ms: np.ndarray) -> np.ndarray:
+    """Matrix exponentials of a ``(N, n, n)`` stack, slice-for-slice
+    bit-identical to ``[_expm(m) for m in ms]``.
+
+    Scaling, the Taylor recurrence, and the convergence test are all
+    elementwise or slice-local, so running them on the stacked array
+    performs the exact same float operations per slice as the scalar
+    routine — members just march in lock-step.  Each member keeps its own
+    scaling exponent and its own break decision: converged members stop
+    accumulating into their result (mirroring the scalar early ``break``)
+    while the rest continue, and the squaring loop re-squares each member
+    exactly ``squarings`` times via boolean masks.
+    """
+    ms = np.asarray(ms, dtype=float)
+    count, n = ms.shape[0], ms.shape[1]
+    if count == 0:
+        return np.empty_like(ms)
+    # Per-slice infinity norm: max absolute row sum, same reduction
+    # np.linalg.norm(m, ord=inf) performs.
+    norms = np.abs(ms).sum(axis=2).max(axis=1)
+    squarings = np.zeros(count, dtype=int)
+    for i, norm in enumerate(norms):
+        if norm > 0:
+            squarings[i] = max(0, int(math.ceil(math.log2(norm))) + 1)
+    scaled = ms / (2.0 ** squarings)[:, None, None]
+    eye = np.eye(n)
+    result = np.broadcast_to(eye, ms.shape).copy()
+    term = result.copy()
+    result_norm_ub = np.ones(count)
+    # norm == 0 slices are exactly the identity: never active, never added.
+    active = norms > 0
+    for k in range(1, 18):
+        if not active.any():
+            break
+        term = np.matmul(term, scaled)
+        term /= k
+        result[active] += term[active]
+        term_norm = np.abs(term).sum(axis=2).max(axis=1)
+        result_norm_ub[active] += term_norm[active]
+        result_norm = np.abs(result).sum(axis=2).max(axis=1)
+        converged = (term_norm < 1e-16 * result_norm_ub) & (
+            term_norm < 1e-16 * result_norm
+        )
+        active &= ~converged
+    max_squarings = int(squarings.max())
+    for step in range(max_squarings):
+        needs = squarings > step
+        sub = result[needs]
+        result[needs] = np.matmul(sub, sub)
+    return result
+
+
+class GridResult(NamedTuple):
+    """Result of :meth:`NetworkEnsemble.run_grid`/``run_grid_blocks``.
+
+    ``voltages`` is the full ``(n_members, n_nodes, n_lanes)`` stack
+    (from :meth:`~NetworkEnsemble.run_grid`) or the list of per-member
+    ``(n_nodes, n_lanes_m)`` blocks (from
+    :meth:`~NetworkEnsemble.run_grid_blocks`).  Members listed in
+    ``tripped`` (member index → guard name) hold unusable values and
+    must be discarded: the ensemble never recovers a member in place —
+    it reports the trip and lets the caller demote the member to the
+    scalar path, which stays the bit-exact oracle (including its
+    FALLBACK substep recovery).
+    """
+
+    voltages: Any
+    tripped: Dict[int, str]
+
+
+class NetworkEnsemble:
+    """``N`` same-topology networks differing only in a few resistances.
+
+    Wraps a host :class:`Network` (the topology and capacitance donor)
+    and stacks ``n_members`` phase configurations: resistors and drivers
+    common to every member are declared once with
+    :meth:`connect`/:meth:`drive`, member-specific ones (the defect
+    resistance, per-member sense-amp rails) with
+    :meth:`connect_member`/:meth:`drive_member`.
+
+    :meth:`run_grid` advances every member's ``(n_nodes, n_lanes)`` state
+    block through one phase with a single stacked matmul.  Member
+    propagators are resolved *through* the scalar propagator cache — the
+    grid and scalar engines share one source of truth and therefore stay
+    bit-identical — and the assembled ``(N, n, n)`` stack is memoized in
+    the ensemble cache (:func:`ensemble_cache_info`).  Members whose
+    propagators all miss are exponentiated together via
+    :func:`_expm_stack`.
+    """
+
+    def __init__(
+        self, host: Network, n_members: int, member_meta=None,
+        member_lanes: Optional[Sequence[Tuple[int, ...]]] = None,
+    ) -> None:
+        if n_members < 0:
+            raise ValueError("n_members must be non-negative")
+        if member_meta is not None and len(member_meta) != n_members:
+            raise ValueError("member_meta must have one entry per member")
+        if member_lanes is not None and len(member_lanes) != n_members:
+            raise ValueError("member_lanes must have one entry per member")
+        self._host = host
+        self.n_members = int(n_members)
+        #: Opaque per-member values surfaced to the fault hook as
+        #: ``info["member_r"]`` (the grid engine passes defect R values).
+        self._member_meta = member_meta
+        #: Per-member original lane indices surfaced to the fault hook as
+        #: ``info["lanes"]`` — the grid engine forks members by sense-amp
+        #: state, so a member's columns are a *subset* of the sweep's U
+        #: lanes and injectors need the mapping to target one point.
+        self._member_lanes = member_lanes
+        self._shared_edges: List[Tuple[int, int, float]] = []
+        self._shared_drivers: List[Tuple[int, float, float]] = []
+        self._member_edges: List[List[Tuple[int, int, float]]] = [
+            [] for _ in range(self.n_members)
+        ]
+        self._member_drivers: List[List[Tuple[int, float, float]]] = [
+            [] for _ in range(self.n_members)
+        ]
+        # Per-instance propagator memo: a caller that replays the same
+        # (frozen) configuration skips even the signature computation.
+        # Any mutation invalidates it (and the guard-hull cache below).
+        self._prop_memo: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        self._volt_hull: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # -- per-phase configuration ----------------------------------------------
+
+    def connect(self, a, b, r: float) -> None:
+        """Join two nodes with a resistor in *every* member."""
+        edge = self._make_edge(a, b, r)
+        if edge is not None:
+            self._shared_edges.append(edge)
+            self._prop_memo.clear()
+            self._volt_hull = None
+
+    def drive(self, node, v: float, r: float) -> None:
+        """Attach a driver to *every* member."""
+        drv = self._make_driver(node, v, r)
+        if drv is not None:
+            self._shared_drivers.append(drv)
+            self._prop_memo.clear()
+            self._volt_hull = None
+
+    def connect_member(self, member: int, a, b, r: float) -> None:
+        """Join two nodes with a resistor in one member only."""
+        edge = self._make_edge(a, b, r)
+        if edge is not None:
+            self._member_edges[member].append(edge)
+            self._prop_memo.clear()
+            self._volt_hull = None
+
+    def drive_member(self, member: int, node, v: float, r: float) -> None:
+        """Attach a driver to one member only."""
+        drv = self._make_driver(node, v, r)
+        if drv is not None:
+            self._member_drivers[member].append(drv)
+            self._prop_memo.clear()
+            self._volt_hull = None
+
+    def clear_phase(self) -> None:
+        """Remove all shared and member resistors/drivers."""
+        self._shared_edges.clear()
+        self._shared_drivers.clear()
+        for edges in self._member_edges:
+            edges.clear()
+        for drivers in self._member_drivers:
+            drivers.clear()
+        self._prop_memo.clear()
+        self._volt_hull = None
+
+    def _make_edge(self, a, b, r: float) -> Optional[Tuple[int, int, float]]:
+        # Same semantics as Network.connect: OPEN is a no-op, small r is
+        # clamped — the member signatures must match what a merged scalar
+        # Network would produce.
+        ia, ib = self._host._resolve(a), self._host._resolve(b)
+        if ia == ib:
+            raise ValueError("cannot connect a node to itself")
+        if not math.isfinite(r):
+            return None
+        return (ia, ib, max(r, _R_MIN))
+
+    def _make_driver(self, node, v: float, r: float) -> Optional[Tuple[int, float, float]]:
+        if not math.isfinite(r):
+            return None
+        return (self._host._resolve(node), float(v), max(r, _R_MIN))
+
+    # -- propagators ----------------------------------------------------------
+
+    def _member_key(self, member: int, duration: float) -> tuple:
+        """The *scalar* phase signature of one member's merged config.
+
+        Identical to what :meth:`Network._phase_signature` would return
+        for a Network configured with this member's shared + specific
+        edges/drivers — this is the coherence contract with the scalar
+        cache.
+        """
+        edges = tuple(
+            sorted(
+                (ia, ib, r) if ia < ib else (ib, ia, r)
+                for ia, ib, r in self._shared_edges + self._member_edges[member]
+            )
+        )
+        drivers = tuple(
+            sorted(self._shared_drivers + self._member_drivers[member])
+        )
+        host = self._host
+        return (len(host._names), tuple(host._caps), edges, drivers, duration)
+
+    def _signature(self, duration: float) -> tuple:
+        """Canonical key of the whole ensemble configuration.
+
+        The tuple of member signatures pins down the ensemble exactly
+        (every edge/driver appears in its member's merged key), and
+        sharing the member-key form lets :meth:`_propagators` reuse the
+        per-member sorting work instead of doing it twice on a miss.
+        """
+        return (self._member_keys(duration),)
+
+    def _member_keys(self, duration: float) -> tuple:
+        """All members' scalar signatures with the shared parts hoisted."""
+        host = self._host
+        nn = len(host._names)
+        caps = tuple(host._caps)
+        shared_e = self._shared_edges
+        shared_d = self._shared_drivers
+        keys = []
+        for edges_m, drivers_m in zip(self._member_edges, self._member_drivers):
+            edges = tuple(
+                sorted(
+                    (ia, ib, r) if ia < ib else (ib, ia, r)
+                    for ia, ib, r in shared_e + edges_m
+                )
+            )
+            drivers = tuple(sorted(shared_d + drivers_m))
+            keys.append((nn, caps, edges, drivers, duration))
+        return tuple(keys)
+
+    def _propagators(
+        self, duration: float
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[int, str]]:
+        """``(Phi_stack, phi_stack, bad)`` for the current configuration.
+
+        ``bad`` maps members whose freshly computed propagator came out
+        non-finite (they must be demoted; their stack rows are zeroed so
+        they cannot poison the batched matmul).  Cache coherence: member
+        values are first looked up in the scalar cache; misses are
+        computed (stacked when several miss at once) and stored back, so
+        a scalar solve of the same phase later hits the identical bits.
+        """
+        memo = self._prop_memo.get(duration)
+        if memo is not None:
+            return memo[0], memo[1], {}
+        member_keys = self._member_keys(duration)
+        key = (member_keys,)
+        cached = _ENSEMBLES.lookup(key)
+        if cached is not None:
+            phis, offs = cached
+            self._prop_memo[duration] = (phis, offs)
+            return phis, offs, {}
+        values: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        missing: List[int] = []
+        for m, mkey in enumerate(member_keys):
+            value = _PROPAGATORS.lookup(mkey)
+            values.append(value)
+            if value is None:
+                missing.append(m)
+        if len(missing) == 1:
+            # A lone miss goes through the scalar builder verbatim.
+            m = missing[0]
+            values[m] = Network._compute_propagator(member_keys[m])
+        elif missing:
+            n = len(self._host._names)
+            augs = np.stack(
+                [Network._augmented_matrix(member_keys[m]) for m in missing]
+            )
+            exps = _expm_stack(augs)
+            for j, m in enumerate(missing):
+                phi = exps[j, :n, :n].copy()
+                offset = exps[j, :n, n].copy()
+                phi.setflags(write=False)
+                offset.setflags(write=False)
+                values[m] = (phi, offset)
+        bad: Dict[int, str] = {}
+        all_finite = True
+        for m in missing:
+            phi, offset = values[m]
+            if np.isfinite(phi).all() and np.isfinite(offset).all():
+                # Same never-cache-non-finite rule as Network._propagator.
+                _PROPAGATORS.store(member_keys[m], values[m])
+            else:
+                all_finite = False
+                if _GUARDS.nan_checks:
+                    bad[m] = "nan"
+                    n = len(self._host._names)
+                    values[m] = (np.zeros((n, n)), np.zeros(n))
+        phis = np.stack([value[0] for value in values])
+        offs = np.stack([value[1] for value in values])
+        phis.setflags(write=False)
+        offs.setflags(write=False)
+        if all_finite:
+            _ENSEMBLES.store(key, (phis, offs))
+            self._prop_memo[duration] = (phis, offs)
+        return phis, offs, bad
+
+    # -- simulation -----------------------------------------------------------
+
+    def run_grid(self, duration: float, v0_stack) -> GridResult:
+        """Advance all members' state blocks through one phase at once.
+
+        ``v0_stack`` has shape ``(n_members, n_nodes, n_lanes)``.  The
+        result block of every member is bit-identical to what
+        :meth:`Network.run_batch` would produce for that member's merged
+        configuration (and therefore label-identical to per-lane
+        :meth:`Network.run`).  Guard rails are evaluated per member;
+        tripping members are reported in :attr:`GridResult.tripped`
+        rather than raising, so one pathological point never serializes
+        its tile.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        v0 = np.array(v0_stack, dtype=float)
+        n = len(self._host._names)
+        if v0.ndim != 3 or v0.shape[0] != self.n_members or v0.shape[1] != n:
+            raise ValueError(
+                "v0_stack must be (n_members, n_nodes, n_lanes); got "
+                f"{v0.shape} for {self.n_members} members x {n} nodes"
+            )
+        if self.n_members == 0 or n == 0 or duration == 0:
+            return GridResult(v0, {})
+        out, tripped = self._advance_stack(duration, v0)
+        return GridResult(np.asarray(out), tripped)
+
+    def run_grid_blocks(self, duration: float, blocks) -> GridResult:
+        """Ragged twin of :meth:`run_grid`: one ``(n_nodes, L_m)`` block
+        per member, lane counts free to differ.
+
+        This is the entry point the grid engine uses after forking
+        members by sense-amp state — each fork carries only the lanes
+        that agree on the latch decision.  Per member the math is the
+        identical ``Phi @ V0 + phi`` matrix product, so results stay
+        bit-identical to :meth:`Network.run_batch` on the same columns.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        n = len(self._host._names)
+        # asarray, not array: callers hand over freshly gathered blocks, so
+        # copying every phase would only burn the hot path.  (A fully
+        # floating phase returns the input blocks unchanged.)
+        vs = [np.asarray(b, dtype=float) for b in blocks]
+        if len(vs) != self.n_members:
+            raise ValueError(
+                f"{len(vs)} blocks for {self.n_members} members"
+            )
+        for b in vs:
+            if b.ndim != 2 or b.shape[0] != n:
+                raise ValueError(
+                    f"each block must be (n_nodes, n_lanes); got {b.shape} "
+                    f"for {n} nodes"
+                )
+        if self.n_members == 0 or n == 0 or duration == 0:
+            return GridResult(vs, {})
+        if len({b.shape[1] for b in vs}) == 1:
+            out3, tripped = self._advance_stack(duration, np.stack(vs))
+            return GridResult(list(out3), tripped)
+        out, tripped = self._advance_blocks(duration, vs)
+        return GridResult(out, tripped)
+
+    def run_grid_array(self, duration: float, v0_stack: np.ndarray) -> GridResult:
+        """Hot twin of :meth:`run_grid`: takes the ``(M, n, L)`` stack as-is
+        (possibly a strided view of the caller's point pool) and returns the
+        advanced stack without copies or per-block validation.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.n_members == 0 or v0_stack.size == 0 or duration == 0:
+            return GridResult(v0_stack, {})
+        out, tripped = self._advance_stack(duration, v0_stack)
+        return GridResult(out, tripped)
+
+    def _advance_stack(
+        self, duration: float, v0_stack: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[int, str]]:
+        """Same-width core: one batched matmul over the ``(M, n, L)`` stack.
+
+        np.matmul on a 3-D stack runs the identical GEMM per slice, so the
+        bits match per-member 2-D products (and therefore
+        :meth:`Network.run_batch`) exactly.
+        """
+        host = self._host
+        n = len(host._names)
+        n_members = self.n_members
+        if telemetry.enabled():
+            telemetry.count("solver.grid_settles")
+            telemetry.count("solver.grid_member_settles", n_members)
+            telemetry.observe(
+                "solver.grid_lanes", n_members * v0_stack.shape[2]
+            )
+        if not self._has_config():
+            # Fully floating phase: every node holds its charge exactly.
+            telemetry.count("solver.floating_skips")
+            return v0_stack, {}
+        phis, offs, bad = self._propagators(duration)
+        out = np.matmul(phis, v0_stack) + offs[:, :, None]
+        if _FAULT_HOOK is not None:
+            for m in range(n_members):
+                if m in bad:
+                    continue
+                info = {
+                    "batch": True,
+                    "grid": True,
+                    "member": m,
+                    "n_nodes": n,
+                    "n_lanes": v0_stack.shape[2],
+                }
+                if self._member_meta is not None:
+                    info["member_r"] = self._member_meta[m]
+                if self._member_lanes is not None:
+                    info["lanes"] = self._member_lanes[m]
+                out[m] = np.asarray(_FAULT_HOOK(out[m], info), dtype=float)
+        tripped: Dict[int, str] = {}
+        for m, guard in bad.items():
+            tripped[m] = guard
+            self._count_trip(guard)
+        if not _GUARDS.nan_checks:
+            return out, tripped
+        # Batched guard checks: the same NaN/rail decisions
+        # Network._check_result makes, one reduction pass for the stack.
+        margin = _GUARDS.rail_margin
+        # Per-(member, lane) extrema carry everything the guards need:
+        # NaN/±Inf propagate into min/max, so finiteness can be read off
+        # them without a separate isfinite pass over the whole stack, and
+        # the rail hull comparison is per lane anyway.
+        omn = out.min(axis=1)
+        omx = out.max(axis=1)
+        finite = np.isfinite(omn).all(axis=1) & np.isfinite(omx).all(axis=1)
+        vlo, vhi = self._driver_hull()
+        lo = np.minimum(v0_stack.min(axis=1), vlo[:, None])
+        hi = np.maximum(v0_stack.max(axis=1), vhi[:, None])
+        # NaN comparisons are False either way; `finite` catches those.
+        railed = ((omn < lo - margin) | (omx > hi + margin)).any(axis=1)
+        if finite.all() and not railed.any():
+            return out, tripped
+        evicted_ensemble = False
+        for m in range(n_members):
+            if m in tripped:
+                continue
+            if not finite[m]:
+                guard = "nan"
+            elif railed[m]:
+                guard = "rail"
+            else:
+                continue
+            tripped[m] = guard
+            self._count_trip(guard)
+            # Never leave the propagator behind a tripped solve cached —
+            # neither the member's scalar entry nor the stacked block.
+            _PROPAGATORS.evict(self._member_key(m, duration))
+            if not evicted_ensemble:
+                evicted_ensemble = True
+                _ENSEMBLES.evict(self._signature(duration))
+                self._prop_memo.pop(duration, None)
+        return out, tripped
+
+    def _advance_blocks(
+        self, duration: float, v0_blocks: List[np.ndarray]
+    ) -> Tuple[List[np.ndarray], Dict[int, str]]:
+        """Ragged core of :meth:`run_grid_blocks`: lane counts differ, so
+        each member gets its own 2-D matrix product."""
+        host = self._host
+        n = len(host._names)
+        if telemetry.enabled():
+            telemetry.count("solver.grid_settles")
+            telemetry.count("solver.grid_member_settles", self.n_members)
+            telemetry.observe(
+                "solver.grid_lanes", sum(b.shape[1] for b in v0_blocks)
+            )
+        if not self._has_config():
+            # Fully floating phase: every node holds its charge exactly.
+            telemetry.count("solver.floating_skips")
+            return v0_blocks, {}
+        phis, offs, bad = self._propagators(duration)
+        v_t = [
+            phis[m] @ v0_blocks[m] + offs[m][:, None]
+            for m in range(self.n_members)
+        ]
+        if _FAULT_HOOK is not None:
+            for m in range(self.n_members):
+                if m in bad:
+                    continue
+                info = {
+                    "batch": True,
+                    "grid": True,
+                    "member": m,
+                    "n_nodes": n,
+                    "n_lanes": v0_blocks[m].shape[1],
+                }
+                if self._member_meta is not None:
+                    info["member_r"] = self._member_meta[m]
+                if self._member_lanes is not None:
+                    info["lanes"] = self._member_lanes[m]
+                v_t[m] = np.asarray(_FAULT_HOOK(v_t[m], info), dtype=float)
+        tripped: Dict[int, str] = {}
+        for m, guard in bad.items():
+            tripped[m] = guard
+            self._count_trip(guard)
+        if not _GUARDS.nan_checks:
+            return v_t, tripped
+        # Per-member guard checks: the same NaN/rail decisions
+        # Network._check_result makes.
+        margin = _GUARDS.rail_margin
+        guards: List[Optional[str]] = []
+        shared_v = [v for _, v, _ in self._shared_drivers]
+        for m in range(self.n_members):
+            if m in tripped:
+                guards.append(None)
+                continue
+            block = v_t[m]
+            if not np.isfinite(block).all():
+                guards.append("nan")
+                continue
+            lo = v0_blocks[m].min(axis=0)
+            hi = v0_blocks[m].max(axis=0)
+            volts = shared_v + [v for _, v, _ in self._member_drivers[m]]
+            if volts:
+                lo = np.minimum(lo, min(volts))
+                hi = np.maximum(hi, max(volts))
+            if (
+                (block < (lo - margin)[None, :]).any()
+                or (block > (hi + margin)[None, :]).any()
+            ):
+                guards.append("rail")
+            else:
+                guards.append(None)
+        evicted_ensemble = False
+        for m, guard in enumerate(guards):
+            if guard is None or m in tripped:
+                continue
+            tripped[m] = guard
+            self._count_trip(guard)
+            # Never leave the propagator behind a tripped solve cached —
+            # neither the member's scalar entry nor the stacked block.
+            _PROPAGATORS.evict(self._member_key(m, duration))
+            if not evicted_ensemble:
+                evicted_ensemble = True
+                _ENSEMBLES.evict(self._signature(duration))
+                self._prop_memo.pop(duration, None)
+        return v_t, tripped
+
+    def _driver_hull(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-member (min, max) driver voltages, cached until a mutation.
+
+        Members without any driver get ``(+inf, -inf)`` so they extend no
+        hull at all.
+        """
+        hull = self._volt_hull
+        if hull is None:
+            shared_v = [v for _, v, _ in self._shared_drivers]
+            vlo = np.full(self.n_members, np.inf)
+            vhi = np.full(self.n_members, -np.inf)
+            for m, drivers in enumerate(self._member_drivers):
+                volts = shared_v + [v for _, v, _ in drivers]
+                if volts:
+                    vlo[m] = min(volts)
+                    vhi[m] = max(volts)
+            hull = self._volt_hull = (vlo, vhi)
+        return hull
+
+    def _has_config(self) -> bool:
+        return bool(
+            self._shared_edges
+            or self._shared_drivers
+            or any(self._member_edges)
+            or any(self._member_drivers)
+        )
+
+    @staticmethod
+    def _count_trip(guard: str) -> None:
+        telemetry.count("solver.guard_trips")
+        telemetry.count(f"solver.guard_{guard}")

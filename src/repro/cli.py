@@ -117,29 +117,30 @@ from .telemetry import events as event_log
 from .telemetry import profiled
 
 #: Experiment runners; each takes the ``--jobs`` worker count, the
-#: resilience configuration and the guard options (the experiments
-#: without a parallel fan-out / solver surface simply ignore them) and
-#: returns the experiment's result object (``.report`` carries the
-#: rendered output).
-_EXPERIMENTS: Dict[str, Callable[[int, object, object, bool], object]] = {
-    "fig3": lambda jobs, res, gp, mg: fig3.run_fig3(
+#: resilience configuration, the guard options and the grid-engine
+#: switch (the experiments without a parallel fan-out / solver surface
+#: simply ignore them) and returns the experiment's result object
+#: (``.report`` carries the rendered output).
+_EXPERIMENTS: Dict[str, Callable[[int, object, object, bool, bool], object]] = {
+    "fig3": lambda jobs, res, gp, mg, ge: fig3.run_fig3(
+        jobs=jobs, resilience=res, guard_policy=gp, grid_engine=ge
+    ),
+    "fig4": lambda jobs, res, gp, mg, ge: fig4.run_fig4(
+        jobs=jobs, resilience=res, guard_policy=gp, grid_engine=ge
+    ),
+    "table1": lambda jobs, res, gp, mg, ge: table1.run_table1(
+        jobs=jobs, resilience=res, guard_policy=gp, check_marginal=mg,
+        grid_engine=ge,
+    ),
+    "fp-space": lambda jobs, res, gp, mg, ge: fp_space.run_fp_space(),
+    "march": lambda jobs, res, gp, mg, ge: march_pf.run_march_pf(
         jobs=jobs, resilience=res, guard_policy=gp
     ),
-    "fig4": lambda jobs, res, gp, mg: fig4.run_fig4(
-        jobs=jobs, resilience=res, guard_policy=gp
-    ),
-    "table1": lambda jobs, res, gp, mg: table1.run_table1(
-        jobs=jobs, resilience=res, guard_policy=gp, check_marginal=mg
-    ),
-    "fp-space": lambda jobs, res, gp, mg: fp_space.run_fp_space(),
-    "march": lambda jobs, res, gp, mg: march_pf.run_march_pf(
-        jobs=jobs, resilience=res, guard_policy=gp
-    ),
-    "ablation": lambda jobs, res, gp, mg: ablation.run_ablation(),
-    "bridges": lambda jobs, res, gp, mg: bridges.run_bridges(),
-    "retention": lambda jobs, res, gp, mg: retention.run_retention(),
-    "escapes": lambda jobs, res, gp, mg: escapes.run_escapes(),
-    "diagnosis": lambda jobs, res, gp, mg: diagnosis.run_diagnosis(),
+    "ablation": lambda jobs, res, gp, mg, ge: ablation.run_ablation(),
+    "bridges": lambda jobs, res, gp, mg, ge: bridges.run_bridges(),
+    "retention": lambda jobs, res, gp, mg, ge: retention.run_retention(),
+    "escapes": lambda jobs, res, gp, mg, ge: escapes.run_escapes(),
+    "diagnosis": lambda jobs, res, gp, mg, ge: diagnosis.run_diagnosis(),
 }
 
 #: Experiments with a worker-process fan-out: ``--jobs`` and the
@@ -149,6 +150,11 @@ _FANNED = frozenset({"fig3", "fig4", "table1", "march"})
 #: Experiments whose runners accept ``--guard-policy`` (the rest never
 #: touch the analog solver, or only through these).
 _GUARDED = frozenset({"fig3", "fig4", "table1", "march"})
+
+#: Experiments whose sweeps route through the vectorized grid engine
+#: (``--no-grid-engine`` applies to these; march stays per-point because
+#: its early-exit detection is data-dependent per grid point).
+_GRIDDED = frozenset({"fig3", "fig4", "table1"})
 
 
 def _derived_metrics(registry: telemetry.MetricsRegistry) -> Dict[str, object]:
@@ -660,6 +666,13 @@ def main(argv=None) -> int:
         "floating-voltage jitter and flag classification flips "
         "(table1 only; other experiments print a notice)",
     )
+    parser.add_argument(
+        "--no-grid-engine",
+        action="store_true",
+        help="disable the vectorized (R_def, U) grid solver and run the "
+        "scalar/U-batch path instead (ablation/debug; the output is "
+        "identical, see docs/PERFORMANCE.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -741,10 +754,18 @@ def main(argv=None) -> int:
                     "--check-marginal applies to table1 only"
                 )
                 print()
+            if args.no_grid_engine and name not in _GRIDDED:
+                print(
+                    f"[note] {name} does not use the grid engine; "
+                    "--no-grid-engine is ignored (gridded experiments: "
+                    + ", ".join(sorted(_GRIDDED)) + ")"
+                )
+                print()
             start = time.perf_counter()
             result = _EXPERIMENTS[name](
                 args.jobs, resilience if name in _FANNED else None,
                 guard_policy, args.check_marginal,
+                not args.no_grid_engine,
             )
             elapsed = time.perf_counter() - start
             report = getattr(result, "report", result)

@@ -31,14 +31,17 @@ from __future__ import annotations
 
 import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import telemetry
-from ..circuit.column import BatchDivergence, ColumnBatch, DRAMColumn
+from ..circuit.column import BatchDivergence, ColumnBatch, DRAMColumn, GridBatch
+from ..circuit.wordline import WordLineGate
 from ..circuit.defects import FloatingNode, OpenDefect, OpenLocation, floating_nodes
+from ..circuit import network as circuit_network
 from ..circuit.network import GuardPolicy, solver_guards_configure, solver_guards_info
 from ..circuit.technology import Technology, default_technology
 from ..errors import SolverDivergenceError, SpecValidationError
@@ -67,6 +70,13 @@ PROBE_SOSES: Tuple[str, ...] = ("0", "1", "0w0", "0w1", "1w0", "1w1", "0r0", "1r
 #: voltages for a batch.  This is how targeted fault injectors
 #: (``repro.inject``) hit one specific grid point.
 _CURRENT_POINT: Optional[Dict] = None
+
+#: Bounds of the per-analyzer grid prefix memo: how many tiles keep a
+#: live template batch, and how many step-prefix snapshots each retains.
+#: A snapshot is one pool-sized float matrix (a few KB), so the worst
+#: case stays around a megabyte per analyzer.
+_PREFIX_TILES = 8
+_PREFIX_SNAPS = 160
 
 
 def current_operating_point() -> Optional[Dict]:
@@ -360,6 +370,7 @@ class ColumnFaultAnalyzer:
         grid: Optional[SweepGrid] = None,
         max_cache_entries: Optional[int] = None,
         batch_u: bool = True,
+        grid_engine: bool = True,
         guard_policy: Optional[GuardPolicy] = None,
     ) -> None:
         if n_rows < 2:
@@ -368,6 +379,7 @@ class ColumnFaultAnalyzer:
             raise ValueError("max_cache_entries must be positive or None")
         self.location = location
         self.batch_u = batch_u
+        self.grid_engine = grid_engine
         self.technology = technology or default_technology()
         self.n_rows = n_rows
         self.victim_row = victim_row
@@ -385,6 +397,21 @@ class ColumnFaultAnalyzer:
         if guard_policy is not None:
             solver_guards_configure(policy=guard_policy)
         self.quarantined: List[QuarantinedPoint] = []
+        # Shared across every GridBatch this analyzer creates: phase plans
+        # and pool layouts recur across operation sequences, so later
+        # tiles reuse the ensembles (and propagators) built by earlier
+        # ones.  Safe because the keys are content-addressed and the
+        # analyzer's column topology/technology is fixed.
+        self._grid_ens_cache: Dict[tuple, object] = {}
+        self._grid_plan_cache: Dict[tuple, object] = {}
+        # Tile-state memo for the completion search: candidate operation
+        # sequences share long prefixes (probe ops + partial extensions),
+        # so the pool state after each executed prefix is snapshotted and
+        # later candidates resume from the longest cached prefix instead
+        # of replaying it.  Keyed by everything that determines execution
+        # from scratch (tile, presets, floating set, init mode); bounded
+        # FIFO on both tiles and prefixes per tile.
+        self._grid_prefix_cache: "OrderedDict[tuple, dict]" = OrderedDict()
 
     def _effective_policy(self) -> GuardPolicy:
         if self.guard_policy is not None:
@@ -590,6 +617,326 @@ class ColumnFaultAnalyzer:
             for i in range(len(u_values))
         ]
 
+    def _grid_supported(self, floating: Tuple[FloatingNode, ...]) -> bool:
+        """Whether the vectorized grid engine may execute this sweep."""
+        return self.batch_u and self.grid_engine
+
+    def _wordline_grid(self, floating: Tuple[FloatingNode, ...]) -> bool:
+        """Whether this sweep needs per-point word-line gate tracking.
+
+        Word-line opens put the defect resistance inside the nonlinear
+        gate dynamics, and the swept ``U`` initializes the gate itself:
+        every ``(R_def, U)`` point has its own gate trajectory.  The grid
+        engine then makes each point a width-1 ensemble member carrying a
+        private :class:`~repro.circuit.wordline.WordLineGate` instead of
+        stacking one member per ``R_def``.
+        """
+        return (
+            self.location is OpenLocation.WORD_LINE
+            or FloatingNode.WORD_LINE in floating
+        )
+
+    def _execute_grid(
+        self, sos: SOS, r_values: Sequence[float],
+        u_values: Sequence[float], floating: Tuple[FloatingNode, ...],
+    ) -> Tuple[Dict[int, List[Tuple[int, Optional[int]]]], Dict[int, str]]:
+        """Run one SOS over a whole ``(R_def, U)`` tile in lock-step.
+
+        Returns ``(outcomes, demoted)``: ``outcomes`` maps each surviving
+        member index (position in ``r_values``) to its per-lane ``(F, R)``
+        list; ``demoted`` maps members the grid could not finish (lane
+        disagreement on the sense-amp decision, solver guard trips) to the
+        demotion reason — the caller re-runs those per point through the
+        scalar oracle.
+        """
+        global _CURRENT_POINT
+        _CURRENT_POINT = {
+            "location": self.location, "grid": True,
+            "r_def": tuple(r_values), "u": tuple(u_values),
+        }
+        try:
+            return self._execute_grid_inner(sos, r_values, u_values, floating)
+        finally:
+            _CURRENT_POINT = None
+
+    def _execute_grid_inner(
+        self, sos: SOS, r_values: Sequence[float],
+        u_values: Sequence[float], floating: Tuple[FloatingNode, ...],
+    ) -> Tuple[Dict[int, List[Tuple[int, Optional[int]]]], Dict[int, str]]:
+        telemetry.count("analyzer.grid_tiles")
+        init_via_write = FloatingNode.CELL in floating
+        data = self._preset_data(sos, init_via_write)
+        wl_grid = self._wordline_grid(floating)
+        # The state-mutating step list: victim init writes (when the cell
+        # itself floats), then the operations; an empty sequence still
+        # runs one precharge cycle like the scalar column does.
+        steps: List[tuple] = []
+        if init_via_write:
+            for init in sos.inits:
+                if init.cell == VICTIM:
+                    steps.append(("w", self.victim_row, init.value, False))
+        if not sos.ops and not steps:
+            steps.append(("pc",))
+        for op in sos.ops:
+            row = self._row_of(op.cell)
+            if op.is_write:
+                steps.append(("w", row, op.value, False))
+            else:
+                steps.append(("r", row, op.cell == VICTIM))
+        # An installed fault hook targets individual solves, so replayed
+        # prefixes would dodge (or double-take) injections: bypass the
+        # memo entirely and execute from scratch.
+        hook_active = circuit_network._FAULT_HOOK is not None
+        base_key = (
+            tuple(float(r) for r in r_values),
+            tuple(float(u) for u in u_values),
+            floating, tuple(sorted(data.items())), init_via_write,
+        )
+        entry = (
+            None if hook_active else self._grid_prefix_cache.get(base_key)
+        )
+        last_victim_read: Optional[Tuple[List[int], np.ndarray]] = None
+        if entry is not None:
+            batch = entry["batch"]
+            gate_row = entry["gate_row"]
+            self._grid_prefix_cache.move_to_end(base_key)
+            # Resume from the longest snapshotted prefix of the step list
+            # (possibly all of it, when the same SOS recurs on the tile).
+            start_k, snap = 0, entry["snap0"]
+            snaps = entry["snaps"]
+            for k in range(len(steps), 0, -1):
+                hit = snaps.get(tuple(steps[:k]))
+                if hit is not None:
+                    start_k, snap = k, hit
+                    snaps.move_to_end(tuple(steps[:k]))
+                    break
+            batch.restore(snap[0])
+            last_victim_read = snap[1]
+            telemetry.count("analyzer.grid_prefix_reuses")
+            telemetry.count("analyzer.grid_prefix_steps_skipped", start_k)
+        else:
+            column = self.make_column(r_values[0])
+            gate_row = (
+                column.defect.row
+                if wl_grid and column.defect is not None else None
+            )
+            # The initial states depend on U (and the presets) but not on
+            # R_def, so one lane stack serves every member.
+            lanes = []
+            gate_inits: List[float] = []
+            for u in u_values:
+                column.reset(data)
+                for node in floating:
+                    column.set_floating_voltage(node, u)
+                lanes.append(column.net.state_vector())
+                if gate_row is not None:
+                    gate_inits.append(column.gate_voltage(gate_row))
+            column.reset(data)
+            if gate_row is not None:
+                # Word-line grid: the gate trajectory depends on both R_def
+                # (charging resistance) and U (initial gate charge), so every
+                # point becomes its own width-1 member with a private gate.
+                t = column.tech
+                n_u = len(u_values)
+                member_r = tuple(float(r) for r in r_values for _ in u_values)
+                states = np.stack(
+                    [lanes[j] for _ in r_values for j in range(n_u)]
+                )[:, :, None]
+                member_gates = [
+                    {gate_row: WordLineGate(
+                        t.c_wl_gate, float(r), gate_inits[j],
+                    )}
+                    for r in r_values for j in range(n_u)
+                ]
+                point_lanes = [[j] for _ in r_values for j in range(n_u)]
+                batch = GridBatch(
+                    column, member_r, states,
+                    member_gates=member_gates, point_lanes=point_lanes,
+                    ens_cache=self._grid_ens_cache,
+                    plan_cache=self._grid_plan_cache,
+                )
+            else:
+                batch = GridBatch(
+                    column, tuple(r_values), np.stack(lanes, axis=1),
+                    ens_cache=self._grid_ens_cache,
+                    plan_cache=self._grid_plan_cache,
+                )
+            start_k = 0
+            if not hook_active:
+                entry = {
+                    "batch": batch, "gate_row": gate_row,
+                    "snap0": (batch.snapshot(), None),
+                    "snaps": OrderedDict(),
+                }
+                self._grid_prefix_cache[base_key] = entry
+                while len(self._grid_prefix_cache) > _PREFIX_TILES:
+                    self._grid_prefix_cache.popitem(last=False)
+        store_snaps = entry is not None
+        for i in range(start_k, len(steps)):
+            step = steps[i]
+            if step[0] == "w":
+                batch.write(step[1], step[2])
+            elif step[0] == "r":
+                result = batch.read(step[1])
+                if step[2]:
+                    last_victim_read = (batch.active_members, result)
+            else:
+                batch.precharge_cycle()
+            if store_snaps:
+                if batch.demoted:
+                    # The pool shrank: snapshots no longer line up with
+                    # the batch, and the batch itself is no longer a
+                    # valid template.  Drop the tile entry after the run.
+                    store_snaps = False
+                else:
+                    snaps = entry["snaps"]
+                    snaps[tuple(steps[:i + 1])] = (
+                        batch.snapshot(), last_victim_read,
+                    )
+                    while len(snaps) > _PREFIX_SNAPS:
+                        snaps.popitem(last=False)
+        if entry is not None and batch.demoted:
+            self._grid_prefix_cache.pop(base_key, None)
+        faulty = batch.logical_states(self.victim_row)
+        read_of: Dict[int, np.ndarray] = {}
+        if sos.ends_in_read and last_victim_read is not None:
+            members_at_read, reads = last_victim_read
+            read_of = {m: reads[j] for j, m in enumerate(members_at_read)}
+        outcomes: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+        if gate_row is not None:
+            # Width-1 members: member i*n_u + j holds point (r_i, u_j).
+            # The caller's contract is per-R rows, so a row is returned
+            # only when every one of its points survived; a row with any
+            # demoted point re-runs scalar as a whole (guard trips only,
+            # and the scalar re-run re-applies quarantine per point).
+            n_u = len(u_values)
+            point_f = {
+                m: int(faulty[j][0])
+                for j, m in enumerate(batch.active_members)
+            }
+            demoted_rows: Dict[int, str] = {}
+            for i in range(len(r_values)):
+                members = [i * n_u + j for j in range(n_u)]
+                if all(m in point_f for m in members):
+                    outcomes[i] = [
+                        (
+                            point_f[m],
+                            int(read_of[m][0]) if sos.ends_in_read else None,
+                        )
+                        for m in members
+                    ]
+                else:
+                    reasons = [
+                        batch.demoted[m] for m in members
+                        if m in batch.demoted
+                    ]
+                    demoted_rows[i] = reasons[0] if reasons else "divergence"
+            telemetry.count(
+                "analyzer.sos_executions", len(outcomes) * len(u_values)
+            )
+            return outcomes, demoted_rows
+        for j, member in enumerate(batch.active_members):
+            reads_row = read_of.get(member) if sos.ends_in_read else None
+            outcomes[member] = [
+                (
+                    int(faulty[j][k]),
+                    int(reads_row[k]) if reads_row is not None else None,
+                )
+                for k in range(len(u_values))
+            ]
+        # Counted on success only, per surviving member: demoted members
+        # re-run scalar, and the scalar path does its own counting (keeps
+        # executions == misses).
+        telemetry.count(
+            "analyzer.sos_executions", batch.n_members * len(u_values)
+        )
+        return outcomes, dict(batch.demoted)
+
+    def observe_grid(
+        self, sos: SOS, r_values: Sequence[float],
+        u_values: Sequence[float], floating,
+    ) -> List[List[Observation]]:
+        """Observations for a whole ``(R_def, U)`` tile, one row per ``R``.
+
+        Rows with no cache-resident point are executed together as one
+        :class:`~repro.circuit.column.GridBatch` (stacked propagators, one
+        matmul per phase for the entire tile); rows with cache hits, and
+        sweeps the grid engine cannot take (word-line dynamics), go
+        through :meth:`observe_batch` per row.  Members the grid demotes
+        re-run per point through the scalar oracle with unchanged
+        guard/quarantine semantics — results are identical either way,
+        the grid is purely an execution strategy.
+        """
+        floating = _as_nodes(floating)
+        r_values = tuple(r_values)
+        u_values = tuple(u_values)
+        full_miss: List[int] = []
+        if self._grid_supported(floating) and u_values:
+            for i, r in enumerate(r_values):
+                if all(
+                    self._cache.get((sos, r, u, floating)) is None
+                    for u in u_values
+                ):
+                    full_miss.append(i)
+        outcomes: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+        demoted: Dict[int, str] = {}
+        member_of: Dict[int, int] = {}
+        # A single full-miss row is only worth an ensemble when the
+        # alternative is per-point scalar execution (word-line dynamics);
+        # otherwise ColumnBatch already covers it with less overhead.
+        if len(full_miss) > 1 or (full_miss and self._wordline_grid(floating)):
+            member_of = {row: m for m, row in enumerate(full_miss)}
+            outcomes, demoted = self._execute_grid(
+                sos, [r_values[i] for i in full_miss], u_values, floating
+            )
+        rows: List[List[Observation]] = []
+        for i, r in enumerate(r_values):
+            member = member_of.get(i)
+            if member is None:
+                rows.append(list(self.observe_batch(
+                    sos, r, u_values, floating
+                )))
+                continue
+            if member in outcomes:
+                lane_outcomes: List = outcomes[member]
+            else:
+                reason = demoted.get(member, "divergence")
+                telemetry.count("analyzer.batch_fallbacks")
+                telemetry.count("analyzer.grid_demotions")
+                telemetry.count(
+                    "analyzer.grid_fallback_points", len(u_values)
+                )
+                if reason == "guard":
+                    telemetry.count("solver.guard_batch_fallbacks")
+                lane_outcomes = []
+                for u in u_values:
+                    try:
+                        lane_outcomes.append(
+                            self._execute_scalar(sos, r, u, floating)
+                        )
+                    except SolverDivergenceError as err:
+                        if (
+                            self._effective_policy()
+                            is not GuardPolicy.QUARANTINE
+                        ):
+                            raise
+                        lane_outcomes.append(err)
+            row_obs: List[Observation] = []
+            for j, u in enumerate(u_values):
+                telemetry.count("analyzer.observe_calls")
+                self._cache_misses += 1
+                telemetry.count("analyzer.cache_misses")
+                outcome = lane_outcomes[j]
+                if isinstance(outcome, SolverDivergenceError):
+                    obs = self._quarantine(sos, r, u, floating, outcome)
+                else:
+                    faulty_value, read_value = outcome
+                    obs = self._classify(sos, faulty_value, read_value)
+                self._cache_store((sos, r, u, floating), obs)
+                row_obs.append(obs)
+            rows.append(row_obs)
+        return rows
+
     def _quarantine(
         self, sos: SOS, r_def: float, u: float,
         floating: Tuple[FloatingNode, ...], err: SolverDivergenceError,
@@ -690,6 +1037,7 @@ class ColumnFaultAnalyzer:
                 if self._effective_policy() is not GuardPolicy.QUARANTINE:
                     raise
                 telemetry.count("analyzer.batch_fallbacks")
+                telemetry.count("solver.guard_batch_fallbacks")
                 outcomes = None
         if outcomes is None:
             outcomes = []
@@ -741,12 +1089,33 @@ class ColumnFaultAnalyzer:
                 return obs.fp
             return obs.ffm if obs.ffm is not None else obs.fp.to_string()
 
-        rows = []
-        for r in grid.r_values:
-            telemetry.count("analyzer.grid_points", len(grid.u_values))
-            column = self.observe_batch(sos, r, grid.u_values, floating)
-            rows.append(tuple(label_of(obs) for obs in column))
-        return FPRegionMap(grid.r_values, grid.u_values, tuple(rows))
+        telemetry.count(
+            "analyzer.grid_points", len(grid.r_values) * len(grid.u_values)
+        )
+        tile = self.observe_grid(
+            sos, grid.r_values, grid.u_values, floating
+        )
+        rows = tuple(
+            tuple(label_of(obs) for obs in column) for column in tile
+        )
+        return FPRegionMap(grid.r_values, grid.u_values, rows)
+
+    def region_map_grid(
+        self,
+        sos: SOS,
+        floating,
+        grid: Optional[SweepGrid] = None,
+        label: str = "ffm",
+    ) -> FPRegionMap:
+        """Explicit alias of :meth:`region_map`.
+
+        :meth:`region_map` already routes whole tiles through the
+        vectorized grid engine whenever the sweep supports it (see
+        :meth:`observe_grid`); this name exists so callers can state the
+        intent — and so ``grid_engine=False`` analyzers keep a scalar
+        :meth:`region_map` while tools probing the engine call this.
+        """
+        return self.region_map(sos, floating, grid=grid, label=label)
 
     # -- marginal-point detection ---------------------------------------------
 

@@ -64,6 +64,7 @@ def run_fig3(
     n_r: int = 16,
     n_u: int = 12,
     jobs: int = 1,
+    grid_engine: bool = True,
     resilience=None,
     guard_policy: Optional[GuardPolicy] = None,
 ) -> Fig3Result:
@@ -77,6 +78,8 @@ def run_fig3(
     ``guard_policy`` selects the solver-guard reaction per grid point;
     under ``GuardPolicy.QUARANTINE`` diverging points land in the maps
     as ``QUARANTINED`` labels and in the report's ``[guards]`` block.
+    ``grid_engine=False`` disables the stacked ``(R_def, U)`` tile
+    solver (scalar/batch fallback path) — the maps are identical.
     """
     grid = default_grid_for(OpenLocation.BL_PRECHARGE_CELLS, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
@@ -85,7 +88,7 @@ def run_fig3(
 
         spec = AnalyzerSpec(
             OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid,
-            guard_policy=guard_policy,
+            grid_engine=grid_engine, guard_policy=guard_policy,
         )
         partial_map, completed_map = parallel_map(
             region_map_unit,
@@ -107,7 +110,7 @@ def run_fig3(
     else:
         analyzer = ColumnFaultAnalyzer(
             OpenLocation.BL_PRECHARGE_CELLS, technology=technology, grid=grid,
-            guard_policy=guard_policy,
+            grid_engine=grid_engine, guard_policy=guard_policy,
         )
         partial_map = analyzer.region_map(
             parse_sos("1r1"), FloatingNode.BIT_LINE

@@ -66,6 +66,7 @@ def run_fig4(
     n_r: int = 20,
     n_u: int = 12,
     jobs: int = 1,
+    grid_engine: bool = True,
     resilience=None,
     guard_policy: Optional[GuardPolicy] = None,
 ) -> Fig4Result:
@@ -79,6 +80,8 @@ def run_fig4(
     ``guard_policy`` selects the solver-guard reaction per grid point;
     under ``GuardPolicy.QUARANTINE`` diverging points land in the maps
     as ``QUARANTINED`` labels and in the report's ``[guards]`` block.
+    ``grid_engine=False`` disables the stacked ``(R_def, U)`` tile
+    solver (scalar/batch fallback path) — the maps are identical.
     """
     grid = default_grid_for(OpenLocation.CELL, n_r=n_r, n_u=n_u)
     completed_fp = parse_fp(COMPLETED_FP_TEXT)
@@ -87,7 +90,7 @@ def run_fig4(
 
         spec = AnalyzerSpec(
             OpenLocation.CELL, technology=technology, grid=grid,
-            guard_policy=guard_policy,
+            grid_engine=grid_engine, guard_policy=guard_policy,
         )
         partial_map, completed_map = parallel_map(
             region_map_unit,
@@ -109,7 +112,7 @@ def run_fig4(
     else:
         analyzer = ColumnFaultAnalyzer(
             OpenLocation.CELL, technology=technology, grid=grid,
-            guard_policy=guard_policy,
+            grid_engine=grid_engine, guard_policy=guard_policy,
         )
         partial_map = analyzer.region_map(parse_sos("0r0"), FloatingNode.CELL)
         completed_map = analyzer.region_map(

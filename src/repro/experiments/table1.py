@@ -154,6 +154,7 @@ def run_table1(
     max_extra_ops: int = 3,
     jobs: int = 1,
     batch_u: bool = True,
+    grid_engine: bool = True,
     resilience=None,
     guard_policy: Optional[GuardPolicy] = None,
     check_marginal: bool = False,
@@ -166,6 +167,8 @@ def run_table1(
     in-process loop).  ``batch_u=False`` forces scalar per-point SOS
     execution (the pre-batching behaviour, kept for benchmarks and
     ablations) — the inventory is identical either way.
+    ``grid_engine=False`` keeps U-axis batching but disables the
+    stacked ``(R_def, U)`` tile solver, again with identical output.
 
     ``resilience`` (a :class:`repro.parallel.Resilience`) turns on unit
     retry/timeout/fallback recovery and, with a checkpoint store,
@@ -184,7 +187,7 @@ def run_table1(
     if jobs > 1 or resilience is not None:
         return _run_table1_parallel(
             locations, technology, n_r, n_u, max_extra_ops, jobs, batch_u,
-            resilience, guard_policy, check_marginal,
+            grid_engine, resilience, guard_policy, check_marginal,
         )
     rows: List[InventoryRow] = []
     quarantined: List[QuarantinedPoint] = []
@@ -194,6 +197,7 @@ def run_table1(
             technology=technology,
             grid=default_grid_for(location, n_r=n_r, n_u=n_u),
             batch_u=batch_u,
+            grid_engine=grid_engine,
             guard_policy=guard_policy,
         )
         seen: set = set()
@@ -255,6 +259,7 @@ def _run_table1_parallel(
     max_extra_ops: int,
     jobs: int,
     batch_u: bool = True,
+    grid_engine: bool = True,
     resilience=None,
     guard_policy: Optional[GuardPolicy] = None,
     check_marginal: bool = False,
@@ -277,7 +282,8 @@ def _run_table1_parallel(
 
     outcome = survey_locations(
         locations, jobs=jobs, technology=technology, n_r=n_r, n_u=n_u,
-        batch_u=batch_u, resilience=resilience, guard_policy=guard_policy,
+        batch_u=batch_u, grid_engine=grid_engine, resilience=resilience,
+        guard_policy=guard_policy,
     )
     kept: List = []
     for location in locations:
@@ -297,6 +303,7 @@ def _run_table1_parallel(
                 technology=technology,
                 grid=default_grid_for(location, n_r=n_r, n_u=n_u),
                 batch_u=batch_u,
+                grid_engine=grid_engine,
                 guard_policy=guard_policy,
             ),
             finding,
@@ -331,6 +338,7 @@ def _run_table1_parallel(
                     technology=technology,
                     grid=default_grid_for(location, n_r=n_r, n_u=n_u),
                     batch_u=batch_u,
+                    grid_engine=grid_engine,
                     guard_policy=guard_policy,
                 )
                 analyzers[location] = analyzer

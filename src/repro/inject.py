@@ -160,10 +160,33 @@ class SolverNaNInjector(_HookInjector):
         if point is None:
             return []
         r_target, u_target = self.target
-        if point["r_def"] != r_target:
+        if point.get("grid"):
+            # A grid solve calls the hook once per ensemble member with
+            # that member's (n_nodes, n_lanes) block; the member's defect
+            # resistance rides in the hook info (matching by member index
+            # would break once demotions renumber the stack).  Forked
+            # members carry only a subset of the U lanes, advertised as
+            # original lane indices in info["lanes"].
+            if info.get("member_r") != r_target:
+                return []
+            u = point["u"]
+            lanes = info.get("lanes")
+            if lanes is not None and isinstance(u, tuple):
+                return [
+                    j for j, lane in enumerate(lanes)
+                    if u[lane] == u_target
+                ]
+        elif point["r_def"] != r_target:
             return []
         u = point["u"]
         if isinstance(u, tuple):
+            lanes = info.get("lanes")
+            if lanes is not None:
+                # A forked sub-batch: its columns are a lane subset.
+                return [
+                    j for j, lane in enumerate(lanes)
+                    if u[lane] == u_target
+                ]
             return [i for i, value in enumerate(u) if value == u_target]
         return [0] if u == u_target else []
 

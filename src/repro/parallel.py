@@ -170,6 +170,7 @@ class AnalyzerSpec:
     victim_row: int = 0
     grid: Optional[SweepGrid] = None
     batch_u: bool = True
+    grid_engine: bool = True
     guard_policy: Optional[GuardPolicy] = None
 
     def build(self) -> ColumnFaultAnalyzer:
@@ -180,6 +181,7 @@ class AnalyzerSpec:
             victim_row=self.victim_row,
             grid=self.grid,
             batch_u=self.batch_u,
+            grid_engine=self.grid_engine,
             guard_policy=self.guard_policy,
         )
 
@@ -906,6 +908,7 @@ def survey_locations(
     n_u: int = 12,
     probes: Optional[Sequence[str]] = None,
     batch_u: bool = True,
+    grid_engine: bool = True,
     resilience: Optional[Resilience] = None,
     guard_policy: Optional[GuardPolicy] = None,
 ) -> SurveyOutcome:
@@ -939,6 +942,7 @@ def survey_locations(
             technology=technology,
             grid=default_grid_for(location, n_r=n_r, n_u=n_u),
             batch_u=batch_u,
+            grid_engine=grid_engine,
             guard_policy=guard_policy,
         ).validate()
         for location in locations

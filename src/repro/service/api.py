@@ -51,6 +51,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__, telemetry
+from ..circuit.network import ensemble_cache_info, propagator_cache_info
 from ..errors import QueueFullError, SpecValidationError
 from ..parallel import RetryPolicy
 from ..telemetry import exposition
@@ -68,6 +69,29 @@ _SSE = "text/event-stream; charset=utf-8"
 #: enough that a vanished client is detected (write -> BrokenPipeError)
 #: before it ties up a handler thread for long.
 _SSE_KEEPALIVE = 15.0
+
+
+def _merge_cache_stats(snapshot: Dict[str, Any]) -> None:
+    """Fold the solver cache statistics into a metrics snapshot.
+
+    The propagator and ensemble caches keep authoritative lifetime
+    statistics of their own (counted whether or not telemetry was
+    enabled around a solve), so ``/metrics`` reads them at scrape time
+    instead of relying on the ``solver.propagator_*`` event counters.
+    Monotonic counts land under ``counters`` (rendered as Prometheus
+    ``counter``), the sizes under ``gauges``.
+    """
+    counters = snapshot.setdefault("counters", {})
+    gauges = snapshot.setdefault("gauges", {})
+    for prefix, info in (
+        ("solver.propagator_cache", propagator_cache_info()),
+        ("solver.ensemble_cache", ensemble_cache_info()),
+    ):
+        counters[f"{prefix}.hits"] = info.hits
+        counters[f"{prefix}.misses"] = info.misses
+        counters[f"{prefix}.evictions"] = info.evictions
+        gauges[f"{prefix}.currsize"] = info.currsize
+        gauges[f"{prefix}.maxsize"] = info.maxsize
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -182,6 +206,7 @@ class _Handler(BaseHTTPRequestHandler):
             or "openmetrics" in accept
         )
         snapshot = telemetry.get_metrics().snapshot()
+        _merge_cache_stats(snapshot)
         if wants_text:
             self._send_text(
                 200,

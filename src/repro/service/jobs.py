@@ -11,9 +11,10 @@ submissions with the same address are the same computation, so the
 queue coalesces them into one job and the result store serves repeats
 without recomputation (``docs/SERVICE.md``).
 
-Execution *hints* — ``jobs`` (worker-process count) and ``batch_u`` —
-are deliberately **excluded** from the address: the fan-out and the
-batched U-axis are bit-identical to their serial/scalar twins (see
+Execution *hints* — ``jobs`` (worker-process count), ``batch_u`` and
+``grid_engine`` — are deliberately **excluded** from the address: the
+fan-out, the batched U-axis and the stacked ``(R_def, U)`` grid solver
+are bit-identical to their serial/scalar twins (see
 ``docs/PERFORMANCE.md``), so a 1-worker and an 8-worker submission of
 the same sweep rightly dedupe to one result.
 
@@ -85,6 +86,7 @@ def _run_table1(spec: "JobSpec", resilience: Any) -> Any:
         max_extra_ops=spec.resolved_max_extra_ops(),
         jobs=spec.jobs,
         batch_u=spec.batch_u,
+        grid_engine=spec.grid_engine,
         resilience=resilience,
         guard_policy=spec.resolved_guard_policy(),
         check_marginal=spec.check_marginal,
@@ -98,6 +100,7 @@ def _run_fig3(spec: "JobSpec", resilience: Any) -> Any:
         n_r=spec.resolved_n_r(),
         n_u=spec.resolved_n_u(),
         jobs=spec.jobs,
+        grid_engine=spec.grid_engine,
         resilience=resilience,
         guard_policy=spec.resolved_guard_policy(),
     )
@@ -110,6 +113,7 @@ def _run_fig4(spec: "JobSpec", resilience: Any) -> Any:
         n_r=spec.resolved_n_r(),
         n_u=spec.resolved_n_u(),
         jobs=spec.jobs,
+        grid_engine=spec.grid_engine,
         resilience=resilience,
         guard_policy=spec.resolved_guard_policy(),
     )
@@ -198,6 +202,7 @@ class JobSpec:
     #: therefore NOT part of the content address.
     jobs: int = 1
     batch_u: bool = True
+    grid_engine: bool = True
 
     # -- validation ------------------------------------------------------------
 
@@ -324,7 +329,8 @@ class JobSpec:
     def canonical(self) -> Dict[str, Any]:
         """The computation identity: every result-shaping field, resolved.
 
-        Execution hints (``jobs``, ``batch_u``) are absent by design;
+        Execution hints (``jobs``, ``batch_u``, ``grid_engine``) are
+        absent by design;
         grids appear as their point-exact signatures.
         """
         profile = self.profile()
@@ -362,6 +368,7 @@ class JobSpec:
             "check_marginal": self.check_marginal,
             "jobs": self.jobs,
             "batch_u": self.batch_u,
+            "grid_engine": self.grid_engine,
         }
 
     @classmethod
@@ -373,6 +380,7 @@ class JobSpec:
         known = {
             "experiment", "opens", "n_r", "n_u", "max_extra_ops",
             "guard_policy", "check_marginal", "jobs", "batch_u",
+            "grid_engine",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -403,6 +411,7 @@ class JobSpec:
             check_marginal=bool(data.get("check_marginal", False)),
             jobs=data.get("jobs", 1),
             batch_u=bool(data.get("batch_u", True)),
+            grid_engine=bool(data.get("grid_engine", True)),
         )
         return spec.validate()
 

@@ -200,6 +200,25 @@ class TestHealthAndMetrics:
         assert counters["service.store.hits"] >= 1
         assert counters["service.http.requests"] >= 4
 
+    def test_metrics_exposes_solver_cache_stats(self, register_experiment):
+        register_experiment("svc-cache-metrics")
+        with _service() as service:
+            client = ServiceClient(service.url)
+            client.submit_and_wait(
+                {"experiment": "svc-cache-metrics"}, timeout=10
+            )
+            metrics = client.metrics()
+            prom = client.metrics_prometheus()
+        # Scrape-time cache statistics are merged into the snapshot for
+        # both caches, whatever the telemetry flag did during the solves.
+        for prefix in ("solver.propagator_cache", "solver.ensemble_cache"):
+            for stat in ("hits", "misses", "evictions"):
+                assert metrics["counters"][f"{prefix}.{stat}"] >= 0
+            assert metrics["gauges"][f"{prefix}.currsize"] >= 0
+            assert metrics["gauges"][f"{prefix}.maxsize"] > 0
+        assert "repro_solver_propagator_cache_hits_total" in prom
+        assert "repro_solver_ensemble_cache_currsize" in prom
+
     def test_jobs_listing(self, register_experiment):
         register_experiment("svc-list")
         with _service() as service:

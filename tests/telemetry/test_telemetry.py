@@ -203,7 +203,13 @@ class TestSurveyMetricsSelfConsistent:
         analyzer = small_analyzer()
         analyzer.survey(floating=FloatingNode.BIT_LINE, probes=("1r1",))
         reg = telemetry.get_metrics()
-        assert reg.counter_value("solver.settles") > 0
+        # The grid engine settles whole tiles at once; scalar settles only
+        # happen on demoted points, so either counter may carry the work.
+        settles = (
+            reg.counter_value("solver.settles")
+            + reg.counter_value("solver.grid_settles")
+        )
+        assert settles > 0
         assert reg.counter_value("column.reads") > 0
         (span,) = telemetry.get_tracer().spans_named("analyzer.survey")
         assert span.attrs["location"] == "BL_PRECHARGE_CELLS"
