@@ -240,9 +240,30 @@ def _serve_main(argv) -> int:
         "structured 429 (default 64)",
     )
     parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", "--service-workers", dest="workers", type=int,
+        default=1, metavar="N",
         help="concurrent scheduler jobs (each may fan out further per "
         "its spec's jobs field; default 1)",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="where claimed jobs execute: 'thread' runs them on the "
+        "scheduler's own worker threads, 'process' isolates each job "
+        "in a worker process (default thread)",
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RATE",
+        help="per-client token-bucket submission limit in jobs/second, "
+        "keyed on the X-Client-Id header (default: unlimited)",
+    )
+    parser.add_argument(
+        "--rate-burst", type=int, default=None, metavar="N",
+        help="token-bucket burst size (default: max(1, int(RATE)))",
+    )
+    parser.add_argument(
+        "--client-quota", type=int, default=None, metavar="N",
+        help="max live (queued + running) jobs one client may own "
+        "(default: unlimited)",
     )
     parser.add_argument(
         "--store-dir", metavar="DIR", default=None,
@@ -294,6 +315,14 @@ def _serve_main(argv) -> int:
         parser.error("--store-ttl must be > 0")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        parser.error("--rate-limit must be > 0")
+    if args.rate_burst is not None and args.rate_burst < 1:
+        parser.error("--rate-burst must be >= 1")
+    if args.rate_burst is not None and args.rate_limit is None:
+        parser.error("--rate-burst requires --rate-limit")
+    if args.client_quota is not None and args.client_quota < 1:
+        parser.error("--client-quota must be >= 1")
     if args.unit_timeout is not None and args.unit_timeout <= 0:
         parser.error("--unit-timeout must be > 0")
     for path in (args.trace, args.log_json):
@@ -318,6 +347,10 @@ def _serve_main(argv) -> int:
                 max_retries=args.max_retries, unit_timeout=args.unit_timeout
             ),
             trace_export=args.trace,
+            executor=args.executor,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            client_quota=args.client_quota,
         )
     except OSError as exc:
         print(f"repro-partial-faults serve: cannot bind "
@@ -326,11 +359,19 @@ def _serve_main(argv) -> int:
     print(f"[serve] repro sweep service v{__version__} listening on "
           f"{service.url}", flush=True)
     print(f"[serve] queue limit {args.queue_limit}, {args.workers} "
-          f"worker(s), store max {args.store_max}"
+          f"{args.executor} worker(s), store max {args.store_max}"
           + (f", ttl {args.store_ttl:g} s" if args.store_ttl else "")
           + (f", store dir {args.store_dir}" if args.store_dir else "")
           + (f", work dir {args.work_dir}" if args.work_dir else ""),
           flush=True)
+    if args.rate_limit is not None:
+        burst = (args.rate_burst if args.rate_burst is not None
+                 else max(1, int(args.rate_limit)))
+        print(f"[serve] rate limit {args.rate_limit:g} submission(s)/s "
+              f"per client (burst {burst})", flush=True)
+    if args.client_quota is not None:
+        print(f"[serve] client quota {args.client_quota} live job(s)",
+              flush=True)
     if args.trace:
         print(f"[serve] appending span trace to {args.trace}", flush=True)
     if args.log_json:
@@ -490,6 +531,12 @@ def _submit_main(argv) -> int:
         "--json", metavar="FILE", default=None,
         help="with --wait: also write the full result payload to FILE",
     )
+    parser.add_argument(
+        "--client-id", metavar="ID", default=None,
+        help="identify this client to the service's rate limiter and "
+        "quota (sent as the X-Client-Id header; default: none, the "
+        "service falls back to the remote address)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -513,7 +560,7 @@ def _submit_main(argv) -> int:
         print(f"repro-partial-faults submit: invalid spec: {exc}",
               file=sys.stderr)
         return 2
-    client = ServiceClient(url)
+    client = ServiceClient(url, client_id=args.client_id)
     try:
         submitted = client.submit(spec, priority=args.priority)
         job = submitted["job"]

@@ -354,7 +354,20 @@ class ResilienceLog:
         )
 
 
-_SESSION_LOG = ResilienceLog()
+#: Per-thread recovery-event accumulators.  The orchestration side of a
+#: fan-out (retry bookkeeping, fallback execution, failure records) runs
+#: entirely in the thread that called :func:`parallel_map_ex`, so a
+#: thread-local log attributes every event to exactly the fan-out that
+#: caused it — concurrent sweep-service jobs on different scheduler
+#: threads (or in different worker processes) can no longer cross-talk.
+_session_local = threading.local()
+
+
+def _session_log() -> ResilienceLog:
+    log = getattr(_session_local, "log", None)
+    if log is None:
+        log = _session_local.log = ResilienceLog()
+    return log
 
 
 def _grid_signature_of(key: str) -> Optional[str]:
@@ -405,9 +418,15 @@ def _check_checkpoint_signatures(
 
 
 def drain_resilience_log() -> ResilienceLog:
-    """Return and reset the module-level recovery-event accumulator."""
-    global _SESSION_LOG
-    log, _SESSION_LOG = _SESSION_LOG, ResilienceLog()
+    """Return and reset the calling thread's recovery-event accumulator.
+
+    The log is **per thread**: it holds exactly the events of fan-outs
+    this thread orchestrated since its last drain, so concurrent callers
+    (sweep-service scheduler workers) each read an exact ledger of their
+    own job's recoveries.
+    """
+    log = _session_log()
+    _session_local.log = ResilienceLog()
     return log
 
 
@@ -496,7 +515,7 @@ class _FanoutRun:
 
     def note_retry(self, index: int) -> None:
         telemetry.count("parallel.retries")
-        _SESSION_LOG.retries += 1
+        _session_log().retries += 1
         _notify_progress(
             "unit.retry",
             key=self.key_of(index), index=index,
@@ -545,7 +564,7 @@ class _FanoutRun:
             ),
         )
         self.outcome.failures.append(failure)
-        _SESSION_LOG.failures.append(failure)
+        _session_log().failures.append(failure)
         telemetry.count("parallel.failures")
         _notify_progress(
             "unit.failed",
@@ -684,7 +703,7 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
                     del inflight[future]
                     timed_out = True
                     telemetry.count("parallel.timeouts")
-                    _SESSION_LOG.timeouts += 1
+                    _session_log().timeouts += 1
                     _notify_progress(
                         "unit.timeout", key=run.key_of(index), index=index,
                     )
@@ -699,7 +718,7 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
                     ))
         if broken:
             telemetry.count("parallel.pool_breaks")
-            _SESSION_LOG.pool_breaks += 1
+            _session_log().pool_breaks += 1
             _notify_progress("pool.broken")
             events.emit("parallel.pool.broken")
             broken_indices.extend(index for index, _ in inflight.values())
@@ -722,7 +741,7 @@ def _run_pool(run: _FanoutRun, pending: List[int], jobs: int) -> None:
     run.merge_snapshots()
     for index in sorted(set(fallback_queue)):
         telemetry.count("parallel.fallback_units")
-        _SESSION_LOG.fallbacks += 1
+        _session_log().fallbacks += 1
         _notify_progress("unit.fallback", key=run.key_of(index), index=index)
         events.emit("parallel.unit.fallback", key=run.key_of(index))
         run.run_in_process(index, with_retries=False)
@@ -803,7 +822,7 @@ def parallel_map_ex(
         outcome.resumed = sum(done)
         if outcome.resumed:
             telemetry.count("parallel.resumed_units", outcome.resumed)
-            _SESSION_LOG.resumed += outcome.resumed
+            _session_log().resumed += outcome.resumed
             _notify_progress("units.resumed", count=outcome.resumed, total=n)
             events.emit("parallel.units.resumed", count=outcome.resumed)
     pending = [index for index in range(n) if not done[index]]

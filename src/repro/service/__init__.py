@@ -13,6 +13,10 @@ result-database / front-end split — see ``docs/SERVICE.md``):
 * :mod:`repro.service.scheduler` — :class:`Scheduler` workers draining
   the queue into the ``repro.parallel`` fan-out with retry/checkpoint
   resilience;
+* :mod:`repro.service.executors` — the pluggable compute step:
+  :class:`ThreadJobExecutor` runs each claimed job on the scheduler's
+  own worker thread, :class:`ProcessJobExecutor` isolates it in a
+  worker process with progress/telemetry routed back over a queue;
 * :mod:`repro.service.store` — a content-addressed :class:`ResultStore`
   with TTL and LRU eviction serving repeated specs without
   recomputation;
@@ -25,7 +29,7 @@ Everything is stdlib-only (``http.server``, ``urllib``, ``threading``),
 matching the repository's no-new-dependency policy.
 """
 
-from .api import SweepService
+from .api import SweepService, TokenBucketLimiter
 from .client import (
     ServiceClient,
     ServiceError,
@@ -40,6 +44,7 @@ from .jobs import (
     SERVICE_EXPERIMENTS,
     result_payload,
 )
+from .executors import JobOutcome, ProcessJobExecutor, ThreadJobExecutor
 from .queue import JobQueue
 from .scheduler import Scheduler
 from .store import ResultStore
@@ -47,9 +52,11 @@ from .store import ResultStore
 __all__ = [
     "ExperimentProfile",
     "Job",
+    "JobOutcome",
     "JobQueue",
     "JobSpec",
     "JobState",
+    "ProcessJobExecutor",
     "ResultStore",
     "SERVICE_EXPERIMENTS",
     "Scheduler",
@@ -58,5 +65,7 @@ __all__ = [
     "ServiceResponseError",
     "ServiceUnavailableError",
     "SweepService",
+    "ThreadJobExecutor",
+    "TokenBucketLimiter",
     "result_payload",
 ]

@@ -63,15 +63,36 @@ class ServiceResponseError(ServiceError):
         detail = payload.get("detail") or payload.get("error") or "error"
         super().__init__(f"service returned {status}: {detail}")
 
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The back-off hint of a 429 rejection, if the payload has one."""
+        value = self.payload.get("retry_after")
+        return float(value) if isinstance(value, (int, float)) else None
+
 
 class ServiceClient:
     """Talk to one sweep service instance."""
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        # Sent as ``X-Client-Id`` on every request so the service's
+        # rate limiter and per-client quota key on a stable identity
+        # instead of the (possibly shared) remote address.
+        self.client_id = client_id
 
     # -- transport -------------------------------------------------------------
+
+    def _headers(self, **extra: str) -> Dict[str, str]:
+        headers = dict(extra)
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        return headers
 
     def _request(
         self,
@@ -80,7 +101,7 @@ class ServiceClient:
         body: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = self._headers(Accept="application/json")
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -138,7 +159,7 @@ class ServiceClient:
         """The Prometheus text exposition of ``/metrics``."""
         request = urllib.request.Request(
             self.url + "/metrics?format=prometheus",
-            headers={"Accept": "text/plain"},
+            headers=self._headers(Accept="text/plain"),
         )
         try:
             with urllib.request.urlopen(
@@ -183,10 +204,10 @@ class ServiceClient:
         while True:
             request = urllib.request.Request(
                 self.url + f"/jobs/{job_id}/events?stream=sse",
-                headers={
+                headers=self._headers(**{
                     "Accept": "text/event-stream",
                     "Last-Event-ID": str(int(after)),
-                },
+                }),
             )
             try:
                 with urllib.request.urlopen(

@@ -469,6 +469,9 @@ class Job:
     cancel_requested: bool = False
     #: Identical submissions coalesced into this job (>= 1).
     submissions: int = 1
+    #: The submitting client (``X-Client-Id`` header or remote address);
+    #: quota accounting counts live jobs per client.
+    client: Optional[str] = None
     #: True when the result came from the store without recomputation.
     cache_hit: bool = False
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -509,6 +512,7 @@ class Job:
             "finished_at": self.finished_at,
             "duration": self.duration,
             "submissions": self.submissions,
+            "client": self.client,
             "cache_hit": self.cache_hit,
             "cancel_requested": self.cancel_requested,
             "error": self.error,

@@ -37,7 +37,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
-from ..errors import QueueFullError
+from ..errors import ClientQuotaError, QueueFullError
 from ..telemetry import events as event_log
 from .jobs import Job, JobSpec, JobState
 
@@ -63,11 +63,15 @@ class JobQueue:
         limit: int = 64,
         max_history: int = 256,
         result_exists: Optional[Callable[[str], bool]] = None,
+        client_quota: Optional[int] = None,
     ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
+        if client_quota is not None and client_quota < 1:
+            raise ValueError("client quota must be >= 1")
         self.limit = limit
         self.max_history = max_history
+        self.client_quota = client_quota
         self._result_exists = result_exists
         self._lock = threading.Lock()
         #: Wakes scheduler workers blocked in :meth:`claim`.
@@ -117,13 +121,21 @@ class JobQueue:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, spec: JobSpec, priority: int = 0) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        client: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
         """Admit one spec; returns ``(job, deduped)``.
 
         ``deduped=True`` means an identical live computation already
-        existed and the submission coalesced into it.  Raises
-        :class:`~repro.errors.QueueFullError` when admission control
-        refuses (and only then).
+        existed and the submission coalesced into it (coalescing is
+        always admitted — it adds no load).  Admission control refuses
+        with :class:`~repro.errors.ClientQuotaError` when ``client``
+        already owns ``client_quota`` live (queued or running) jobs,
+        and with :class:`~repro.errors.QueueFullError` when the whole
+        queue is full — and only then.
         """
         spec.validate()
         address = spec.address
@@ -151,6 +163,20 @@ class JobQueue:
                     submissions=existing.submissions,
                 )
                 return existing, True
+            if self.client_quota is not None and client is not None:
+                live = sum(
+                    1 for job in self._jobs.values()
+                    if job.client == client and not job.state.terminal
+                )
+                if live >= self.client_quota:
+                    telemetry.count("service.ratelimit.quota_rejections")
+                    event_log.emit(
+                        "service.job.quota_rejected",
+                        client=client, live=live, quota=self.client_quota,
+                    )
+                    raise ClientQuotaError(
+                        client=client, live=live, quota=self.client_quota
+                    )
             if self._queued >= self.limit:
                 telemetry.count("service.jobs.rejected")
                 event_log.emit(
@@ -159,7 +185,9 @@ class JobQueue:
                     depth=self._queued, limit=self.limit,
                 )
                 raise QueueFullError(depth=self._queued, limit=self.limit)
-            job = Job(spec=spec, address=address, priority=priority)
+            job = Job(
+                spec=spec, address=address, priority=priority, client=client
+            )
             job.emit("queued", address=address, priority=priority)
             self._jobs[job.id] = job
             self._by_address[address] = job.id
@@ -335,7 +363,12 @@ class JobQueue:
         with self._cond:
             self._settle(job, JobState.FAILED)
             job.error = str(exc)
-            job.error_type = type(exc).__name__
+            # An executor that caught the real exception in a worker
+            # process re-raises it as a carrier exposing ``type_name``;
+            # the job record keeps the original type either way.
+            job.error_type = (
+                getattr(exc, "type_name", None) or type(exc).__name__
+            )
             job.emit("failed", error_type=job.error_type, error=job.error)
             self._release_address(job)
             telemetry.count("service.jobs.failed")

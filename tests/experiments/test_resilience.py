@@ -377,9 +377,9 @@ def test_cli_checkpoint_then_resume_fig3(tmp_path, capsys):
 
 def test_resilience_summary_formats_failures():
     drain_resilience_log()
-    par._SESSION_LOG.retries = 2
-    par._SESSION_LOG.fallbacks = 1
-    par._SESSION_LOG.failures.append(UnitFailure(
+    par._session_log().retries = 2
+    par._session_log().fallbacks = 1
+    par._session_log().failures.append(UnitFailure(
         key="survey|CELL|BIT_LINE|0r0|grid=abc|rows=3.0", index=4,
         error_type="ValueError", message="boom", attempts=3, duration=0.5,
     ))

@@ -1,0 +1,321 @@
+"""Multi-worker scheduler behaviour: attribution, hygiene, executors.
+
+These tests exercise the service under *concurrency*: several scheduler
+workers executing overlapping jobs, on both executors.  The process-
+executor tests rely on the pool being forked at ``scheduler.start()``
+— stub experiments registered before that moment are inherited by the
+workers; their in-worker side effects (call counters) are invisible to
+the parent, so assertions go through the store payloads and the job
+event trail instead.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.parallel import Resilience, RetryPolicy, parallel_map_ex
+from repro.service.jobs import JobSpec, JobState, result_payload
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import ResultStore
+
+from .conftest import make_report
+
+#: Stub experiments reach pool workers only as forked copies of the
+#: monkeypatched parent (spawn re-imports the pristine registry).
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="stub-experiment inheritance requires the fork start method",
+)
+
+
+def _wait_terminal(job, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while not job.state.terminal and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert job.state.terminal, f"job stuck in {job.state}"
+
+
+def _wait_running(job, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while job.state is JobState.QUEUED and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert job.state is JobState.RUNNING
+
+
+def _resilience_events(job):
+    return [e for e in job.events if e["event"] == "resilience"]
+
+
+def _retrying_runner(n_retries, barrier=None, rendezvous=None):
+    """A stub runner that injects exactly ``n_retries`` unit retries.
+
+    ``barrier`` (same-process overlap) or ``rendezvous`` (a directory
+    used as a cross-process barrier: touch my flag, wait for all flags)
+    makes two such runners demonstrably concurrent before the retries
+    happen.
+    """
+
+    def runner(spec, resilience):
+        if barrier is not None:
+            barrier.wait(timeout=10)
+        if rendezvous is not None:
+            me, everyone = rendezvous
+            open(me, "w").close()
+            deadline = time.monotonic() + 10
+            while not all(os.path.exists(f) for f in everyone):
+                if time.monotonic() > deadline:
+                    raise TimeoutError("rendezvous never completed")
+                time.sleep(0.01)
+        attempts = {"left": n_retries}
+
+        def flaky(payload):
+            if attempts["left"] > 0:
+                attempts["left"] -= 1
+                raise ValueError("transient")
+            return payload * 2
+
+        outcome = parallel_map_ex(
+            flaky, [1, 2], jobs=1,
+            policy=RetryPolicy(max_retries=max(1, n_retries), backoff=0.0),
+        )
+        assert outcome.results == [2, 4]
+        return SimpleNamespace(report=make_report(title=spec.experiment))
+
+    return runner
+
+
+class TestResilienceAttribution:
+    def test_concurrent_jobs_see_only_their_own_retries(
+        self, register_experiment
+    ):
+        # Two jobs overlap on two worker threads; one injects exactly two
+        # retries, the other none.  With the per-thread ledger each job's
+        # resilience event carries precisely its own counts — the shared
+        # module-global log used to let them leak into each other.
+        barrier = threading.Barrier(2)
+        register_experiment(
+            "svc-retry", runner=_retrying_runner(2, barrier=barrier)
+        )
+        register_experiment(
+            "svc-clean", runner=_retrying_runner(0, barrier=barrier)
+        )
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(queue, store, workers=2, poll_interval=0.02)
+        scheduler.start()
+        try:
+            noisy, _ = queue.submit(JobSpec("svc-retry"))
+            clean, _ = queue.submit(JobSpec("svc-clean"))
+            _wait_terminal(noisy)
+            _wait_terminal(clean)
+        finally:
+            scheduler.stop()
+        assert noisy.state is JobState.DONE
+        assert clean.state is JobState.DONE
+        noisy_events = _resilience_events(noisy)
+        assert len(noisy_events) == 1
+        assert noisy_events[0]["retries"] == 2
+        assert noisy_events[0]["failures"] == 0
+        # The clean job must not inherit the other job's recoveries.
+        assert _resilience_events(clean) == []
+
+
+class TestStopAndHeartbeatHygiene:
+    def test_restart_with_fewer_workers_reports_only_live(
+        self, register_experiment
+    ):
+        register_experiment("svc-hb")
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(queue, store, workers=3, poll_interval=0.02)
+        scheduler.start()
+        try:
+            deadline = time.monotonic() + 5
+            while len(scheduler.heartbeats()) < 3:
+                assert time.monotonic() < deadline, "workers never beat"
+                time.sleep(0.01)
+            assert scheduler.stop() == []
+            # All heartbeat entries die with their threads.
+            assert scheduler.heartbeats() == {}
+            scheduler.workers = 1
+            scheduler.start()
+            deadline = time.monotonic() + 5
+            while len(scheduler.heartbeats()) < 1:
+                assert time.monotonic() < deadline, "worker never beat"
+                time.sleep(0.01)
+            # The restart must not resurrect the other two workers'
+            # stale entries as ever-growing /healthz ages.
+            assert len(scheduler.heartbeats()) == 1
+        finally:
+            scheduler.stop()
+
+    def test_stop_shares_one_deadline_across_workers(
+        self, register_experiment
+    ):
+        release = threading.Event()
+
+        def blocker(spec, resilience):
+            release.wait(30)
+            return SimpleNamespace(report=make_report("blocker"))
+
+        register_experiment("svc-stuck", runner=blocker)
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(queue, store, workers=4, poll_interval=0.02)
+        scheduler.start()
+        job, _ = queue.submit(JobSpec("svc-stuck"))
+        _wait_running(job)
+        started = time.monotonic()
+        stragglers = scheduler.stop(timeout=0.4)
+        elapsed = time.monotonic() - started
+        release.set()
+        # One worker is wedged in the blocking job; the other three are
+        # idle.  The old per-thread join budget made this take up to
+        # workers * timeout (1.6 s) — the shared deadline caps the whole
+        # shutdown near the timeout itself, and names the stuck worker.
+        assert elapsed < 1.2, f"stop took {elapsed:.2f}s for 0.4s budget"
+        assert len(stragglers) == 1
+        assert stragglers[0].startswith("repro-scheduler-")
+        assert scheduler.heartbeats() == {}
+        _wait_terminal(job)  # the straggler finishes once released
+
+    def test_clean_stop_reports_no_stragglers(self, register_experiment):
+        register_experiment("svc-quick")
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(queue, store, workers=2, poll_interval=0.02)
+        scheduler.start()
+        job, _ = queue.submit(JobSpec("svc-quick"))
+        _wait_terminal(job)
+        assert scheduler.stop() == []
+
+
+@fork_only
+class TestProcessExecutor:
+    def test_job_runs_in_a_worker_process(self, register_experiment):
+        # The stub is registered before start(), so the forked pool
+        # workers inherit it; the pid baked into the report proves the
+        # job really left this process.
+        def runner(spec, resilience):
+            return SimpleNamespace(
+                report=make_report(title="svc-proc", block=f"pid={os.getpid()}")
+            )
+
+        register_experiment("svc-proc", runner=runner)
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(
+            queue, store, workers=1, poll_interval=0.02, executor="process"
+        )
+        scheduler.start()
+        try:
+            job, _ = queue.submit(JobSpec("svc-proc"))
+            _wait_terminal(job)
+        finally:
+            scheduler.stop()
+        assert job.state is JobState.DONE
+        payload = store.get(job.address)
+        assert payload is not None
+        worker_pid = int(payload["report"].split("pid=")[1].split()[0])
+        assert worker_pid != os.getpid()
+
+    def test_concurrent_process_jobs_attribute_retries(
+        self, register_experiment, tmp_path
+    ):
+        # Cross-process rendezvous: each job touches its flag and waits
+        # for both, so the retries provably happen while the other job
+        # is in flight — in a different worker process.
+        flags = [str(tmp_path / "a.flag"), str(tmp_path / "b.flag")]
+        register_experiment(
+            "svc-proc-retry",
+            runner=_retrying_runner(2, rendezvous=(flags[0], flags)),
+        )
+        register_experiment(
+            "svc-proc-clean",
+            runner=_retrying_runner(0, rendezvous=(flags[1], flags)),
+        )
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(
+            queue, store, workers=2, poll_interval=0.02, executor="process"
+        )
+        scheduler.start()
+        try:
+            noisy, _ = queue.submit(JobSpec("svc-proc-retry"))
+            clean, _ = queue.submit(JobSpec("svc-proc-clean"))
+            _wait_terminal(noisy)
+            _wait_terminal(clean)
+        finally:
+            scheduler.stop()
+        assert noisy.state is JobState.DONE
+        assert clean.state is JobState.DONE
+        noisy_events = _resilience_events(noisy)
+        assert len(noisy_events) == 1
+        assert noisy_events[0]["retries"] == 2
+        assert _resilience_events(clean) == []
+        # Progress events crossed the process boundary: the fan-out's
+        # unit milestones (and the injected retries) reached the job's
+        # event ring through the executor's queue.
+        kinds = [
+            e.get("kind") for e in noisy.events if e["event"] == "progress"
+        ]
+        assert "unit.retry" in kinds
+        assert "unit.done" in kinds
+
+    def test_error_type_crosses_the_process_boundary(
+        self, register_experiment
+    ):
+        def exploding(spec, resilience):
+            raise RuntimeError("kapow")
+
+        register_experiment("svc-proc-boom", runner=exploding)
+        queue, store = JobQueue(), ResultStore()
+        scheduler = Scheduler(
+            queue, store, workers=1, poll_interval=0.02, executor="process"
+        )
+        scheduler.start()
+        try:
+            job, _ = queue.submit(JobSpec("svc-proc-boom"))
+            _wait_terminal(job)
+        finally:
+            scheduler.stop()
+        assert job.state is JobState.FAILED
+        assert job.error_type == "RuntimeError"
+        assert job.error == "kapow"
+        error_events = [e for e in job.events if e["event"] == "error"]
+        assert error_events and error_events[0]["error_type"] == "RuntimeError"
+        assert "RuntimeError" in (error_events[0].get("traceback") or "")
+
+    def test_invalid_executor_name_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            Scheduler(JobQueue(), ResultStore(), executor="mainframe")
+
+
+@pytest.mark.slow
+class TestExecutorEquivalence:
+    def test_table1_payload_identical_across_executors(self):
+        # The acceptance criterion: one coarse real Table 1 computation,
+        # byte-identical whether run directly, through the thread
+        # executor, or through a worker process.
+        spec = JobSpec("table1", opens=("CELL",), n_r=3, n_u=3).validate()
+        profile = spec.profile()
+        direct = json.dumps(
+            result_payload(spec, profile.run(spec, Resilience())),
+            sort_keys=True,
+        )
+        served = {}
+        for kind in ("thread", "process"):
+            queue, store = JobQueue(), ResultStore()
+            scheduler = Scheduler(
+                queue, store, workers=1, poll_interval=0.02, executor=kind
+            )
+            scheduler.start()
+            try:
+                job, _ = queue.submit(spec)
+                _wait_terminal(job, timeout=120.0)
+            finally:
+                scheduler.stop()
+            assert job.state is JobState.DONE, job.error
+            served[kind] = json.dumps(store.get(job.address), sort_keys=True)
+        assert served["thread"] == direct
+        assert served["process"] == direct
