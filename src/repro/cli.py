@@ -278,9 +278,28 @@ def _serve_main(argv) -> int:
         help="expire stored results after SECONDS (default: never)",
     )
     parser.add_argument(
+        "--store-replicas", type=int, default=1, metavar="N",
+        help="replicate the disk result store N ways under "
+        "STORE-DIR/replica-<i> (write-all/read-any with digest-checked "
+        "read-repair; requires --store-dir; default 1)",
+    )
+    parser.add_argument(
         "--work-dir", metavar="DIR", default=None,
-        help="keep per-job unit checkpoints under DIR so a failed or "
-        "interrupted job resumes from its completed sweep units",
+        help="keep per-job unit checkpoints and the job journal under "
+        "DIR so a failed or interrupted job resumes from its completed "
+        "sweep units and a killed service re-enqueues its jobs on "
+        "restart",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the job journal even when --work-dir is set "
+        "(jobs no longer survive a service restart)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to SECONDS for running jobs "
+        "to finish before exiting; unfinished jobs stay journaled and "
+        "recover on the next start (default 30)",
     )
     parser.add_argument(
         "--max-retries", type=int, default=1, metavar="N",
@@ -325,6 +344,12 @@ def _serve_main(argv) -> int:
         parser.error("--client-quota must be >= 1")
     if args.unit_timeout is not None and args.unit_timeout <= 0:
         parser.error("--unit-timeout must be > 0")
+    if args.store_replicas < 1:
+        parser.error("--store-replicas must be >= 1")
+    if args.store_replicas > 1 and args.store_dir is None:
+        parser.error("--store-replicas requires --store-dir")
+    if args.drain_timeout < 0:
+        parser.error("--drain-timeout must be >= 0")
     for path in (args.trace, args.log_json):
         if path:
             try:
@@ -351,6 +376,9 @@ def _serve_main(argv) -> int:
             rate_limit=args.rate_limit,
             rate_burst=args.rate_burst,
             client_quota=args.client_quota,
+            store_replicas=args.store_replicas,
+            journal=not args.no_journal,
+            drain_timeout=args.drain_timeout,
         )
     except OSError as exc:
         print(f"repro-partial-faults serve: cannot bind "
@@ -362,8 +390,17 @@ def _serve_main(argv) -> int:
           f"{args.executor} worker(s), store max {args.store_max}"
           + (f", ttl {args.store_ttl:g} s" if args.store_ttl else "")
           + (f", store dir {args.store_dir}" if args.store_dir else "")
+          + (f" x{args.store_replicas} replicas"
+             if args.store_replicas > 1 else "")
           + (f", work dir {args.work_dir}" if args.work_dir else ""),
           flush=True)
+    service.recover()
+    if service.journal is not None:
+        print(f"[serve] job journal at {service.journal.path}", flush=True)
+    if service.recovered_jobs:
+        print(f"[serve] recovered {service.recovered_jobs} job(s) from "
+              f"the journal ({service.recovered_in_flight} mid-run)",
+              flush=True)
     if args.rate_limit is not None:
         burst = (args.rate_burst if args.rate_burst is not None
                  else max(1, int(args.rate_limit)))
@@ -376,6 +413,22 @@ def _serve_main(argv) -> int:
         print(f"[serve] appending span trace to {args.trace}", flush=True)
     if args.log_json:
         print(f"[serve] appending event log to {args.log_json}", flush=True)
+    # SIGTERM (the deploy/orchestrator stop signal) drains gracefully:
+    # running jobs get --drain-timeout seconds to settle, everything
+    # else stays journaled and recovers on the next start.  Only wired
+    # when serve runs on the main thread (signal module requirement).
+    import signal
+    import threading as _threading
+
+    def _on_sigterm(signum, frame):
+        print("[serve] SIGTERM; draining and shutting down", flush=True)
+        service.request_shutdown()
+
+    if _threading.current_thread() is _threading.main_thread():
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):
+            pass
     try:
         service.serve_forever()
     except KeyboardInterrupt:

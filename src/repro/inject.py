@@ -21,6 +21,21 @@ guard rails of ``repro.circuit.network`` (see ``docs/ROBUSTNESS.md``):
   checkpoint store's tail, simulating a crash mid-append; the torn line
   must be skipped on resume, never half-parsed.
 
+Three more target the sweep *service*'s durability layer (see
+``docs/SERVICE.md``):
+
+* :class:`StoreCorruptor` — flip a byte in (or truncate) seeded-chosen
+  result documents of a :class:`~repro.service.store.ResultStore`
+  replica; the store's sha256 digest check must quarantine, never serve,
+  the damaged copy, and a replicated store must read-repair it.
+* :class:`JournalTailTruncator` — the checkpoint truncator retargeted at
+  a :class:`~repro.service.journal.JobJournal` file; replay must skip
+  the torn record and recover every intact submission.
+* :class:`ProcessKiller` — deliver ``SIGKILL`` (or any signal) to a
+  service process mid-job, simulating a hard crash; a restart on the
+  same ``--work-dir`` must resume the journaled job from its unit
+  checkpoints.
+
 Every injector is a context manager (armed on enter, disarmed on exit —
 also by :func:`run_campaign`) and fully deterministic under its ``seed``:
 the same seed fires the same faults at the same solves.  Injectors never
@@ -38,6 +53,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +69,9 @@ __all__ = [
     "VoltagePerturbationInjector",
     "PropagatorCacheCorruptor",
     "CheckpointTailTruncator",
+    "StoreCorruptor",
+    "JournalTailTruncator",
+    "ProcessKiller",
     "InjectionResult",
     "CampaignReport",
     "run_campaign",
@@ -64,6 +83,8 @@ _WATCHED_COUNTERS = (
     "analyzer.quarantined_points",
     "analyzer.batch_fallbacks",
     "parallel.",
+    "service.store.",
+    "service.journal.",
 )
 
 
@@ -343,6 +364,138 @@ class CheckpointTailTruncator(FaultInjector):
         with open(self.path, "rb+") as fh:
             fh.truncate(size - drop)
         self.bytes_dropped = drop
+        self.fires += 1
+
+    def disarm(self) -> None:
+        pass
+
+
+class StoreCorruptor(FaultInjector):
+    """Damage result documents at rest in a result-store directory.
+
+    ``arm()`` picks up to ``n_entries`` seeded-chosen ``*.json``
+    documents directly under ``root`` (one store replica's directory —
+    the quarantine subdirectory is never touched) and, per ``mode``,
+    either flips one byte in place (``"flip"``, bit-rot) or chops a
+    seeded number of tail bytes (``"truncate"``, a torn write).  The
+    store's digest verification must quarantine the damaged copy on the
+    next read or index rebuild — counted under ``service.store.corrupt``
+    — and a :class:`~repro.service.store.ReplicatedResultStore` must
+    still serve the payload from a healthy replica and read-repair the
+    hurt one.
+    """
+
+    name = "store-corruption"
+
+    def __init__(
+        self,
+        root: str,
+        seed: int = 0,
+        n_entries: int = 1,
+        mode: str = "flip",
+    ) -> None:
+        super().__init__()
+        if n_entries < 1:
+            raise InjectionError("n_entries must be >= 1")
+        if mode not in ("flip", "truncate"):
+            raise InjectionError(
+                f"mode must be 'flip' or 'truncate', not {mode!r}"
+            )
+        self.root = root
+        self.seed = seed
+        self.n_entries = n_entries
+        self.mode = mode
+        self.corrupted_paths: List[str] = []
+
+    def arm(self) -> None:
+        try:
+            names = sorted(
+                name for name in os.listdir(self.root)
+                if name.endswith(".json")
+                and os.path.isfile(os.path.join(self.root, name))
+            )
+        except OSError as exc:
+            raise InjectionError(
+                f"cannot list result store {self.root!r}: {exc}"
+            ) from exc
+        if not names:
+            raise InjectionError(
+                f"result store {self.root!r} holds no documents: "
+                "nothing to corrupt"
+            )
+        rng = random.Random(self.seed)
+        rng.shuffle(names)
+        self.corrupted_paths = []
+        for name in names[: self.n_entries]:
+            path = os.path.join(self.root, name)
+            size = os.path.getsize(path)
+            if size == 0:
+                continue
+            with open(path, "rb+") as fh:
+                if self.mode == "truncate":
+                    fh.truncate(size - min(size, rng.randint(1, 64)))
+                else:
+                    offset = rng.randrange(size)
+                    fh.seek(offset)
+                    byte = fh.read(1)
+                    fh.seek(offset)
+                    fh.write(bytes((byte[0] ^ 0xFF,)))
+            self.corrupted_paths.append(path)
+            self.fires += 1
+
+    def disarm(self) -> None:
+        # Damage stays on disk on purpose: the digest check owns the
+        # cleanup (quarantine + read-repair), and leaving the evidence
+        # is exactly what lets a test assert it happened.
+        pass
+
+
+class JournalTailTruncator(CheckpointTailTruncator):
+    """Truncate the tail of a job journal, as a crash mid-append would.
+
+    Identical mechanics to :class:`CheckpointTailTruncator` — the
+    journal shares the checkpoint store's append discipline — but named
+    separately so campaign reports distinguish which durability file was
+    hurt.  :meth:`repro.service.journal.JobJournal.replay` must skip the
+    torn record (counted in ``stats.torn``) and keep every intact
+    submission.
+    """
+
+    name = "journal-truncation"
+
+
+class ProcessKiller(FaultInjector):
+    """Deliver a signal (default ``SIGKILL``) to a service process.
+
+    The harshest crash model: no handler runs, no drain, no flush —
+    exactly what the journal's per-record fsync and the checkpoint
+    store's torn-tail recovery exist for.  ``arm()`` sends the signal
+    once; refuses ``pid <= 1`` and the calling process itself (a typo'd
+    pid must not kill the test runner or, worse, init).
+    """
+
+    name = "process-kill"
+
+    def __init__(self, pid: int, sig: Optional[int] = None) -> None:
+        super().__init__()
+        if pid <= 1:
+            raise InjectionError(
+                f"refusing to signal pid {pid} (must be > 1)"
+            )
+        if pid == os.getpid():
+            raise InjectionError(
+                "refusing to signal the calling process itself"
+            )
+        self.pid = pid
+        self.sig = signal.SIGKILL if sig is None else sig
+
+    def arm(self) -> None:
+        try:
+            os.kill(self.pid, self.sig)
+        except OSError as exc:
+            raise InjectionError(
+                f"cannot signal pid {self.pid}: {exc}"
+            ) from exc
         self.fires += 1
 
     def disarm(self) -> None:

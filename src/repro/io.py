@@ -51,7 +51,7 @@ __all__ = [
     "dump_quarantined_point", "load_quarantined_point",
     "dump_survey_unit", "load_survey_unit",
     "dump_completion", "load_completion",
-    "CHECKPOINT_CODECS", "CheckpointStore",
+    "CHECKPOINT_CODECS", "CheckpointStore", "JsonlAppender",
 ]
 
 _FORMAT = "repro-v1"
@@ -312,6 +312,65 @@ CHECKPOINT_CODECS: Dict[
 }
 
 
+class JsonlAppender:
+    """Crash-safe JSONL appends: one record, one ``write()``, ``O_APPEND``.
+
+    The durability discipline shared by :class:`CheckpointStore` and the
+    sweep service's job journal (``repro.service.journal``):
+
+    * the descriptor is opened with ``O_APPEND``, so concurrent writers
+      sharing the file interleave *whole* records (POSIX appends to a
+      regular file are atomic per ``write()``);
+    * each record plus its newline goes to the OS in a **single**
+      unbuffered ``os.write`` — no userspace buffer, no flush window;
+    * a short write (disk full, signal delivery) raises ``OSError``
+      instead of issuing a continuation write that could land inside a
+      concurrent writer's record — the abandoned partial line is exactly
+      the torn tail that tolerant readers skip.
+
+    ``fsync=True`` additionally syncs after every append, trading append
+    latency for power-loss durability (a service journal wants it; a
+    high-frequency unit checkpoint usually does not).
+    """
+
+    def __init__(
+        self, path: str, fsync: bool = False, label: str = "jsonl"
+    ) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.label = label
+        self._fd: Optional[int] = None
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one record as one ``write()``; returns bytes written."""
+        data = (json.dumps(record) + "\n").encode("utf-8")
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        written = os.write(self._fd, data)
+        if written != len(data):
+            raise OSError(
+                f"short {self.label} append to {self.path}: "
+                f"{written}/{len(data)} bytes; record abandoned "
+                "(tolerant readers skip the torn tail)"
+            )
+        if self.fsync:
+            os.fsync(self._fd)
+        return written
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 class CheckpointStore:
     """Append-only JSONL store of finished work-unit results.
 
@@ -340,7 +399,7 @@ class CheckpointStore:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._fd: Optional[int] = None
+        self._appender = JsonlAppender(path, label="checkpoint")
 
     def load(self) -> Dict[str, Any]:
         """Decode every recoverable ``key -> result`` entry of the file."""
@@ -374,41 +433,25 @@ class CheckpointStore:
     def record(self, key: str, result: Any, codec: str = "json") -> None:
         """Append one finished unit as one unbuffered ``write()``.
 
-        The whole line (record + newline) goes to the OS in a single
-        ``os.write`` on an ``O_APPEND`` descriptor — no userspace
-        buffering, no flush window — so another writer appending to the
-        same file can never land *inside* this record.  If the kernel
-        accepts only part of the line (disk full, signal), ``OSError``
-        is raised rather than writing the remainder: a second ``write``
-        would not be atomic with the first and could interleave with a
-        concurrent writer, tearing both records.  The abandoned partial
-        line is exactly the torn tail :meth:`load` already skips.
+        Delegates to :class:`JsonlAppender`, which writes the whole line
+        (record + newline) in a single ``os.write`` on an ``O_APPEND``
+        descriptor — so another writer appending to the same file can
+        never land *inside* this record, and a short write (disk full,
+        signal) raises ``OSError`` instead of issuing a continuation
+        write.  The abandoned partial line is exactly the torn tail
+        :meth:`load` already skips.
         """
         dump, _ = CHECKPOINT_CODECS[codec]
-        entry = {
+        self._appender.append({
             "format": _FORMAT,
             "kind": "checkpoint-unit",
             "key": key,
             "codec": codec,
             "payload": dump(result),
-        }
-        data = (json.dumps(entry) + "\n").encode("utf-8")
-        if self._fd is None:
-            self._fd = os.open(
-                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-        written = os.write(self._fd, data)
-        if written != len(data):
-            raise OSError(
-                f"short checkpoint append to {self.path}: "
-                f"{written}/{len(data)} bytes; record for key {key!r} "
-                "abandoned (load() skips the torn tail)"
-            )
+        })
 
     def close(self) -> None:
-        if self._fd is not None:
-            os.close(self._fd)
-            self._fd = None
+        self._appender.close()
 
     def __enter__(self) -> "CheckpointStore":
         return self

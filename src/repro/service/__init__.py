@@ -18,8 +18,14 @@ result-database / front-end split — see ``docs/SERVICE.md``):
   own worker thread, :class:`ProcessJobExecutor` isolates it in a
   worker process with progress/telemetry routed back over a queue;
 * :mod:`repro.service.store` — a content-addressed :class:`ResultStore`
-  with TTL and LRU eviction serving repeated specs without
+  with TTL and LRU eviction, sha256 payload digests with quarantine of
+  damaged documents, and an N-way :class:`ReplicatedResultStore`
+  (write-all/read-any with read-repair) serving repeated specs without
   recomputation;
+* :mod:`repro.service.journal` — :class:`JobJournal`, the append-only
+  write-ahead log of job transitions that makes the queue restart-safe:
+  replayed on start, pending jobs re-enqueue and in-flight ones resume
+  from their unit checkpoints;
 * :mod:`repro.service.api` / :mod:`repro.service.client` —
   :class:`SweepService` (a ``ThreadingHTTPServer`` JSON API) and
   :class:`ServiceClient`, wired into the CLI as
@@ -45,18 +51,22 @@ from .jobs import (
     result_payload,
 )
 from .executors import JobOutcome, ProcessJobExecutor, ThreadJobExecutor
+from .journal import JobJournal, JournalEntry
 from .queue import JobQueue
 from .scheduler import Scheduler
-from .store import ResultStore
+from .store import ReplicatedResultStore, ResultStore
 
 __all__ = [
     "ExperimentProfile",
     "Job",
+    "JobJournal",
     "JobOutcome",
     "JobQueue",
     "JobSpec",
     "JobState",
+    "JournalEntry",
     "ProcessJobExecutor",
+    "ReplicatedResultStore",
     "ResultStore",
     "SERVICE_EXPERIMENTS",
     "Scheduler",

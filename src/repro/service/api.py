@@ -44,21 +44,24 @@ the timing block.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__, telemetry
 from ..circuit.network import ensemble_cache_info, propagator_cache_info
 from ..errors import ClientQuotaError, QueueFullError, SpecValidationError
 from ..parallel import RetryPolicy
+from ..telemetry import events as event_log
 from ..telemetry import exposition
 from .jobs import JobSpec, JobState
+from .journal import JobJournal
 from .queue import JobQueue
 from .scheduler import Scheduler
-from .store import ResultStore
+from .store import ReplicatedResultStore, ResultStore
 
 __all__ = ["SweepService", "TokenBucketLimiter"]
 
@@ -534,16 +537,42 @@ class SweepService:
         rate_limit: Optional[float] = None,
         rate_burst: Optional[int] = None,
         client_quota: Optional[int] = None,
+        store_replicas: int = 1,
+        journal: bool = True,
+        drain_timeout: float = 5.0,
     ) -> None:
-        self.store = ResultStore(
-            root=store_dir, max_entries=store_max, ttl=store_ttl
-        )
+        if store_replicas < 1:
+            raise ValueError("store_replicas must be >= 1")
+        self.store: Union[ResultStore, ReplicatedResultStore]
+        if store_dir is not None and store_replicas > 1:
+            self.store = ReplicatedResultStore(
+                store_dir, replicas=store_replicas,
+                max_entries=store_max, ttl=store_ttl,
+            )
+        else:
+            self.store = ResultStore(
+                root=store_dir, max_entries=store_max, ttl=store_ttl
+            )
+        #: The job journal (WAL) lives next to the unit checkpoints; it
+        #: needs a work dir and is on by default whenever one is given.
+        self.journal: Optional[JobJournal] = None
+        if journal and work_dir is not None:
+            os.makedirs(work_dir, exist_ok=True)
+            self.journal = JobJournal(
+                os.path.join(work_dir, "jobs.journal")
+            )
+        self.drain_timeout = drain_timeout
+        #: Jobs re-enqueued from the journal at the last start.
+        self.recovered_jobs = 0
+        self.recovered_in_flight = 0
+        self._recovered = False
         # The queue consults the store so a DONE job whose result was
         # evicted/expired stops capturing resubmissions of its address.
         self.queue = JobQueue(
             limit=queue_limit,
             result_exists=self.store.contains,
             client_quota=client_quota,
+            journal=self.journal,
         )
         self.scheduler = Scheduler(
             self.queue,
@@ -588,6 +617,7 @@ class SweepService:
         if self.enable_telemetry:
             telemetry.enable()
         self.started_at = time.time()
+        self.recover()
         self.scheduler.start()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -602,11 +632,12 @@ class SweepService:
         if self.enable_telemetry:
             telemetry.enable()
         self.started_at = time.time()
+        self.recover()
         self.scheduler.start()
         try:
             self._httpd.serve_forever()
         finally:
-            self.scheduler.stop()
+            self._drain()
 
     def stop(self) -> None:
         self._httpd.shutdown()
@@ -614,7 +645,90 @@ class SweepService:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
-        self.scheduler.stop()
+        self._drain()
+
+    def request_shutdown(self) -> None:
+        """Ask a foreground :meth:`serve_forever` to exit and drain.
+
+        Safe to call from a signal handler's dispatch thread: it only
+        wakes the serve loop; the drain itself runs in the serve thread
+        (``serve_forever``'s ``finally``).
+        """
+        event_log.emit("service.shutdown_requested")
+        threading.Thread(
+            target=self._httpd.shutdown,
+            name="repro-service-shutdown",
+            daemon=True,
+        ).start()
+
+    def recover(self) -> None:
+        """Replay the job journal and re-enqueue what a crash orphaned.
+
+        Runs before the scheduler starts, so recovered jobs sit queued
+        until the workers come up.  The journal is reset first and every
+        recovered job is re-journaled through the normal submission path
+        — startup doubles as a compaction.  In-flight jobs resume from
+        their per-address unit checkpoint; their clients never resubmit.
+        Idempotent: the CLI runs it early to report recovery counts in
+        its banner; the subsequent ``serve_forever`` skips the replay.
+        """
+        if self.journal is None or self._recovered:
+            return
+        self._recovered = True
+        entries = self.journal.replay()
+        self.journal.reset()
+        for entry in entries:
+            try:
+                spec = JobSpec.from_json(entry.spec)
+                self.queue.submit(
+                    spec,
+                    priority=entry.priority,
+                    client=entry.client,
+                    recovered=True,
+                    job_id=entry.job,
+                )
+            except (SpecValidationError, QueueFullError, ClientQuotaError):
+                # A journaled spec this build no longer accepts, or a
+                # journal bigger than the queue: recover the rest.
+                telemetry.count("service.journal.replay_errors")
+                event_log.emit(
+                    "service.journal.replay_error", job=entry.job
+                )
+                continue
+            self.recovered_jobs += 1
+            if entry.in_flight:
+                self.recovered_in_flight += 1
+                telemetry.count("service.journal.recovered_inflight")
+            else:
+                telemetry.count("service.journal.recovered_queued")
+        if entries:
+            event_log.emit(
+                "service.journal.recovered",
+                jobs=self.recovered_jobs,
+                in_flight=self.recovered_in_flight,
+            )
+
+    def _drain(self) -> None:
+        """Graceful shutdown: finish running jobs, journal the rest.
+
+        Running jobs get ``drain_timeout`` seconds to settle (their
+        ``done`` records land in the journal); whatever is still queued
+        or stuck stays journaled as live and is recovered by the next
+        start.  The ``drain`` marker is informational — replay ignores
+        it.
+        """
+        self.scheduler.stop(timeout=self.drain_timeout)
+        if self.journal is None:
+            return
+        counts = self.queue.counts()
+        try:
+            self.journal.drain(
+                queued=counts.get("queued", 0),
+                running=counts.get("running", 0),
+            )
+        except OSError:
+            pass
+        self.journal.close()
 
     def __enter__(self) -> "SweepService":
         return self.start()
@@ -632,6 +746,9 @@ class SweepService:
         start — the handler maps the latter to a 503, so a liveness
         probe restarts a service whose workers were lost (queued jobs
         would otherwise wait forever on a listening-but-dead service).
+        ``"store-unreadable"`` (also 503) means no store replica can
+        serve at all; a single degraded replica keeps the status ``ok``
+        — its state shows under ``durability.replicas``.
         """
         uptime = (
             time.time() - self.started_at
@@ -639,8 +756,32 @@ class SweepService:
         )
         started = self.started_at is not None
         alive = self.scheduler.running
+        store_stats = self.store.stats()
+        if not self.store.readable():
+            status = "store-unreadable"
+        elif alive or not started:
+            status = "ok"
+        else:
+            status = "dead-workers"
         return {
-            "status": "ok" if (alive or not started) else "dead-workers",
+            "status": status,
+            "durability": {
+                "journal": (
+                    None if self.journal is None
+                    else dict(
+                        self.journal.stats.to_json(),
+                        path=self.journal.path,
+                    )
+                ),
+                "recovered_jobs": self.recovered_jobs,
+                "recovered_in_flight": self.recovered_in_flight,
+                "store_readable": self.store.readable(),
+                "replicas": store_stats.get("replicas"),
+                "read_repairs": store_stats.get("read_repairs", 0),
+                "replica_write_errors": store_stats.get(
+                    "replica_write_errors", 0
+                ),
+            },
             "version": __version__,
             "uptime_seconds": round(uptime, 3),
             "queue": {
@@ -648,7 +789,7 @@ class SweepService:
                 "limit": self.queue.limit,
             },
             "jobs": self.queue.counts(),
-            "store": self.store.stats(),
+            "store": store_stats,
             "workers": self.scheduler.workers,
             "scheduler": {
                 "alive": alive,

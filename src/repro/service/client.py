@@ -71,20 +71,59 @@ class ServiceResponseError(ServiceError):
 
 
 class ServiceClient:
-    """Talk to one sweep service instance."""
+    """Talk to one sweep service instance.
+
+    ``connect_retries``/``retry_backoff`` govern how the *blocking*
+    conveniences (:meth:`wait`, :meth:`submit_and_wait`,
+    :meth:`stream_events`) ride out a transient connection failure —
+    refused/reset while the service restarts.  With the job journal on
+    the server side, a restart re-enqueues the same job under the same
+    id, so a client that keeps polling simply picks the job back up
+    mid-recovery.  One-shot calls (:meth:`job`, :meth:`submit`, ...)
+    stay fail-fast.
+    """
 
     def __init__(
         self,
         url: str,
         timeout: float = 30.0,
         client_id: Optional[str] = None,
+        connect_retries: int = 5,
+        retry_backoff: float = 0.5,
     ) -> None:
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be > 0 seconds")
         self.url = url.rstrip("/")
         self.timeout = timeout
         # Sent as ``X-Client-Id`` on every request so the service's
         # rate limiter and per-client quota key on a stable identity
         # instead of the (possibly shared) remote address.
         self.client_id = client_id
+        self.connect_retries = connect_retries
+        self.retry_backoff = retry_backoff
+
+    def _retrying(self, call: Any, deadline: Optional[float] = None) -> Any:
+        """Run ``call`` riding out up to ``connect_retries`` connection
+        failures with linear backoff; ``deadline`` (monotonic) caps the
+        waiting so a retry burst cannot overshoot a caller's timeout.
+        """
+        attempts = 0
+        while True:
+            try:
+                return call()
+            except ServiceUnavailableError:
+                attempts += 1
+                if attempts > self.connect_retries:
+                    raise
+                pause = min(5.0, self.retry_backoff * attempts)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise
+                    pause = min(pause, remaining)
+                time.sleep(pause)
 
     # -- transport -------------------------------------------------------------
 
@@ -232,7 +271,9 @@ class ServiceClient:
                     raise ServiceUnavailableError(
                         self.url, str(reason)
                     ) from None
-                time.sleep(min(2.0, 0.2 * attempts))
+                # Long enough for a restarting server to come back up
+                # and finish journal recovery before we give up.
+                time.sleep(min(5.0, self.retry_backoff * attempts))
 
     @staticmethod
     def _parse_sse(response: Any) -> Iterator[Dict[str, Any]]:
@@ -272,10 +313,12 @@ class ServiceClient:
             time.monotonic() + timeout if timeout is not None else None
         )
         while True:
-            record = self.job(job_id)
+            record = self._retrying(lambda: self.job(job_id), deadline)
             state = record.get("state")
             if state == "done":
-                return self.result(job_id)
+                return self._retrying(
+                    lambda: self.result(job_id), deadline
+                )
             if state in ("failed", "cancelled"):
                 raise ServiceResponseError(
                     409, {"error": f"job-{state}", "detail": record.get(
@@ -295,8 +338,19 @@ class ServiceClient:
         timeout: Optional[float] = 600.0,
         poll: float = 0.25,
     ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        """Submit and block; returns ``(job record, result payload)``."""
-        submitted = self.submit(spec, priority=priority)
+        """Submit and block; returns ``(job record, result payload)``.
+
+        The submit and the final job fetch retry transient connection
+        failures (submission is idempotent — the content address dedups
+        a re-POST of the same spec), so the call survives a service
+        restart as long as the server journals its queue.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        submitted = self._retrying(
+            lambda: self.submit(spec, priority=priority), deadline
+        )
         job_id = submitted["job"]["id"]
         payload = self.wait(job_id, timeout=timeout, poll=poll)
-        return self.job(job_id), payload
+        return self._retrying(lambda: self.job(job_id), deadline), payload

@@ -177,7 +177,25 @@ def _pool_initializer(event_queue: Any) -> None:
     # KeyboardInterrupt traceback.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # The serve CLI installs a SIGTERM drain handler; a forked
+        # worker inherits it, and on the worker it would swallow the
+        # signal (shutting down an HTTP server that is not serving).
+        # Workers must just die on TERM — including the parent-death
+        # TERM below.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # non-main thread / exotic platforms
+        pass
+    # Die with the parent.  A SIGKILLed service cannot clean up its
+    # pool; without this the orphaned worker sits blocked on the call
+    # queue forever (the crash-recovery tests would strand one per
+    # kill).  Linux-only (prctl); elsewhere orphans exit with the OS
+    # session instead.
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGTERM)  # 1 = PR_SET_PDEATHSIG
+    except (OSError, AttributeError, ValueError):  # pragma: no cover
         pass
 
 

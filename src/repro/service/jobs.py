@@ -474,6 +474,9 @@ class Job:
     client: Optional[str] = None
     #: True when the result came from the store without recomputation.
     cache_hit: bool = False
+    #: True when this job was re-enqueued from the job journal after a
+    #: restart (it resumes from its unit checkpoint, not from scratch).
+    recovered: bool = False
     events: List[Dict[str, Any]] = field(default_factory=list)
     #: Monotone sequence number of the latest event (0 = none yet).
     event_seq: int = 0
@@ -514,6 +517,7 @@ class Job:
             "submissions": self.submissions,
             "client": self.client,
             "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
             "cancel_requested": self.cancel_requested,
             "error": self.error,
             "error_type": self.error_type,

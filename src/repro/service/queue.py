@@ -40,6 +40,7 @@ from .. import telemetry
 from ..errors import ClientQuotaError, QueueFullError
 from ..telemetry import events as event_log
 from .jobs import Job, JobSpec, JobState
+from .journal import JobJournal, JournalEntry
 
 __all__ = ["JobQueue"]
 
@@ -64,6 +65,7 @@ class JobQueue:
         max_history: int = 256,
         result_exists: Optional[Callable[[str], bool]] = None,
         client_quota: Optional[int] = None,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
@@ -72,6 +74,7 @@ class JobQueue:
         self.limit = limit
         self.max_history = max_history
         self.client_quota = client_quota
+        self.journal = journal
         self._result_exists = result_exists
         self._lock = threading.Lock()
         #: Wakes scheduler workers blocked in :meth:`claim`.
@@ -126,6 +129,8 @@ class JobQueue:
         spec: JobSpec,
         priority: int = 0,
         client: Optional[str] = None,
+        recovered: bool = False,
+        job_id: Optional[str] = None,
     ) -> Tuple[Job, bool]:
         """Admit one spec; returns ``(job, deduped)``.
 
@@ -136,6 +141,10 @@ class JobQueue:
         already owns ``client_quota`` live (queued or running) jobs,
         and with :class:`~repro.errors.QueueFullError` when the whole
         queue is full — and only then.
+
+        ``job_id`` pins the new job's id — journal recovery passes the
+        journaled id so a client that submitted before the restart can
+        keep polling the id it was given.
         """
         spec.validate()
         address = spec.address
@@ -186,9 +195,17 @@ class JobQueue:
                 )
                 raise QueueFullError(depth=self._queued, limit=self.limit)
             job = Job(
-                spec=spec, address=address, priority=priority, client=client
+                spec=spec, address=address, priority=priority, client=client,
+                recovered=recovered,
             )
+            if job_id is not None and job_id not in self._jobs:
+                job.id = job_id
             job.emit("queued", address=address, priority=priority)
+            self._journal_append(
+                "submit", job=job.id, address=address,
+                spec=spec.to_json(), priority=priority, client=client,
+                recovered=recovered,
+            )
             self._jobs[job.id] = job
             self._by_address[address] = job.id
             heapq.heappush(
@@ -240,6 +257,68 @@ class JobQueue:
             return None
         return job
 
+    # -- durability ------------------------------------------------------------
+
+    def _journal_append(self, op: str, **fields: Any) -> None:
+        """WAL one transition; a failed journal write degrades, not kills.
+
+        Called under the queue lock so journal record order matches
+        transition order (a ``claim`` can never precede its ``submit``
+        on disk).  ``OSError`` (disk full, volume gone) is swallowed
+        after counting — losing durability must not lose availability.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(op, **fields)
+        except OSError as exc:
+            telemetry.count("service.journal.errors")
+            event_log.emit(
+                "service.journal.error", op=op, error=str(exc)
+            )
+
+    def _live_entries(self) -> List[Tuple[JournalEntry, bool]]:
+        """Journal-shaped snapshot of every non-terminal job."""
+        with self._cond:
+            live = []
+            for job in sorted(
+                self._jobs.values(), key=lambda j: j.submitted_at
+            ):
+                if job.state.terminal:
+                    continue
+                live.append((
+                    JournalEntry(
+                        job=job.id,
+                        address=job.address,
+                        spec=job.spec.to_json(),
+                        priority=job.priority,
+                        client=job.client,
+                    ),
+                    job.state is JobState.RUNNING,
+                ))
+            return live
+
+    def maybe_compact_journal(self) -> None:
+        """Rewrite the journal down to live jobs when it has grown.
+
+        Runs *outside* the queue lock (the live snapshot takes it);
+        called after every terminal transition.
+        """
+        if self.journal is None:
+            return
+        try:
+            if self.journal.maybe_compact(self._live_entries):
+                telemetry.count("service.journal.compactions")
+                event_log.emit(
+                    "service.journal.compacted",
+                    records=self.journal.stats.records,
+                )
+        except OSError as exc:
+            telemetry.count("service.journal.errors")
+            event_log.emit(
+                "service.journal.error", op="compact", error=str(exc)
+            )
+
     # -- worker side -----------------------------------------------------------
 
     def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
@@ -255,6 +334,7 @@ class JobQueue:
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
                     job.emit("started")
+                    self._journal_append("claim", job=job.id)
                     self._queued -= 1
                     telemetry.gauge("service.queue.depth", self._queued)
                     telemetry.observe(
@@ -349,6 +429,7 @@ class JobQueue:
             self._settle(job, JobState.DONE)
             job.cache_hit = cache_hit
             job.emit("finished", cache_hit=cache_hit)
+            self._journal_append("done", job=job.id, cache_hit=cache_hit)
             telemetry.count("service.jobs.completed")
             if job.duration is not None:
                 telemetry.observe("service.jobs.seconds", job.duration)
@@ -358,6 +439,7 @@ class JobQueue:
                 cache_hit=cache_hit, seconds=job.duration,
             )
             self._event_cond.notify_all()
+        self.maybe_compact_journal()
 
     def fail(self, job: Job, exc: BaseException) -> None:
         with self._cond:
@@ -370,6 +452,9 @@ class JobQueue:
                 getattr(exc, "type_name", None) or type(exc).__name__
             )
             job.emit("failed", error_type=job.error_type, error=job.error)
+            self._journal_append(
+                "fail", job=job.id, error_type=job.error_type
+            )
             self._release_address(job)
             telemetry.count("service.jobs.failed")
             event_log.emit(
@@ -378,6 +463,7 @@ class JobQueue:
                 error_type=job.error_type, error=job.error,
             )
             self._event_cond.notify_all()
+        self.maybe_compact_journal()
 
     def cancel(self, job_id: str) -> Optional[Job]:
         """Cancel one job; returns it, or ``None`` if unknown.
@@ -387,14 +473,17 @@ class JobQueue:
         scheduler marks it CANCELLED at its next cooperative check.
         Cancelling a terminal job is a no-op.
         """
+        settled = False
         with self._cond:
             job = self._jobs.get(job_id)
             if job is None:
                 return None
             if job.state is JobState.QUEUED:
+                settled = True
                 self._settle(job, JobState.CANCELLED)
                 job.cancel_requested = True
                 job.emit("cancelled", while_state="queued")
+                self._journal_append("cancel", job=job.id)
                 self._queued -= 1
                 self._release_address(job)
                 telemetry.count("service.jobs.cancelled")
@@ -407,7 +496,9 @@ class JobQueue:
                 job.emit("cancel-requested")
                 event_log.emit("service.job.cancel_requested", job=job.id)
             self._event_cond.notify_all()
-            return job
+        if settled:
+            self.maybe_compact_journal()
+        return job
 
     def mark_cancelled(self, job: Job) -> None:
         """Scheduler-side: a RUNNING job honoured its cancel request."""
@@ -416,12 +507,14 @@ class JobQueue:
                 return
             self._settle(job, JobState.CANCELLED)
             job.emit("cancelled", while_state="running")
+            self._journal_append("cancel", job=job.id)
             self._release_address(job)
             telemetry.count("service.jobs.cancelled")
             event_log.emit(
                 "service.job.cancelled", job=job.id, while_state="running"
             )
             self._event_cond.notify_all()
+        self.maybe_compact_journal()
 
     def _settle(self, job: Job, state: JobState) -> None:
         """Move a job to a terminal state (caller holds the lock)."""

@@ -61,7 +61,7 @@ from ..telemetry import events as event_log
 from .executors import JobOutcome, ProcessJobExecutor, ThreadJobExecutor
 from .jobs import Job
 from .queue import JobQueue
-from .store import ResultStore
+from .store import ReplicatedResultStore, ResultStore
 
 __all__ = ["Scheduler"]
 
@@ -84,7 +84,7 @@ class Scheduler:
     def __init__(
         self,
         queue: JobQueue,
-        store: ResultStore,
+        store: Union[ResultStore, ReplicatedResultStore],
         workers: int = 1,
         work_dir: Optional[str] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -242,6 +242,11 @@ class Scheduler:
             self.queue.finish(job, cache_hit=True)
             return
         checkpoint_path = self._checkpoint_path(job)
+        if job.recovered:
+            # Re-enqueued from the job journal after a restart; if a
+            # unit checkpoint survives it resumes below, otherwise it
+            # reruns from scratch — either way no client resubmitted it.
+            self.queue.emit(job, "recovered", address=job.address)
         if checkpoint_path is not None and os.path.exists(checkpoint_path):
             self.queue.emit(job, "resuming", checkpoint=checkpoint_path)
         with telemetry.span(

@@ -1,4 +1,4 @@
-"""Content-addressed result store with TTL and LRU eviction.
+"""Content-addressed result store with TTL/LRU eviction and integrity.
 
 Results are keyed by the :class:`~repro.service.jobs.JobSpec` content
 address — a digest over the experiment, its resolved parameters, and
@@ -10,14 +10,30 @@ Two backings share one interface:
 
 * **in-memory** (``root=None``) — payload dicts in an ordered map;
 * **on-disk** — one ``<address>.json`` document per result under
-  ``root``, written atomically (temp file + ``os.replace``), with the
-  index rebuilt from the directory on restart so a redeployed service
-  keeps its cache warm.
+  ``root``, written atomically *and durably* (temp file + ``fsync`` +
+  ``os.replace`` + directory sync), with the index rebuilt from the
+  directory on restart so a redeployed service keeps its cache warm.
+
+Integrity: every disk document embeds a sha256 digest of its payload
+(canonical JSON), verified on ``get`` and on index rebuild.  A document
+that fails verification — truncated write, bit rot, hand corruption —
+is never served: it is moved into ``<root>/quarantine/`` for post-mortem
+(``service.store.corrupt``) and the address becomes a miss, so the
+scheduler simply recomputes it.  Pre-digest documents (bare payload
+dicts from older deployments) are still readable, just unverified.
 
 Eviction: entries older than ``ttl`` seconds are dropped at lookup time
 (``service.store.expired``); beyond ``max_entries`` the
 least-recently-*used* entry goes first (``service.store.evictions``).
 A ``get`` refreshes recency, a ``put`` counts as first use.
+
+:class:`ReplicatedResultStore` layers N of these over per-replica
+subdirectories with write-all/read-any semantics: a ``put`` fans out to
+every replica (a single failed replica is counted, not fatal), a ``get``
+serves the first replica whose copy verifies and read-repairs the ones
+that lost or corrupted theirs (``service.store.read_repairs``).  The
+store keeps serving as long as *any* replica is readable — the
+redundancy half of the ROADMAP's sharded-store item.
 
 Payloads are the JSON documents of
 :func:`repro.service.jobs.result_payload`, whose nested objects (fault
@@ -27,17 +43,44 @@ codecs — the same dump/load pairs the checkpoint JSONL lines use.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..telemetry import events as event_log
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "ReplicatedResultStore", "payload_digest"]
+
+_FORMAT = "repro-v1"
+_KIND = "result-record"
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON encoding of ``payload``."""
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort directory sync so a rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class ResultStore:
@@ -60,6 +103,8 @@ class ResultStore:
         #: can report them even when telemetry is disabled).
         self.evictions = 0
         self.expired = 0
+        self.corrupt = 0
+        self.rebuild_skipped = 0
         self._lock = threading.Lock()
         #: address -> stored_at wall time, in least-recently-used order
         #: (oldest first).
@@ -78,17 +123,34 @@ class ResultStore:
     def _rebuild_index(self) -> None:
         """Re-adopt existing result documents after a restart.
 
-        Recency is approximated by file modification time — good enough
-        to seed the LRU order; TTL keeps honouring the original write
-        time.
+        Every document is digest-verified before adoption; one that is
+        truncated, unparseable, or fails its digest is quarantined and
+        counted (``service.store.rebuild_skipped``) — a damaged cache
+        entry must never crash the serve, it just recomputes.  Recency
+        is approximated by file modification time — good enough to seed
+        the LRU order; TTL keeps honouring the original write time.
         """
         entries = []
-        for name in os.listdir(self.root):
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
             if not name.endswith(".json"):
                 continue
             path = os.path.join(self.root, name)
+            if not os.path.isfile(path):
+                continue
+            address = name[: -len(".json")]
+            payload, damaged = self._load_document(path)
+            if payload is None:
+                if damaged:
+                    self._quarantine(
+                        address, "service.store.rebuild_skipped"
+                    )
+                continue
             try:
-                entries.append((os.path.getmtime(path), name[: -len(".json")]))
+                entries.append((os.path.getmtime(path), address))
             except OSError:
                 continue
         for mtime, address in sorted(entries):
@@ -112,24 +174,88 @@ class ResultStore:
                 self.expired += 1
                 event_log.emit("service.store.expired", address=address)
 
-    def _read(self, address: str) -> Optional[Dict[str, Any]]:
-        if self.root is None:
-            return self._memory.get(address)
+    def _quarantine(self, address: str, counter: str) -> None:
+        """Move a damaged document aside instead of serving or deleting it.
+
+        The bytes are evidence (what failed — torn write? bit flip?),
+        so they land in ``<root>/quarantine/`` rather than the bin.
+        """
+        assert self.root is not None
+        src = self._path(address)
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        dst = os.path.join(qdir, address + ".json")
         try:
-            with open(self._path(address), encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
-        return payload if isinstance(payload, dict) else None
+            os.makedirs(qdir, exist_ok=True)
+            if os.path.exists(dst):
+                dst = "%s.%d" % (dst, int(time.time() * 1e6))
+            os.replace(src, dst)
+        except OSError:
+            try:
+                os.remove(src)
+            except OSError:
+                pass
+        self._index.pop(address, None)
+        self.corrupt += 1
+        telemetry.count("service.store.corrupt")
+        if counter == "service.store.rebuild_skipped":
+            self.rebuild_skipped += 1
+            telemetry.count(counter)
+        event_log.emit(
+            "service.store.quarantined", address=address, store=self.root
+        )
+
+    def _load_document(
+        self, path: str
+    ) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """``(payload, damaged)`` for one disk document.
+
+        ``(None, False)`` means the file is simply gone (no document to
+        distrust); ``(None, True)`` means bytes exist but are unusable —
+        unparseable JSON, a non-object, or a digest mismatch.  A bare
+        payload dict without the digest envelope is a pre-digest record:
+        served as-is, unverified.
+        """
+        try:
+            with open(path, encoding="utf-8") as fh:
+                document = json.load(fh)
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError, ValueError):
+            # Unreadable bytes are damage; a file that is simply gone
+            # (racing eviction, dead replica dir) is just a miss.
+            return None, os.path.exists(path)
+        if not isinstance(document, dict):
+            return None, True
+        if document.get("kind") != _KIND:
+            # Legacy bare payload (pre-digest deployments).
+            return document, False
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            return None, True
+        if document.get("digest") != payload_digest(payload):
+            return None, True
+        return payload, False
+
+    def _read(self, address: str) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """``(payload, damaged)`` for ``address`` (see ``_load_document``)."""
+        if self.root is None:
+            return self._memory.get(address), False
+        return self._load_document(self._path(address))
 
     # -- public API ------------------------------------------------------------
 
-    def get(self, address: str) -> Optional[Dict[str, Any]]:
+    def get(
+        self, address: str, count_metrics: bool = True
+    ) -> Optional[Dict[str, Any]]:
         """The stored payload for ``address``, or ``None``.
 
         Counts ``service.store.hits`` / ``service.store.misses``; an
         entry past its TTL is evicted and counted as a miss (plus
-        ``service.store.expired``).
+        ``service.store.expired``); an entry whose digest no longer
+        matches is quarantined and counted as a miss (plus
+        ``service.store.corrupt``).  ``count_metrics=False`` skips the
+        hit/miss counters — :class:`ReplicatedResultStore` probes each
+        replica this way and counts once for the logical lookup.
         """
         with self._lock:
             stored_at = self._index.get(address)
@@ -138,17 +264,23 @@ class ResultStore:
                     self._evict(address, "service.store.expired")
                     stored_at = None
             if stored_at is None:
-                telemetry.count("service.store.misses")
+                if count_metrics:
+                    telemetry.count("service.store.misses")
                 return None
-            payload = self._read(address)
+            payload, damaged = self._read(address)
             if payload is None:
-                # The document vanished (manual cleanup, disk error);
-                # drop the stale index entry and treat as a miss.
-                self._evict(address, None)
-                telemetry.count("service.store.misses")
+                if damaged:
+                    self._quarantine(address, "service.store.corrupt")
+                else:
+                    # The document vanished (manual cleanup, disk
+                    # error); drop the stale index entry.
+                    self._evict(address, None)
+                if count_metrics:
+                    telemetry.count("service.store.misses")
                 return None
             self._index.move_to_end(address)
-            telemetry.count("service.store.hits")
+            if count_metrics:
+                telemetry.count("service.store.hits")
             return payload
 
     def contains(self, address: str) -> bool:
@@ -162,16 +294,33 @@ class ResultStore:
             return True
 
     def put(self, address: str, payload: Dict[str, Any]) -> None:
-        """Store one result document; evicts LRU entries over the cap."""
+        """Store one result document; evicts LRU entries over the cap.
+
+        Disk documents carry the payload digest and are flushed with
+        ``fsync`` before the atomic rename — "atomic" without durable
+        is how torn caches happen.  Raises ``OSError`` when the disk
+        write fails (callers decide whether that is fatal; the
+        replicated store treats a single replica's failure as
+        degradation, not loss).
+        """
         with self._lock:
             if self.root is None:
                 self._memory[address] = payload
             else:
+                document = {
+                    "format": _FORMAT,
+                    "kind": _KIND,
+                    "digest": payload_digest(payload),
+                    "payload": payload,
+                }
                 path = self._path(address)
                 tmp = path + ".tmp"
                 with open(tmp, "w", encoding="utf-8") as fh:
-                    json.dump(payload, fh, sort_keys=True)
+                    json.dump(document, fh, sort_keys=True)
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, path)
+                _fsync_dir(self.root)
             self._index[address] = time.time()
             self._index.move_to_end(address)
             telemetry.count("service.store.puts")
@@ -179,6 +328,16 @@ class ResultStore:
                 oldest = next(iter(self._index))
                 self._evict(oldest, "service.store.evictions")
             telemetry.gauge("service.store.entries", len(self._index))
+
+    def readable(self) -> bool:
+        """Can this store serve at all (its backing directory lists)?"""
+        if self.root is None:
+            return True
+        try:
+            os.listdir(self.root)
+            return True
+        except OSError:
+            return False
 
     def stats(self) -> Dict[str, Any]:
         """Occupancy and lifetime eviction counters (for ``/healthz``)."""
@@ -189,6 +348,8 @@ class ResultStore:
                 "ttl": self.ttl,
                 "evictions": self.evictions,
                 "expired": self.expired,
+                "corrupt": self.corrupt,
+                "rebuild_skipped": self.rebuild_skipped,
             }
 
     def addresses(self) -> Tuple[str, ...]:
@@ -204,3 +365,149 @@ class ResultStore:
         with self._lock:
             for address in list(self._index):
                 self._evict(address, None)
+
+
+class ReplicatedResultStore:
+    """N-way replicated :class:`ResultStore`: write-all / read-any.
+
+    Each replica lives in ``<root>/replica-<i>/`` with the full
+    digest-and-quarantine discipline of the single store.  Lookups scan
+    replicas in order and serve the first verified copy, then
+    read-repair any replica that was missing or quarantined its copy
+    (``service.store.read_repairs``).  Writes fan out to every replica;
+    one failing replica is counted (``service.store.replica_write_errors``)
+    and serving continues degraded — the write only fails when *no*
+    replica accepted it.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        replicas: int = 2,
+        max_entries: int = 128,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.root = root
+        self.read_repairs = 0
+        self.replica_write_errors = 0
+        self._lock = threading.Lock()
+        self.replicas: List[ResultStore] = [
+            ResultStore(
+                root=os.path.join(root, "replica-%d" % index),
+                max_entries=max_entries,
+                ttl=ttl,
+            )
+            for index in range(replicas)
+        ]
+
+    # The queue/scheduler/api only need this surface; anything else
+    # (addresses, clear) proxies to the replicas explicitly in tests.
+
+    @property
+    def max_entries(self) -> int:
+        return self.replicas[0].max_entries
+
+    @property
+    def ttl(self) -> Optional[float]:
+        return self.replicas[0].ttl
+
+    def get(self, address: str) -> Optional[Dict[str, Any]]:
+        """First verified copy across replicas; repairs the laggards."""
+        payload = None
+        needs_repair: List[ResultStore] = []
+        for replica in self.replicas:
+            if payload is None:
+                payload = replica.get(address, count_metrics=False)
+                if payload is None:
+                    needs_repair.append(replica)
+            elif not replica.contains(address):
+                needs_repair.append(replica)
+        if payload is None:
+            telemetry.count("service.store.misses")
+            return None
+        for replica in needs_repair:
+            try:
+                replica.put(address, payload)
+            except OSError:
+                self._count_write_error(replica)
+                continue
+            with self._lock:
+                self.read_repairs += 1
+            telemetry.count("service.store.read_repairs")
+            event_log.emit(
+                "service.store.read_repaired",
+                address=address,
+                replica=replica.root,
+            )
+        telemetry.count("service.store.hits")
+        return payload
+
+    def contains(self, address: str) -> bool:
+        return any(replica.contains(address) for replica in self.replicas)
+
+    def put(self, address: str, payload: Dict[str, Any]) -> None:
+        """Write to every replica; raise only when all of them fail."""
+        accepted = 0
+        last_error: Optional[OSError] = None
+        for replica in self.replicas:
+            try:
+                replica.put(address, payload)
+                accepted += 1
+            except OSError as exc:
+                last_error = exc
+                self._count_write_error(replica)
+        if accepted == 0:
+            raise last_error if last_error is not None else OSError(
+                "no replica accepted the write"
+            )
+
+    def readable(self) -> bool:
+        """True while at least one replica can serve."""
+        return any(replica.readable() for replica in self.replicas)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate occupancy plus per-replica health (for ``/healthz``)."""
+        per_replica = []
+        for replica in self.replicas:
+            stats = replica.stats()
+            stats["root"] = replica.root
+            stats["readable"] = replica.readable()
+            per_replica.append(stats)
+        return {
+            "entries": max(r["entries"] for r in per_replica),
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "evictions": sum(r["evictions"] for r in per_replica),
+            "expired": sum(r["expired"] for r in per_replica),
+            "corrupt": sum(r["corrupt"] for r in per_replica),
+            "rebuild_skipped": sum(
+                r["rebuild_skipped"] for r in per_replica
+            ),
+            "replicas": per_replica,
+            "read_repairs": self.read_repairs,
+            "replica_write_errors": self.replica_write_errors,
+        }
+
+    def addresses(self) -> Tuple[str, ...]:
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for replica in self.replicas:
+            for address in replica.addresses():
+                seen.setdefault(address, None)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.addresses())
+
+    def clear(self) -> None:
+        for replica in self.replicas:
+            replica.clear()
+
+    def _count_write_error(self, replica: ResultStore) -> None:
+        with self._lock:
+            self.replica_write_errors += 1
+        telemetry.count("service.store.replica_write_errors")
+        event_log.emit(
+            "service.store.replica_write_error", replica=replica.root
+        )

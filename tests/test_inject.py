@@ -10,6 +10,8 @@ quarantined and an otherwise identical inventory — lives here too.
 """
 
 import math
+import os
+import signal
 
 import pytest
 
@@ -26,8 +28,11 @@ from repro.core.analysis import ColumnFaultAnalyzer, SweepGrid
 from repro.errors import InjectionError, SolverDivergenceError
 from repro.inject import (
     CheckpointTailTruncator,
+    JournalTailTruncator,
+    ProcessKiller,
     PropagatorCacheCorruptor,
     SolverNaNInjector,
+    StoreCorruptor,
     VoltagePerturbationInjector,
     run_campaign,
 )
@@ -214,6 +219,108 @@ class TestCheckpointTailTruncator:
         # intact prefix survives.
         assert loaded.get("alpha") == 1
         assert "beta" not in loaded
+
+
+class TestStoreCorruptor:
+    def _store_with_docs(self, tmp_path, n=3):
+        from repro.service.store import ResultStore
+
+        store = ResultStore(root=str(tmp_path / "store"))
+        for i in range(n):
+            store.put(f"addr{i}", {"value": i})
+        return store
+
+    def test_flip_is_caught_by_the_digest_check(self, tmp_path):
+        store = self._store_with_docs(tmp_path)
+        corruptor = StoreCorruptor(store.root, seed=3, n_entries=1)
+        corruptor.arm()
+        assert corruptor.fires == 1 and len(corruptor.corrupted_paths) == 1
+        # A fresh store over the same directory must quarantine the
+        # damaged document on rebuild, never serve it.
+        from repro.service.store import ResultStore
+
+        reopened = ResultStore(root=store.root)
+        assert len(reopened) == 2
+        assert reopened.corrupt == 1
+        damaged = os.path.basename(corruptor.corrupted_paths[0])
+        assert not os.path.exists(
+            os.path.join(store.root, damaged)
+        )
+
+    def test_truncate_mode_and_determinism(self, tmp_path):
+        store = self._store_with_docs(tmp_path)
+        first = StoreCorruptor(
+            store.root, seed=9, n_entries=2, mode="truncate"
+        )
+        first.arm()
+        assert first.fires == 2
+        # Same seed picks the same files.
+        second = StoreCorruptor(
+            store.root, seed=9, n_entries=2, mode="truncate"
+        )
+        second.arm()
+        assert [os.path.basename(p) for p in first.corrupted_paths] == [
+            os.path.basename(p) for p in second.corrupted_paths
+        ]
+
+    def test_empty_store_is_an_injection_error(self, tmp_path):
+        os.makedirs(str(tmp_path / "empty"))
+        with pytest.raises(InjectionError):
+            StoreCorruptor(str(tmp_path / "empty")).arm()
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(InjectionError):
+            StoreCorruptor(str(tmp_path), mode="shred")
+
+
+class TestJournalTailTruncator:
+    def test_replay_skips_the_torn_record(self, tmp_path):
+        from repro.service.journal import JobJournal
+
+        path = str(tmp_path / "jobs.journal")
+        with JobJournal(path) as journal:
+            journal.submit("j1", "addr1", {"experiment": "x"})
+            journal.submit("j2", "addr2", {"experiment": "x"})
+        truncator = JournalTailTruncator(path, seed=11, max_bytes=10)
+        truncator.arm()
+        assert truncator.name == "journal-truncation"
+        replayed = JobJournal(path)
+        assert [e.job for e in replayed.replay()] == ["j1"]
+        assert replayed.stats.torn == 1
+
+
+class TestProcessKiller:
+    def test_refuses_init_and_self(self):
+        with pytest.raises(InjectionError):
+            ProcessKiller(1)
+        with pytest.raises(InjectionError):
+            ProcessKiller(os.getpid())
+
+    def test_kills_a_child_process(self):
+        import subprocess
+        import sys
+
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            killer = ProcessKiller(child.pid)
+            killer.arm()
+            assert killer.fires == 1
+            assert child.wait(timeout=10) == -signal.SIGKILL
+        finally:
+            if child.poll() is None:
+                child.kill()
+
+    def test_unknown_pid_is_an_injection_error(self):
+        import subprocess
+        import sys
+
+        # A pid that existed but is gone by the time we signal it.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait(timeout=10)
+        with pytest.raises(InjectionError):
+            ProcessKiller(child.pid).arm()
 
 
 class TestHookExclusivity:
