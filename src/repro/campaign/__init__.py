@@ -1,0 +1,79 @@
+"""Stress-corner campaign subsystem (docs/CAMPAIGNS.md).
+
+A *campaign* crosses the paper's Table 1 partial-fault inventory with a
+matrix of electrical operating corners — supply scaling, junction
+temperature, cycle-time stress — and reports, per corner, which partial
+faults appear, which complete, which escape the march test, and which
+of the escapes a partially-stuck-at masking code would absorb.
+
+Not to be confused with the *fault-injection* campaigns of
+:func:`repro.inject.run_injection_campaign`, which exercise the
+robustness layer by injecting software faults into one run; a sweep
+campaign here is a fleet of real experiment jobs at different operating
+points (see docs/ROBUSTNESS.md for the distinction).
+
+Public surface:
+
+* :class:`CornerAxis` / :class:`CornerMatrix` / :class:`Corner` — the
+  declarative matrix and its expansion into per-corner
+  :class:`~repro.service.jobs.JobSpec`\\ s (:mod:`.corners`)
+* :class:`CampaignConfig` / :func:`run_matrix_campaign` /
+  :class:`CampaignResult` — orchestration, in-process or against a live
+  sweep service (:mod:`.runner`)
+* :class:`PartiallyStuckAtCode` / :func:`classify_escape` /
+  :func:`analyze_escapes` — the ECC-absorption layer (:mod:`.masking`)
+* :func:`build_artifact` / :func:`render_report` — the cross-corner
+  report and its JSON document (:mod:`.report`)
+"""
+
+from .corners import (
+    CYCLE_SCALED_FIELDS,
+    DEFAULT_CORNERS_SPEC,
+    VDD_SCALED_FIELDS,
+    Corner,
+    CornerAxis,
+    CornerMatrix,
+)
+from .masking import (
+    STUCK_LEVELS,
+    EscapeClass,
+    MaskingAnalysis,
+    PartiallyStuckAtCode,
+    analyze_escapes,
+    classify_escape,
+)
+from .report import (
+    ARTIFACT_FORMAT,
+    analyze_corner,
+    build_artifact,
+    render_report,
+)
+from .runner import (
+    CampaignConfig,
+    CampaignError,
+    CampaignResult,
+    run_matrix_campaign,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CYCLE_SCALED_FIELDS",
+    "DEFAULT_CORNERS_SPEC",
+    "STUCK_LEVELS",
+    "VDD_SCALED_FIELDS",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignResult",
+    "Corner",
+    "CornerAxis",
+    "CornerMatrix",
+    "EscapeClass",
+    "MaskingAnalysis",
+    "PartiallyStuckAtCode",
+    "analyze_corner",
+    "analyze_escapes",
+    "build_artifact",
+    "classify_escape",
+    "render_report",
+    "run_matrix_campaign",
+]

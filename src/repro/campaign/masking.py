@@ -1,0 +1,237 @@
+"""Partially-stuck-at masking: which march escapes would a code absorb?
+
+A march test that misses a completed partial fault ships a defective
+part — unless the system stores data through a code that *masks* the
+defect.  "Codes for Partially Stuck-at Memory Cells" (Wachter-Zeh &
+Yaakobi) construct exactly such codes: for a cell stuck at level ``s``
+(it can store ``s`` but not ``1-s`` reliably — or, in the binary
+partially-stuck-at reading used here, simply stuck at ``s``), the
+encoder picks a codeword that *agrees* with the stuck cell, so the
+defect never has to be overwritten.
+
+:class:`PartiallyStuckAtCode` implements the binary ``t = 1`` instance
+of that construction: ``n`` cells carry ``k = n - 1`` data bits plus one
+redundancy bit holding the *shift* ``c``.  The encoder stores
+``(data, 0) XOR c·1`` with ``c`` chosen so the codeword matches the
+stuck cell's level; the decoder reads ``c`` back from the redundancy
+cell and unshifts.  One redundant bit masks any single stuck cell at
+any position — the optimal redundancy for ``t = 1`` (their Theorem 1).
+
+:func:`classify_escape` then splits a corner's march escapes into the
+two classes the campaign report counts:
+
+``ABSORBABLE``
+    Storage-class FFMs — SF (state), TF (transition) and WDF (write
+    destructive) faults.  Behaviourally the cell settles at one level
+    regardless of what was written: a partially-stuck-at cell, exactly
+    the channel the code is built for (:data:`STUCK_LEVELS` maps each
+    FFM to the level the cell effectively holds).
+``TRUE_ESCAPE``
+    Read-path FFMs — RDF, DRDF and IRF — and anything outside the
+    single-cell taxonomy.  The corruption originates in the sensing
+    path (the value *read* is wrong even when the stored charge is
+    fine), outside the stuck-at storage channel the code protects; no
+    stuck-cell mask recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.fault_primitives import FaultPrimitive
+from ..core.ffm import FFM, classify_fp
+from ..errors import SpecValidationError
+
+__all__ = [
+    "STUCK_LEVELS",
+    "EscapeClass",
+    "MaskingAnalysis",
+    "PartiallyStuckAtCode",
+    "analyze_escapes",
+    "classify_escape",
+]
+
+#: The level a storage-class FFM effectively pins its cell at: the one
+#: value the cell ends up holding no matter what was stored or written.
+STUCK_LEVELS: Dict[FFM, int] = {
+    FFM.SF0: 1,      # <0/1/->: a stored 0 decays to 1 — the cell holds 1
+    FFM.SF1: 0,      # <1/0/->: a stored 1 decays to 0
+    FFM.TF_UP: 0,    # <0w1/0/->: can never be written up from 0
+    FFM.TF_DOWN: 1,  # <1w0/1/->: can never be written down from 1
+    FFM.WDF0: 1,     # <0w0/1/->: w0 over 0 flips the cell to 1
+    FFM.WDF1: 0,     # <1w1/0/->: w1 over 1 flips the cell to 0
+}
+
+
+class EscapeClass(Enum):
+    """What a march escape means for a code-protected system."""
+
+    ABSORBABLE = "absorbable"
+    TRUE_ESCAPE = "true-escape"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_escape(
+    fault: Union[FaultPrimitive, FFM]
+) -> Tuple[EscapeClass, Optional[FFM]]:
+    """Classify one escaped fault; returns ``(class, ffm-or-None)``.
+
+    Accepts a (possibly completed) fault primitive — classified
+    behaviourally through :func:`~repro.core.ffm.classify_fp` — or an
+    :class:`~repro.core.ffm.FFM` directly.
+    """
+    ffm = fault if isinstance(fault, FFM) else classify_fp(fault)
+    if ffm is not None and ffm in STUCK_LEVELS:
+        return EscapeClass.ABSORBABLE, ffm
+    return EscapeClass.TRUE_ESCAPE, ffm
+
+
+@dataclass(frozen=True)
+class PartiallyStuckAtCode:
+    """Binary ``t = 1`` partially-stuck-at masking code on ``n`` cells.
+
+    ``k = n - 1`` data bits, one redundancy (shift) cell.  The codeword
+    for ``data`` under a cell stuck at ``(pos, level)`` is::
+
+        w = (data, 0) XOR c·(1, ..., 1),   c = data_ext[pos] XOR level
+
+    so ``w[pos] == level`` by construction — the stuck cell is written
+    with the value it holds anyway.  Decoding reads the shift back from
+    the redundancy cell (``data_ext[n-1] = 0``, hence ``w[n-1] = c``)
+    and unshifts.  The encoder must know the stuck position/level (from
+    a diagnosis pass); the decoder needs nothing.
+    """
+
+    n: int
+
+    def validate(self) -> "PartiallyStuckAtCode":
+        if not isinstance(self.n, int) or isinstance(self.n, bool) \
+                or self.n < 2:
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "n", self.n,
+                "an integer >= 2 (one data bit + the shift cell)",
+            )
+        return self
+
+    @property
+    def k(self) -> int:
+        """Data bits per codeword."""
+        return self.n - 1
+
+    def encode(
+        self, data: Sequence[int], stuck_pos: int, stuck_level: int
+    ) -> Tuple[int, ...]:
+        """The codeword storing ``data`` that agrees with the stuck cell."""
+        self.validate()
+        if len(data) != self.k:
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "data", list(data),
+                f"exactly k={self.k} bits",
+            )
+        if not 0 <= stuck_pos < self.n:
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "stuck_pos", stuck_pos,
+                f"a cell index in [0, {self.n})",
+            )
+        if stuck_level not in (0, 1):
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "stuck_level", stuck_level,
+                "0 or 1",
+            )
+        extended = tuple(int(b) & 1 for b in data) + (0,)
+        c = extended[stuck_pos] ^ stuck_level
+        return tuple(b ^ c for b in extended)
+
+    def decode(self, word: Sequence[int]) -> Tuple[int, ...]:
+        """Recover the data bits from a stored codeword."""
+        self.validate()
+        if len(word) != self.n:
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "word", list(word),
+                f"exactly n={self.n} cells",
+            )
+        c = int(word[-1]) & 1
+        return tuple((int(b) & 1) ^ c for b in word[:-1])
+
+    def masks(self, stuck_pos: int, stuck_level: int) -> bool:
+        """Exhaustively verify the mask: every data word survives a cell
+        stuck at ``(stuck_pos, stuck_level)``.
+
+        The stored word is passed through the stuck cell (its position
+        forced to the stuck level — a no-op if the construction holds)
+        before decoding.  Exhaustive over all ``2^k`` data words; ``k``
+        is capped at 16 to keep the check a test-time tool.
+        """
+        self.validate()
+        if self.k > 16:
+            raise SpecValidationError(
+                "PartiallyStuckAtCode", "n", self.n,
+                "k <= 16 for the exhaustive mask check",
+            )
+        for value in range(1 << self.k):
+            data = tuple((value >> i) & 1 for i in range(self.k))
+            stored = list(self.encode(data, stuck_pos, stuck_level))
+            stored[stuck_pos] = stuck_level  # the cell holds its level
+            if self.decode(stored) != data:
+                return False
+        return True
+
+    def masks_everywhere(self, stuck_level: int) -> bool:
+        """``masks`` at every cell position (both the paper's claim and
+        the reconciliation check the campaign report leans on)."""
+        return all(
+            self.masks(pos, stuck_level) for pos in range(self.n)
+        )
+
+
+@dataclass
+class MaskingAnalysis:
+    """A corner's march escapes, split by what the code can absorb."""
+
+    code: PartiallyStuckAtCode
+    absorbable: List[Tuple[FaultPrimitive, FFM]] = field(
+        default_factory=list
+    )
+    true_escapes: List[Tuple[FaultPrimitive, Optional[FFM]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def escaped(self) -> int:
+        return len(self.absorbable) + len(self.true_escapes)
+
+    def reconciles(self, escaped_total: int) -> bool:
+        """The two classes partition the escape set exactly."""
+        return self.escaped == escaped_total
+
+
+def analyze_escapes(
+    escaped: Sequence[FaultPrimitive],
+    code: Optional[PartiallyStuckAtCode] = None,
+) -> MaskingAnalysis:
+    """Classify every escaped fault and verify the absorbable ones.
+
+    Each fault classified ``ABSORBABLE`` is double-checked against the
+    code: the mask must hold at *every* cell position for the FFM's
+    stuck level (:meth:`PartiallyStuckAtCode.masks_everywhere`) — a
+    classification the code cannot actually back demotes the fault to a
+    true escape instead of overcounting the absorbed column.
+    """
+    code = (code or PartiallyStuckAtCode(8)).validate()
+    analysis = MaskingAnalysis(code=code)
+    verified_levels: Dict[int, bool] = {}
+    for fault in escaped:
+        verdict, ffm = classify_escape(fault)
+        if verdict is EscapeClass.ABSORBABLE:
+            level = STUCK_LEVELS[ffm]
+            if level not in verified_levels:
+                verified_levels[level] = code.masks_everywhere(level)
+            if verified_levels[level]:
+                analysis.absorbable.append((fault, ffm))
+                continue
+        analysis.true_escapes.append((fault, ffm))
+    return analysis

@@ -1,0 +1,271 @@
+"""Cross-corner campaign reports: the appeared/completed/escaped matrix.
+
+The campaign runner produces one Table 1 job-result payload per corner;
+this module turns them into the campaign's two artifacts:
+
+* a JSON document (``format: repro-campaign-v1``) embedding, per corner,
+  the derived metrics, the classified march escapes, *and* the full
+  per-corner job payload — so the nominal corner's report can be
+  byte-compared against a direct run, and ``campaign report`` can
+  re-render the whole thing offline;
+* an :class:`~repro.experiments.reporting.ExperimentReport` built purely
+  from that JSON document (never from live objects), so the rendering of
+  a fresh run and of a reloaded artifact are identical by construction.
+
+Per corner, the derivation chain is: inventory rows (*appeared* partial
+FFMs) → *completed* FPs → the Sim+Com fault set → march coverage of the
+campaign's test → *escaped* faults → :mod:`masking` classification into
+*absorbable* vs *true escapes*.  The report's reconciliation claim
+checks the chain's arithmetic at every corner:
+``detected + escaped == faults`` and
+``absorbable + true_escapes == escaped``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.fault_primitives import FaultPrimitive
+from ..errors import SpecValidationError
+from ..experiments.reporting import ExperimentReport, format_table
+from ..io import dump_fp, load_fp
+from ..march.coverage import coverage_matrix
+from ..march.library import MARCH_PF
+from ..march.notation import MarchTest
+from .corners import Corner
+from .masking import PartiallyStuckAtCode, analyze_escapes
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "analyze_corner",
+    "build_artifact",
+    "render_report",
+]
+
+ARTIFACT_FORMAT = "repro-campaign-v1"
+
+
+def _completed_faults(
+    payload: Dict[str, Any]
+) -> Tuple[FaultPrimitive, ...]:
+    """The Sim + Com completed fault set of one corner's inventory."""
+    faults: List[FaultPrimitive] = []
+    for row in payload.get("rows") or ():
+        if row.get("completed"):
+            fp = load_fp(row["completed"])
+            faults.append(fp)
+            faults.append(fp.complement())
+    return tuple(faults)
+
+
+def analyze_corner(
+    corner: Corner,
+    address: str,
+    payload: Dict[str, Any],
+    march_test: MarchTest = MARCH_PF,
+    code: Optional[PartiallyStuckAtCode] = None,
+) -> Dict[str, Any]:
+    """One corner's artifact entry: metrics, classified escapes, payload."""
+    code = (code or PartiallyStuckAtCode(8)).validate()
+    rows = payload.get("rows") or []
+    faults = _completed_faults(payload)
+    if faults:
+        matrix = coverage_matrix([march_test], faults)
+        escaped = matrix.missed_by(march_test)
+    else:
+        escaped = ()
+    analysis = analyze_escapes(escaped, code)
+    escapes_doc = [
+        {"fp": dump_fp(fp), "ffm": ffm.name, "class": "absorbable"}
+        for fp, ffm in analysis.absorbable
+    ] + [
+        {
+            "fp": dump_fp(fp),
+            "ffm": ffm.name if ffm is not None else None,
+            "class": "true-escape",
+        }
+        for fp, ffm in analysis.true_escapes
+    ]
+    return {
+        "corner": corner.name,
+        "stressed": corner.stressed,
+        "settings": [
+            [name, value] for name, value in corner.settings
+        ],
+        "overrides": {
+            name: value for name, value in corner.overrides
+        },
+        "address": address,
+        "metrics": {
+            "appeared": len(rows),
+            "completed": sum(1 for r in rows if r.get("completed")),
+            "faults": len(faults),
+            "detected": len(faults) - len(escaped),
+            "escaped": len(escaped),
+            "absorbable": len(analysis.absorbable),
+            "true_escapes": len(analysis.true_escapes),
+        },
+        "escapes": escapes_doc,
+        "payload": payload,
+    }
+
+
+def build_artifact(
+    entries: Sequence[Dict[str, Any]],
+    experiment: str = "table1",
+    march_test: MarchTest = MARCH_PF,
+    code: Optional[PartiallyStuckAtCode] = None,
+) -> Dict[str, Any]:
+    """The campaign's self-contained JSON document."""
+    code = (code or PartiallyStuckAtCode(8)).validate()
+    return {
+        "format": ARTIFACT_FORMAT,
+        "kind": "campaign-result",
+        "experiment": experiment,
+        "march_test": march_test.name,
+        "code": {"n": code.n, "k": code.k},
+        "corners": list(entries),
+    }
+
+
+def _row_keys(payload: Dict[str, Any]) -> set:
+    return {
+        f"{row['ffm_sim']}@Open{row['open']}"
+        for row in payload.get("rows") or ()
+    }
+
+
+def _completed_keys(payload: Dict[str, Any]) -> set:
+    return {
+        f"{row['ffm_sim']}@Open{row['open']}"
+        for row in payload.get("rows") or ()
+        if row.get("completed")
+    }
+
+
+def _delta_phrase(gained: set, lost: set) -> str:
+    parts = []
+    if gained:
+        parts.append("+" + " +".join(sorted(gained)))
+    if lost:
+        parts.append("-" + " -".join(sorted(lost)))
+    return " ".join(parts) if parts else "(none)"
+
+
+def render_report(artifact: Dict[str, Any]) -> ExperimentReport:
+    """Rebuild the campaign report from its JSON document.
+
+    Raises :class:`~repro.errors.SpecValidationError` when the document
+    is not a ``repro-campaign-v1`` campaign result.
+    """
+    if (
+        not isinstance(artifact, dict)
+        or artifact.get("format") != ARTIFACT_FORMAT
+        or artifact.get("kind") != "campaign-result"
+        or not isinstance(artifact.get("corners"), list)
+    ):
+        raise SpecValidationError(
+            "campaign", "artifact", type(artifact).__name__,
+            f"a {ARTIFACT_FORMAT} campaign-result document",
+        )
+    corners = artifact["corners"]
+    march_name = artifact.get("march_test", MARCH_PF.name)
+    code = artifact.get("code") or {}
+    report = ExperimentReport(
+        "Stress-corner campaign — "
+        f"{artifact.get('experiment', 'table1')} inventory across "
+        f"{len(corners)} operating corner(s)"
+    )
+
+    matrix_rows = [
+        (
+            entry["corner"],
+            entry["metrics"]["appeared"],
+            entry["metrics"]["completed"],
+            entry["metrics"]["faults"],
+            entry["metrics"]["detected"],
+            entry["metrics"]["escaped"],
+            entry["metrics"]["absorbable"],
+            entry["metrics"]["true_escapes"],
+        )
+        for entry in corners
+    ]
+    report.add_block(
+        f"march test: {march_name}; masking code: partially-stuck-at "
+        f"(n={code.get('n', '?')}, k={code.get('k', '?')}, t=1)\n"
+        + format_table(
+            ("corner", "appeared", "completed", "faults", "detected",
+             "escaped", "absorbable", "true esc"),
+            matrix_rows,
+        )
+    )
+
+    nominal = next(
+        (e for e in corners if not e.get("stressed")), None
+    )
+    stressed = [e for e in corners if e.get("stressed")]
+    inventory_moved = False
+    if nominal is not None and stressed:
+        base_rows = _row_keys(nominal["payload"])
+        base_completed = _completed_keys(nominal["payload"])
+        delta_rows = []
+        for entry in stressed:
+            rows = _row_keys(entry["payload"])
+            completed = _completed_keys(entry["payload"])
+            if rows != base_rows or completed != base_completed:
+                inventory_moved = True
+            delta_rows.append((
+                entry["corner"],
+                _delta_phrase(rows - base_rows, base_rows - rows),
+                _delta_phrase(
+                    completed - base_completed,
+                    base_completed - completed,
+                ),
+            ))
+        report.add_block(
+            "corner-over-corner deltas vs nominal "
+            "(partial FFM @ open location):\n"
+            + format_table(
+                ("corner", "appeared delta", "completed delta"),
+                delta_rows,
+            )
+        )
+
+    escape_lines = []
+    for entry in corners:
+        if entry["escapes"]:
+            listed = ", ".join(
+                f"{e['ffm'] or 'unclassified'}({e['class']})"
+                for e in entry["escapes"]
+            )
+        else:
+            listed = "(none)"
+        escape_lines.append(f"{entry['corner']}: {listed}")
+    report.add_block(
+        f"march escapes of {march_name} per corner:\n"
+        + "\n".join(escape_lines)
+    )
+
+    reconciled = all(
+        e["metrics"]["detected"] + e["metrics"]["escaped"]
+        == e["metrics"]["faults"]
+        and e["metrics"]["absorbable"] + e["metrics"]["true_escapes"]
+        == e["metrics"]["escaped"]
+        for e in corners
+    )
+    report.claim(
+        "masking counts reconcile to the march-coverage totals",
+        "absorbable + true escapes partition the escape set",
+        f"checked at {len(corners)} corner(s)",
+        reconciled,
+    )
+    if nominal is not None and stressed:
+        report.claim(
+            "stress corners move the partial-fault inventory",
+            "appearance/completion is operating-point dependent "
+            "(stress-condition testing rationale)",
+            f"{sum(1 for _ in stressed)} stressed corner(s), "
+            f"inventory {'moved' if inventory_moved else 'unchanged'}",
+            inventory_moved,
+        )
+    return report

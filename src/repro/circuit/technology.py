@@ -230,12 +230,21 @@ class Technology:
         return self
 
     def scaled(self, **overrides: float) -> "Technology":
-        """Return a copy with selected parameters replaced (for ablations)."""
-        return replace(self, **overrides)
+        """Return a copy with selected parameters replaced, re-validated.
+
+        Used by the ablation studies and by the stress-corner expansion
+        (:mod:`repro.campaign.corners`).  The derived instance runs
+        :meth:`validate` before it is returned, so an inconsistent
+        override set — e.g. lowering ``vdd`` below the precharge level
+        without scaling ``v_precharge`` along — fails fast with a
+        :class:`~repro.errors.SpecValidationError` naming the field,
+        instead of producing a silently unphysical corner.
+        """
+        return replace(self, **overrides).validate()
 
     def at_temperature(self, celsius: float) -> "Technology":
         """Return a copy at a different junction temperature."""
-        return replace(self, temperature=celsius)
+        return replace(self, temperature=celsius).validate()
 
 
 def default_technology() -> Technology:

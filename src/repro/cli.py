@@ -72,6 +72,20 @@ invocations alike) writes the structured event log of
 ``--version`` prints the package version.  The classic single-shot
 experiment invocations are completely unaffected by service mode.
 
+Campaign mode (see ``docs/CAMPAIGNS.md``)::
+
+    repro-partial-faults campaign run --corners "vdd=1.0,0.8;cycle=1.0,0.5"
+                                       # stress-corner matrix -> report
+    repro-partial-faults campaign report --json campaign.json
+                                       # re-render a saved campaign
+
+``campaign run`` expands a declarative corner matrix (supply scale,
+junction temperature, cycle-time stress) into per-corner jobs — each a
+distinct content address — executes them in-process or against a live
+``serve`` instance (``--service-url``), and prints the cross-corner
+appeared/completed/escaped/absorbed report.  ``--checkpoint FILE`` /
+``--resume FILE`` give campaigns their own corner-level resume.
+
 Observability flags (any of them switches telemetry on for the run; see
 ``docs/OBSERVABILITY.md`` for metric names and formats)::
 
@@ -659,6 +673,225 @@ def _submit_main(argv) -> int:
     return 0
 
 
+def _campaign_main(argv) -> int:
+    """``repro-partial-faults campaign`` — stress-corner matrices.
+
+    ``campaign run`` expands a corner matrix into per-corner jobs
+    (in-process, or against a live service with ``--service-url``) and
+    prints the cross-corner report; ``campaign report`` re-renders a
+    saved campaign JSON document.  See docs/CAMPAIGNS.md.
+    """
+    from .campaign import (
+        DEFAULT_CORNERS_SPEC,
+        CampaignConfig,
+        CornerMatrix,
+        render_report,
+        run_matrix_campaign,
+    )
+    from .circuit.defects import OpenLocation
+
+    parser = argparse.ArgumentParser(
+        prog="repro-partial-faults campaign",
+        description="Run a stress-corner x masking campaign over the "
+        "Table 1 inventory (docs/CAMPAIGNS.md).",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro-partial-faults {__version__}",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="expand the corner matrix and execute every job",
+    )
+    run_parser.add_argument(
+        "--corners", default=DEFAULT_CORNERS_SPEC, metavar="SPEC",
+        help="corner matrix as 'axis=v1,v2;...' over the axes vdd "
+        "(supply scale), temperature (junction Celsius) and cycle "
+        f"(cycle-time scale); default '{DEFAULT_CORNERS_SPEC}'",
+    )
+    run_parser.add_argument(
+        "--opens", nargs="+", metavar="NAME", default=None,
+        choices=sorted(OpenLocation.__members__),
+        help="open locations to analyze (default: all nine)",
+    )
+    run_parser.add_argument(
+        "--n-r", type=int, default=None, metavar="N",
+        help="resistance-axis points per sweep",
+    )
+    run_parser.add_argument(
+        "--n-u", type=int, default=None, metavar="N",
+        help="voltage-axis points per sweep",
+    )
+    run_parser.add_argument(
+        "--max-extra-ops", type=int, default=None, metavar="N",
+        help="completion-search depth",
+    )
+    run_parser.add_argument(
+        "--guard-policy",
+        choices=[policy.value for policy in GuardPolicy], default=None,
+        help="numerical-guard reaction inside each corner job",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes inside each corner's sweep fan-out "
+        "(execution hint; default 1)",
+    )
+    run_parser.add_argument(
+        "--corner-jobs", type=int, default=1, metavar="N",
+        help="corners executed concurrently (default 1)",
+    )
+    run_parser.add_argument(
+        "--service-url", metavar="URL", default=None,
+        help="submit the corner jobs to a running sweep service "
+        "instead of executing in-process",
+    )
+    run_parser.add_argument(
+        "--client-id", metavar="ID", default=None,
+        help="X-Client-Id sent with every service submission",
+    )
+    run_parser.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="service queue priority (default 0)",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-corner service wait deadline (default 600)",
+    )
+    run_parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="append each finished corner's payload to FILE (JSONL) "
+        "so a killed campaign can be resumed with --resume",
+    )
+    run_parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="skip corners already recorded in FILE and checkpoint "
+        "new ones to it",
+    )
+    run_parser.add_argument(
+        "--work-dir", metavar="DIR", default=None,
+        help="keep per-corner sweep-unit checkpoints under DIR "
+        "(in-process execution only)",
+    )
+    run_parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the campaign JSON document to FILE "
+        "(re-renderable with 'campaign report')",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="re-render a saved campaign JSON document",
+    )
+    report_parser.add_argument(
+        "--json", metavar="FILE", required=True,
+        help="campaign document written by 'campaign run --json'",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        try:
+            with open(args.json, encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro-partial-faults campaign: cannot read "
+                f"{args.json}: {exc}", file=sys.stderr,
+            )
+            return 2
+        try:
+            report = render_report(artifact)
+        except SpecValidationError as exc:
+            print(
+                f"repro-partial-faults campaign: invalid document: "
+                f"{exc}", file=sys.stderr,
+            )
+            return 2
+        print(report.render())
+        print()
+        return 0 if report.all_hold else 1
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.corner_jobs < 1:
+        parser.error("--corner-jobs must be >= 1")
+    if args.timeout <= 0:
+        parser.error("--timeout must be > 0")
+    if args.priority and not args.service_url:
+        parser.error("--priority requires --service-url")
+    if args.work_dir and args.service_url:
+        parser.error(
+            "--work-dir applies to in-process execution only (the "
+            "service keeps its own unit checkpoints via serve "
+            "--work-dir)"
+        )
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        parser.error(
+            "--resume and --checkpoint name different files; --resume "
+            "already appends new corners to the file it reads"
+        )
+    if args.resume and not os.path.exists(args.resume):
+        parser.error(f"--resume {args.resume}: no such checkpoint file")
+    checkpoint_path = args.resume or args.checkpoint
+    for path in (checkpoint_path, args.json):
+        if path:
+            try:
+                _probe_writable(path)
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+    try:
+        config = CampaignConfig(
+            matrix=CornerMatrix.from_spec(args.corners),
+            opens=tuple(args.opens) if args.opens else None,
+            n_r=args.n_r,
+            n_u=args.n_u,
+            max_extra_ops=args.max_extra_ops,
+            guard_policy=args.guard_policy,
+            jobs=args.jobs,
+            corner_jobs=args.corner_jobs,
+            service_url=args.service_url,
+            client_id=args.client_id,
+            priority=args.priority,
+            timeout=args.timeout,
+            checkpoint_path=checkpoint_path,
+            resume=bool(args.resume),
+            work_dir=args.work_dir,
+        ).validate()
+    except SpecValidationError as exc:
+        print(
+            f"repro-partial-faults campaign: invalid spec: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"[campaign] {config.matrix.size} corner(s), "
+        + ("service " + args.service_url if args.service_url
+           else "in-process") + " execution",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        result = run_matrix_campaign(config)
+    except SpecValidationError as exc:
+        print(
+            f"repro-partial-faults campaign: invalid spec: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except ReproError as exc:
+        print(f"repro-partial-faults campaign: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.artifact, fh, indent=2, sort_keys=True)
+    print(result.report.render())
+    print()
+    print(
+        f"[campaign] {result.executed} corner job(s) executed, "
+        f"{result.resumed} resumed from checkpoint",
+        file=sys.stderr, flush=True,
+    )
+    return 0 if result.report.all_hold else 1
+
+
 def main(argv=None) -> int:
     """Entry point for the ``repro-partial-faults`` console script."""
     if argv is None:
@@ -670,6 +903,8 @@ def main(argv=None) -> int:
         return _serve_main(argv[1:])
     if argv[:1] == ["submit"]:
         return _submit_main(argv[1:])
+    if argv[:1] == ["campaign"]:
+        return _campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-partial-faults",
         description="Reproduce the partial-fault paper's tables and figures.",
@@ -682,7 +917,8 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate (also: the 'serve' and "
-        "'submit' service subcommands, see docs/SERVICE.md)",
+        "'submit' service subcommands of docs/SERVICE.md and the "
+        "'campaign' stress-corner subcommand of docs/CAMPAIGNS.md)",
     )
     parser.add_argument(
         "--trace",

@@ -37,16 +37,20 @@ Three more target the sweep *service*'s durability layer (see
   checkpoints.
 
 Every injector is a context manager (armed on enter, disarmed on exit —
-also by :func:`run_campaign`) and fully deterministic under its ``seed``:
-the same seed fires the same faults at the same solves.  Injectors never
-install over each other: arming while another hook is armed raises
-:class:`~repro.errors.InjectionError`.
+also by :func:`run_injection_campaign`) and fully deterministic under
+its ``seed``: the same seed fires the same faults at the same solves.
+Injectors never install over each other: arming while another hook is
+armed raises :class:`~repro.errors.InjectionError`.
 
-:func:`run_campaign` runs one workload per injector, snapshots the
-``solver.guard_*`` / ``analyzer.quarantined_points`` / ``parallel.*``
+:func:`run_injection_campaign` runs one workload per injector, snapshots
+the ``solver.guard_*`` / ``analyzer.quarantined_points`` / ``parallel.*``
 telemetry counters around each run, and classifies the outcome with
 DAVOS-style verdicts (``dormant`` / ``masked`` / ``contained`` /
-``detected`` / ``escaped``).
+``detected`` / ``escaped``).  ``run_campaign`` remains as a
+compatibility alias — not to be confused with the *stress-corner sweep
+campaigns* of :mod:`repro.campaign`, which orchestrate fleets of real
+experiment jobs across operating corners rather than injecting faults
+into one run (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -74,6 +78,7 @@ __all__ = [
     "ProcessKiller",
     "InjectionResult",
     "CampaignReport",
+    "run_injection_campaign",
     "run_campaign",
 ]
 
@@ -586,7 +591,7 @@ def _classify(
     return "masked"
 
 
-def run_campaign(
+def run_injection_campaign(
     injectors: Sequence[FaultInjector],
     workload: Callable[[], Any],
     expect: Optional[Callable[[Any], bool]] = None,
@@ -657,3 +662,9 @@ def run_campaign(
         if not was_enabled:
             telemetry.disable()
     return report
+
+
+#: Compatibility alias.  "Campaign" without qualification is ambiguous
+#: since the stress-corner sweep campaigns of :mod:`repro.campaign`
+#: exist; prefer :func:`run_injection_campaign` in new code.
+run_campaign = run_injection_campaign

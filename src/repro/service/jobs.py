@@ -34,12 +34,13 @@ import json
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..circuit.defects import OpenLocation
 from ..circuit.network import GuardPolicy
+from ..circuit.technology import Technology, default_technology
 from ..core.analysis import default_grid_for
 from ..errors import SpecValidationError
 from ..io import dump_fp, dump_quarantined_point
@@ -72,6 +73,9 @@ class ExperimentProfile:
     sweep: bool = False
     takes_opens: bool = False
     takes_completion: bool = False
+    #: The runner threads a per-job :class:`Technology` through the
+    #: electrical model (stress-corner campaigns, docs/CAMPAIGNS.md).
+    takes_technology: bool = False
     default_n_r: int = 0
     default_n_u: int = 0
 
@@ -80,6 +84,7 @@ def _run_table1(spec: "JobSpec", resilience: Any) -> Any:
     from ..experiments.table1 import run_table1
 
     return run_table1(
+        technology=spec.resolved_technology(),
         opens=spec.locations() or None,
         n_r=spec.resolved_n_r(),
         n_u=spec.resolved_n_u(),
@@ -97,6 +102,7 @@ def _run_fig3(spec: "JobSpec", resilience: Any) -> Any:
     from ..experiments.fig3 import run_fig3
 
     return run_fig3(
+        technology=spec.resolved_technology(),
         n_r=spec.resolved_n_r(),
         n_u=spec.resolved_n_u(),
         jobs=spec.jobs,
@@ -110,6 +116,7 @@ def _run_fig4(spec: "JobSpec", resilience: Any) -> Any:
     from ..experiments.fig4 import run_fig4
 
     return run_fig4(
+        technology=spec.resolved_technology(),
         n_r=spec.resolved_n_r(),
         n_u=spec.resolved_n_u(),
         jobs=spec.jobs,
@@ -123,6 +130,7 @@ def _run_march(spec: "JobSpec", resilience: Any) -> Any:
     from ..experiments.march_pf import run_march_pf
 
     return run_march_pf(
+        technology=spec.resolved_technology(),
         jobs=spec.jobs,
         resilience=resilience,
         guard_policy=spec.resolved_guard_policy(),
@@ -143,15 +151,18 @@ def _plain_runner(module: str, func: str) -> Callable[["JobSpec", Any], Any]:
 SERVICE_EXPERIMENTS: Dict[str, ExperimentProfile] = {
     "table1": ExperimentProfile(
         "table1", _run_table1, sweep=True, takes_opens=True,
-        takes_completion=True, default_n_r=16, default_n_u=12,
+        takes_completion=True, takes_technology=True,
+        default_n_r=16, default_n_u=12,
     ),
     "fig3": ExperimentProfile(
-        "fig3", _run_fig3, sweep=True, default_n_r=16, default_n_u=12,
+        "fig3", _run_fig3, sweep=True, takes_technology=True,
+        default_n_r=16, default_n_u=12,
     ),
     "fig4": ExperimentProfile(
-        "fig4", _run_fig4, sweep=True, default_n_r=20, default_n_u=12,
+        "fig4", _run_fig4, sweep=True, takes_technology=True,
+        default_n_r=20, default_n_u=12,
     ),
-    "march": ExperimentProfile("march", _run_march),
+    "march": ExperimentProfile("march", _run_march, takes_technology=True),
     "fp-space": ExperimentProfile(
         "fp-space", _plain_runner("repro.experiments.fp_space", "run_fp_space")
     ),
@@ -198,11 +209,29 @@ class JobSpec:
     max_extra_ops: Optional[int] = None
     guard_policy: Optional[str] = None
     check_marginal: bool = False
+    #: Technology overrides for stress-corner jobs: field-name/value
+    #: pairs applied over :func:`default_technology` via
+    #: ``Technology.scaled()``.  ``None`` is the nominal corner.  The
+    #: overrides shape every solve, so they ARE part of the content
+    #: address — two corners never dedupe onto each other.  A mapping
+    #: passed to the constructor is normalized to sorted pairs, so
+    #: key order never changes the address.
+    technology: Optional[Tuple[Tuple[str, float], ...]] = None
     #: Execution hints — identical results for any value (docs/PERFORMANCE.md),
     #: therefore NOT part of the content address.
     jobs: int = 1
     batch_u: bool = True
     grid_engine: bool = True
+
+    def __post_init__(self) -> None:
+        overrides = self.technology
+        if overrides is None:
+            return
+        try:
+            overrides = tuple(sorted(dict(overrides).items()))
+        except (TypeError, ValueError, AttributeError):
+            return  # left as-is; validate() reports the bad shape
+        object.__setattr__(self, "technology", overrides or None)
 
     # -- validation ------------------------------------------------------------
 
@@ -270,6 +299,32 @@ class JobSpec:
                     "JobSpec", "guard_policy", self.guard_policy,
                     "one of " + ", ".join(p.value for p in GuardPolicy),
                 ) from None
+        if self.technology is not None:
+            if not profile.takes_technology:
+                raise SpecValidationError(
+                    "JobSpec", "technology", dict(self.technology),
+                    f"nothing — {self.experiment} takes no technology "
+                    "overrides",
+                )
+            known_fields = {f.name for f in dataclass_fields(Technology)}
+            for name, value in self.technology:
+                if name not in known_fields:
+                    raise SpecValidationError(
+                        "JobSpec", "technology", name,
+                        "Technology field names ("
+                        + ", ".join(sorted(known_fields)) + ")",
+                    )
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    raise SpecValidationError(
+                        "JobSpec", "technology", value,
+                        f"a number for field {name!r}",
+                    )
+            # Building the corner re-validates the derived Technology,
+            # so an inconsistent override set (vdd below v_precharge,
+            # non-positive timing, ...) fails at submission time.
+            self.resolved_technology()
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise SpecValidationError(
                 "JobSpec", "jobs", self.jobs, "an integer >= 1"
@@ -299,6 +354,21 @@ class JobSpec:
 
     def resolved_guard_policy(self) -> Optional[GuardPolicy]:
         return GuardPolicy(self.guard_policy) if self.guard_policy else None
+
+    def resolved_technology(self) -> Optional[Technology]:
+        """The stress-corner :class:`Technology`, or ``None`` (nominal).
+
+        The derived instance is re-validated by ``Technology.scaled()``;
+        unknown field names surface as :class:`SpecValidationError`.
+        """
+        if self.technology is None:
+            return None
+        try:
+            return default_technology().scaled(**dict(self.technology))
+        except TypeError as exc:
+            raise SpecValidationError(
+                "JobSpec", "technology", dict(self.technology), str(exc)
+            ) from None
 
     def grid_signatures(self) -> Dict[str, str]:
         """Per-location sweep-grid digests, via ``SweepGrid.signature()``.
@@ -345,6 +415,13 @@ class JobSpec:
             payload["max_extra_ops"] = self.resolved_max_extra_ops()
             payload["check_marginal"] = self.check_marginal
         payload["guard_policy"] = self.guard_policy
+        # Stress-corner overrides shape every electrical solve; absent
+        # for the nominal corner so pre-existing addresses are stable
+        # (and a corner job with no overrides IS the nominal job).
+        if self.technology is not None:
+            payload["technology"] = {
+                name: float(value) for name, value in self.technology
+            }
         return payload
 
     @property
@@ -366,6 +443,9 @@ class JobSpec:
             "max_extra_ops": self.max_extra_ops,
             "guard_policy": self.guard_policy,
             "check_marginal": self.check_marginal,
+            "technology": (
+                dict(self.technology) if self.technology is not None else None
+            ),
             "jobs": self.jobs,
             "batch_u": self.batch_u,
             "grid_engine": self.grid_engine,
@@ -379,8 +459,8 @@ class JobSpec:
             )
         known = {
             "experiment", "opens", "n_r", "n_u", "max_extra_ops",
-            "guard_policy", "check_marginal", "jobs", "batch_u",
-            "grid_engine",
+            "guard_policy", "check_marginal", "technology", "jobs",
+            "batch_u", "grid_engine",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -401,6 +481,12 @@ class JobSpec:
                     "JobSpec", "opens", opens, "a list of OpenLocation names"
                 )
             opens = tuple(opens)
+        technology = data.get("technology")
+        if technology is not None and not isinstance(technology, dict):
+            raise SpecValidationError(
+                "JobSpec", "technology", technology,
+                "an object of Technology field overrides",
+            )
         spec = cls(
             experiment=data["experiment"],
             opens=opens,
@@ -409,6 +495,7 @@ class JobSpec:
             max_extra_ops=data.get("max_extra_ops"),
             guard_policy=data.get("guard_policy"),
             check_marginal=bool(data.get("check_marginal", False)),
+            technology=technology,
             jobs=data.get("jobs", 1),
             batch_u=bool(data.get("batch_u", True)),
             grid_engine=bool(data.get("grid_engine", True)),

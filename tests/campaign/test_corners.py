@@ -1,0 +1,151 @@
+"""Corner matrices: parsing, expansion and per-corner job specs."""
+
+import pytest
+
+from repro.campaign import (
+    CYCLE_SCALED_FIELDS,
+    DEFAULT_CORNERS_SPEC,
+    VDD_SCALED_FIELDS,
+    Corner,
+    CornerAxis,
+    CornerMatrix,
+)
+from repro.circuit.technology import default_technology
+from repro.errors import SpecValidationError
+from repro.service.jobs import JobSpec
+
+
+def _base_spec():
+    return JobSpec(experiment="table1", n_r=4, n_u=4).validate()
+
+
+class TestFromSpec:
+    def test_parses_axes_in_declaration_order(self):
+        matrix = CornerMatrix.from_spec(
+            "vdd=1.0,0.8;temperature=25,85;cycle=1.0,0.5"
+        )
+        assert [axis.name for axis in matrix.axes] == [
+            "vdd", "temperature", "cycle",
+        ]
+        assert matrix.axes[1].values == (25.0, 85.0)
+        assert matrix.size == 8
+
+    def test_default_spec_parses_to_a_two_by_two_matrix(self):
+        matrix = CornerMatrix.from_spec(DEFAULT_CORNERS_SPEC)
+        assert matrix.size == 4
+
+    def test_blank_segments_are_skipped(self):
+        matrix = CornerMatrix.from_spec("vdd=1.0,0.9; ;")
+        assert len(matrix.axes) == 1
+
+    @pytest.mark.parametrize("text", [
+        "",                    # no axes at all
+        "vdd",                 # missing '='
+        "vdd=",                # missing values
+        "freq=1.0,0.5",        # unknown axis
+        "vdd=abc",             # unparsable value
+        "vdd=1.0;vdd=0.9",     # repeated axis
+        "vdd=1.0,1.0",         # duplicate values
+        "cycle=0",             # scale must be > 0
+        "cycle=-0.5",
+        "temperature=inf",     # non-finite
+    ])
+    def test_bad_specs_raise(self, text):
+        with pytest.raises(SpecValidationError):
+            CornerMatrix.from_spec(text)
+
+    def test_axis_values_must_exist(self):
+        with pytest.raises(SpecValidationError):
+            CornerAxis("vdd", ()).validate()
+
+
+class TestExpansion:
+    def test_all_identity_corner_is_nominal_with_no_overrides(self):
+        (corner,) = CornerMatrix.from_spec(
+            "vdd=1.0;temperature=25;cycle=1.0"
+        ).corners()
+        assert corner.name == "nominal"
+        assert corner.overrides == ()
+        assert not corner.stressed
+
+    def test_corner_names_carry_only_the_stressed_tokens(self):
+        matrix = CornerMatrix.from_spec("vdd=1.0,0.8;cycle=1.0,0.5")
+        assert [c.name for c in matrix.corners()] == [
+            "nominal", "cycle=x0.5", "vdd=x0.8", "vdd=x0.8,cycle=x0.5",
+        ]
+
+    def test_temperature_axis_overrides_the_temperature_field(self):
+        corners = CornerMatrix.from_spec("temperature=25,85").corners()
+        assert corners[0].overrides == ()
+        assert corners[1].name == "temp=85C"
+        assert corners[1].overrides == (("temperature", 85.0),)
+        assert corners[1].technology().temperature == 85.0
+
+    def test_vdd_axis_scales_the_whole_supply_ladder(self):
+        base = default_technology()
+        (_, low) = CornerMatrix.from_spec("vdd=1.0,0.8").corners()
+        assert dict(low.overrides) == {
+            f: getattr(base, f) * 0.8 for f in VDD_SCALED_FIELDS
+        }
+
+    def test_cycle_axis_scales_the_phase_budget_but_not_t_wl_off(self):
+        base = default_technology()
+        (_, fast) = CornerMatrix.from_spec("cycle=1.0,0.5").corners()
+        assert dict(fast.overrides) == {
+            f: getattr(base, f) * 0.5 for f in CYCLE_SCALED_FIELDS
+        }
+        assert "t_wl_off" not in dict(fast.overrides)
+        assert fast.technology().t_wl_off == base.t_wl_off
+
+    def test_unphysical_corner_fails_fast_at_expansion(self):
+        # vdd x0.1 pulls the rail below the (unscaled) v_threshold.
+        matrix = CornerMatrix.from_spec("vdd=0.1")
+        with pytest.raises(SpecValidationError):
+            matrix.corners()
+
+
+class TestJobSpecs:
+    def test_nominal_corner_spec_is_the_plain_job(self):
+        base = _base_spec()
+        pairs = CornerMatrix.from_spec("cycle=1.0,0.5").job_specs(base)
+        nominal_spec = pairs[0][1]
+        assert nominal_spec.technology is None
+        assert nominal_spec.address == base.address
+
+    def test_distinct_corners_never_share_a_content_address(self):
+        base = _base_spec()
+        pairs = CornerMatrix.from_spec(
+            "vdd=1.0,0.8;cycle=1.0,0.5"
+        ).job_specs(base)
+        addresses = [spec.address for _, spec in pairs]
+        assert len(set(addresses)) == len(addresses) == 4
+
+    def test_identical_corners_from_different_matrices_dedupe(self):
+        base = _base_spec()
+        a = dict(CornerMatrix.from_spec("cycle=1.0,0.5").job_specs(base))
+        b = dict(
+            CornerMatrix.from_spec("cycle=0.5;vdd=1.0").job_specs(base)
+        )
+        (fast_a,) = [s for c, s in a.items() if c.stressed]
+        (fast_b,) = [s for c, s in b.items() if c.stressed]
+        assert fast_a.address == fast_b.address
+
+    def test_corner_specs_resolve_to_the_corner_technology(self):
+        base = _base_spec()
+        ((_, nominal), (fast_corner, fast_spec)) = CornerMatrix.from_spec(
+            "cycle=1.0,0.5"
+        ).job_specs(base)
+        assert nominal.resolved_technology() is None
+        assert fast_spec.resolved_technology() == fast_corner.technology()
+
+
+class TestCornerValue:
+    def test_stressed_flag_tracks_the_override_set(self):
+        nominal = Corner("nominal", (("vdd", 1.0),), ())
+        stressed = Corner(
+            "temp=85C", (("temperature", 85.0),),
+            (("temperature", 85.0),),
+        )
+        assert not nominal.stressed
+        assert stressed.stressed
+        assert nominal.technology() == default_technology()

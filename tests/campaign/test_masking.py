@@ -1,0 +1,120 @@
+"""The partially-stuck-at code and the escape classification."""
+
+import itertools
+
+import pytest
+
+from repro.campaign import (
+    STUCK_LEVELS,
+    EscapeClass,
+    PartiallyStuckAtCode,
+    analyze_escapes,
+    classify_escape,
+)
+from repro.core.ffm import FFM, canonical_fp
+from repro.errors import SpecValidationError
+
+
+class TestCodeConstruction:
+    def test_codeword_always_agrees_with_the_stuck_cell(self):
+        code = PartiallyStuckAtCode(4)
+        for value, pos, level in itertools.product(
+            range(1 << code.k), range(code.n), (0, 1)
+        ):
+            data = tuple((value >> i) & 1 for i in range(code.k))
+            word = code.encode(data, pos, level)
+            assert word[pos] == level
+
+    def test_encode_decode_round_trip(self):
+        code = PartiallyStuckAtCode(5)
+        for value, pos, level in itertools.product(
+            range(1 << code.k), range(code.n), (0, 1)
+        ):
+            data = tuple((value >> i) & 1 for i in range(code.k))
+            assert code.decode(code.encode(data, pos, level)) == data
+
+    def test_one_redundant_bit_masks_any_single_stuck_cell(self):
+        code = PartiallyStuckAtCode(8)
+        assert code.k == 7
+        assert code.masks_everywhere(0)
+        assert code.masks_everywhere(1)
+
+    @pytest.mark.parametrize("n", [1, 0, -3, 2.0, True, "8"])
+    def test_invalid_sizes_raise(self, n):
+        with pytest.raises(SpecValidationError):
+            PartiallyStuckAtCode(n).validate()
+
+    def test_encode_rejects_bad_arguments(self):
+        code = PartiallyStuckAtCode(4)
+        with pytest.raises(SpecValidationError):
+            code.encode((1, 0), 0, 1)  # k = 3, not 2
+        with pytest.raises(SpecValidationError):
+            code.encode((1, 0, 1), 4, 1)  # position out of range
+        with pytest.raises(SpecValidationError):
+            code.encode((1, 0, 1), 0, 2)  # level must be a bit
+
+    def test_decode_rejects_short_words(self):
+        with pytest.raises(SpecValidationError):
+            PartiallyStuckAtCode(4).decode((1, 0, 1))
+
+    def test_exhaustive_check_is_capped(self):
+        with pytest.raises(SpecValidationError):
+            PartiallyStuckAtCode(18).masks(0, 0)
+
+
+class TestClassification:
+    def test_storage_class_ffms_are_absorbable(self):
+        for ffm, level in STUCK_LEVELS.items():
+            verdict, classified = classify_escape(ffm)
+            assert verdict is EscapeClass.ABSORBABLE
+            assert classified is ffm
+            assert level in (0, 1)
+
+    @pytest.mark.parametrize("ffm", [
+        FFM.RDF0, FFM.RDF1, FFM.DRDF0, FFM.DRDF1, FFM.IRF0, FFM.IRF1,
+    ])
+    def test_read_path_ffms_are_true_escapes(self, ffm):
+        verdict, classified = classify_escape(ffm)
+        assert verdict is EscapeClass.TRUE_ESCAPE
+        assert classified is ffm
+
+    def test_fault_primitives_classify_through_their_behaviour(self):
+        verdict, ffm = classify_escape(canonical_fp(FFM.SF1))
+        assert verdict is EscapeClass.ABSORBABLE
+        assert ffm is FFM.SF1
+        verdict, ffm = classify_escape(canonical_fp(FFM.IRF0))
+        assert verdict is EscapeClass.TRUE_ESCAPE
+        assert ffm is FFM.IRF0
+
+
+class TestAnalyzeEscapes:
+    def test_partitions_the_escape_set_exactly(self):
+        escaped = [
+            canonical_fp(FFM.SF1),
+            canonical_fp(FFM.WDF0),
+            canonical_fp(FFM.RDF1),
+        ]
+        analysis = analyze_escapes(escaped)
+        assert len(analysis.absorbable) == 2
+        assert len(analysis.true_escapes) == 1
+        assert analysis.escaped == 3
+        assert analysis.reconciles(len(escaped))
+        assert not analysis.reconciles(len(escaped) + 1)
+
+    def test_empty_escape_set_reconciles_to_zero(self):
+        analysis = analyze_escapes(())
+        assert analysis.escaped == 0
+        assert analysis.reconciles(0)
+
+    def test_unbackable_classification_demotes_to_true_escape(
+        self, monkeypatch
+    ):
+        # A code that cannot actually prove the mask must not count the
+        # fault as absorbed, however storage-like its FFM is.
+        monkeypatch.setattr(
+            PartiallyStuckAtCode, "masks_everywhere",
+            lambda self, level: False,
+        )
+        analysis = analyze_escapes([canonical_fp(FFM.SF1)])
+        assert analysis.absorbable == []
+        assert len(analysis.true_escapes) == 1

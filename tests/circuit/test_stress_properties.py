@@ -1,0 +1,84 @@
+"""Property-based tests for the stress-corner physics.
+
+The campaign axes (docs/CAMPAIGNS.md) lean on two monotonicities of the
+technology model: heating a cell can only *increase* its leakage (so
+``effective_cell_leak`` is monotone-decreasing in temperature), and
+scaling the supply ladder up can only *widen* the charge-sharing read
+margins.  These invariants hold for every corner a matrix can express,
+not just the sampled ones, so they are checked as properties.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.campaign import VDD_SCALED_FIELDS
+from repro.circuit.technology import default_technology
+
+temperatures = st.floats(
+    min_value=-55.0, max_value=150.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+#: Supply scale factors a vdd axis would apply (0.5x to 1.5x nominal).
+vdd_scales = st.floats(
+    min_value=0.5, max_value=1.5,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def _vdd_corner(scale):
+    base = default_technology()
+    return base.scaled(
+        **{f: getattr(base, f) * scale for f in VDD_SCALED_FIELDS}
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(temperatures, temperatures)
+def test_effective_cell_leak_is_monotone_decreasing_in_temperature(
+    t_cold, t_hot
+):
+    """Hotter junction -> more thermal generation -> smaller leak R."""
+    if t_cold == t_hot:
+        cold = default_technology().at_temperature(t_cold)
+        assert cold.effective_cell_leak == cold.r_leak_cell / (
+            2.0 ** ((t_cold - 25.0) / 10.0)
+        )
+        return
+    if t_cold > t_hot:
+        t_cold, t_hot = t_hot, t_cold
+    cold = default_technology().at_temperature(t_cold)
+    hot = default_technology().at_temperature(t_hot)
+    if t_hot - t_cold < 1e-6:
+        # Below float resolution of 2**((T-25)/10) the leak values may
+        # coincide exactly; monotone still means never *increasing*.
+        assert hot.effective_cell_leak <= cold.effective_cell_leak
+        return
+    assert hot.effective_cell_leak < cold.effective_cell_leak
+    assert hot.nominal_retention_tau < cold.nominal_retention_tau
+
+
+@settings(max_examples=50, deadline=None)
+@given(vdd_scales, vdd_scales)
+def test_read_signal_margins_are_monotone_in_vdd(s_low, s_high):
+    """A higher supply ladder widens both stored-level read margins."""
+    if abs(s_low - s_high) < 1e-9:
+        return
+    if s_low > s_high:
+        s_low, s_high = s_high, s_low
+    low, high = _vdd_corner(s_low), _vdd_corner(s_high)
+    # Stored 1 develops a positive signal, stored 0 a negative one;
+    # both magnitudes grow with the supply scale (the transfer ratio is
+    # capacitive, hence scale-invariant).
+    assert high.read_signal(high.vdd) > low.read_signal(low.vdd) > 0
+    assert high.read_signal(0.0) < low.read_signal(0.0) < 0
+    assert abs(high.transfer_ratio - low.transfer_ratio) < 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(vdd_scales)
+def test_vdd_corner_expansion_always_validates(scale):
+    """Every ladder-scaled corner passes Technology.validate()."""
+    corner = _vdd_corner(scale)
+    assert corner.vdd == default_technology().vdd * scale
+    assert corner.validate() is corner

@@ -191,3 +191,76 @@ class TestResultPayload:
             }
         ]
         assert "quarantined" not in payload
+
+
+class TestTechnologyOverrides:
+    """Stress-corner technology overrides in the content address.
+
+    The campaign subsystem (docs/CAMPAIGNS.md) relies on two dedup
+    properties: distinct corners must NEVER collapse onto each other,
+    and identical corners (however spelled) must always dedupe.
+    """
+
+    CORNER = {"vdd": 2.64, "v_precharge": 1.32, "v_reference": 1.12,
+              "v_wl_on": 2.64}
+
+    def test_distinct_corners_never_dedupe(self):
+        base = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        low_vdd = replace(base, technology=self.CORNER)
+        hot = replace(base, technology={"temperature": 85.0})
+        fast = replace(base, technology={"t_sense": 10e-9})
+        addresses = {
+            base.address, low_vdd.address, hot.address, fast.address
+        }
+        assert len(addresses) == 4
+
+    def test_identical_corners_dedupe_regardless_of_spelling(self):
+        base = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        from_dict = replace(base, technology=self.CORNER)
+        from_pairs = replace(
+            base,
+            technology=tuple(reversed(sorted(self.CORNER.items()))),
+        )
+        assert from_dict.address == from_pairs.address
+        assert from_dict.technology == from_pairs.technology
+
+    def test_nominal_corner_addresses_like_a_plain_spec(self):
+        # None and {} both mean "no overrides": the nominal corner of a
+        # campaign is the same content address as the direct job, which
+        # is what makes its report byte-comparable.
+        base = JobSpec("table1", opens=("CELL",), n_r=4, n_u=3)
+        nominal = replace(base, technology={})
+        assert nominal.technology is None
+        assert nominal.address == base.address
+        assert "technology" not in base.canonical()
+
+    def test_roundtrip_preserves_the_address(self):
+        spec = JobSpec(
+            "table1", opens=("CELL",), n_r=4, n_u=3,
+            technology=self.CORNER,
+        ).validate()
+        again = JobSpec.from_json(spec.to_json())
+        assert again.address == spec.address
+        assert again.technology == spec.technology
+
+    def test_unknown_field_rejected(self):
+        spec = JobSpec("table1", technology={"not_a_field": 1.0})
+        with pytest.raises(SpecValidationError):
+            spec.validate()
+
+    def test_unphysical_override_fails_fast(self):
+        # v_precharge above the (scaled) rail: Technology.scaled()
+        # re-validates, so the bad corner dies at validate() time.
+        spec = JobSpec("table1", technology={"vdd": 1.0})
+        with pytest.raises(SpecValidationError):
+            spec.validate()
+
+    def test_non_numeric_value_rejected(self):
+        spec = JobSpec("table1", technology={"vdd": True})
+        with pytest.raises(SpecValidationError):
+            spec.validate()
+
+    def test_rejected_on_experiments_without_technology(self):
+        spec = JobSpec("fp-space", technology={"vdd": 3.0})
+        with pytest.raises(SpecValidationError):
+            spec.validate()

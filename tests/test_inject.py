@@ -34,7 +34,7 @@ from repro.inject import (
     SolverNaNInjector,
     StoreCorruptor,
     VoltagePerturbationInjector,
-    run_campaign,
+    run_injection_campaign,
 )
 from repro.io import CheckpointStore
 
@@ -339,7 +339,7 @@ class TestCampaign:
             VoltagePerturbationInjector(amplitude=40 * margin, seed=1),
             SolverNaNInjector(at_solve=1),                        # detected
         ]
-        report = run_campaign(injectors, lambda: _write_then_read(_column()))
+        report = run_injection_campaign(injectors, lambda: _write_then_read(_column()))
         verdicts = [result.verdict for result in report.results]
         assert verdicts == ["dormant", "masked", "detected", "detected"]
         nan_run = report.results[3]
@@ -360,7 +360,7 @@ class TestCampaign:
             findings, analyzer = _survey(GuardPolicy.QUARANTINE)
             return findings
 
-        report = run_campaign([SolverNaNInjector(target=target)], workload)
+        report = run_injection_campaign([SolverNaNInjector(target=target)], workload)
         (result,) = report.results
         assert result.verdict == "contained"
         assert result.error is None
@@ -376,7 +376,7 @@ class TestCampaign:
 
         def run_once():
             network.Network.cache_clear()
-            report = run_campaign(build(), lambda: _write_then_read(_column()))
+            report = run_injection_campaign(build(), lambda: _write_then_read(_column()))
             return [
                 (r.injector, r.fired, r.verdict, r.error)
                 for r in report.results
@@ -389,7 +389,7 @@ class TestCampaign:
         # result with no guard to catch it must classify as escaped.
         solver_guards_configure(nan_checks=False)
         margin = solver_guards_info().rail_margin
-        report = run_campaign(
+        report = run_injection_campaign(
             [VoltagePerturbationInjector(amplitude=40 * margin, seed=7)],
             lambda: _write_then_read(_column()),
             expect=lambda value: value == 1,
